@@ -1,0 +1,58 @@
+// F2 — Figure 2 / Lemma 3.4: for consecutive FirstFit machines on 2-D
+// instances,  span(J_{i+1}) <= (6*gamma1 + 3)/g * len(J_i).
+//
+// The figure shows the bounding rectangle that proves the inequality.  We
+// regenerate it empirically: across random instances, report the maximum
+// observed ratio span(J_{i+1}) * g / len(J_i) against the proved bound
+// 6*gamma1 + 3 and the fraction of machine pairs violating it (must be 0).
+#include "bench_common.hpp"
+#include "rect/rect_first_fit.hpp"
+#include "rect/union_area.hpp"
+#include "workload/rect_generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace busytime;
+  const auto common = bench::parse_common(argc, argv);
+
+  Table table({"gamma1_max", "g", "machine_pairs", "max_ratio", "bound(6g1+3)",
+               "violations"});
+  for (const Time max_len1 : {20, 80, 320}) {
+    for (const int g : {2, 4, 8}) {
+      double max_ratio = 0;
+      double bound = 0;
+      long long pairs = 0, violations = 0;
+      for (int rep = 0; rep < common.reps; ++rep) {
+        RectGenParams p;
+        p.n = 120;
+        p.g = g;
+        p.min_len1 = 10;
+        p.max_len1 = max_len1;
+        p.seed = common.seed + static_cast<std::uint64_t>(rep) * 977 +
+                 static_cast<std::uint64_t>(max_len1 * 31 + g);
+        const RectInstance inst = gen_rects(p);
+        const double gamma1 = inst.gamma().gamma1();
+        bound = std::max(bound, 6.0 * gamma1 + 3.0);
+        const RectSchedule s = solve_rect_first_fit(inst);
+        const auto per_machine = s.jobs_per_machine();
+        for (std::size_t m = 0; m + 1 < per_machine.size(); ++m) {
+          Time len_m = 0;
+          for (const RectJobId j : per_machine[m]) len_m += inst.job(j).area();
+          std::vector<Rect> next;
+          for (const RectJobId j : per_machine[m + 1]) next.push_back(inst.job(j));
+          const double ratio = static_cast<double>(union_area(next)) *
+                               static_cast<double>(g) / static_cast<double>(len_m);
+          ++pairs;
+          max_ratio = std::max(max_ratio, ratio);
+          violations += (ratio > 6.0 * gamma1 + 3.0);
+        }
+      }
+      table.add_row({Table::fmt(static_cast<double>(max_len1) / 10.0, 1),
+                     Table::fmt(static_cast<long long>(g)), Table::fmt(pairs),
+                     Table::fmt(max_ratio, 3), Table::fmt(bound, 3),
+                     Table::fmt(violations)});
+    }
+  }
+  bench::emit(table, common, "F2: Lemma 3.4 bounding-rectangle inequality",
+              "Figure 2 / Lemma 3.4 (violations must be 0)");
+  return 0;
+}

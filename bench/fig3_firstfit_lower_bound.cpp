@@ -1,0 +1,42 @@
+// F3 — Figure 3 / Lemma 3.5: the adversarial instance on which FirstFit's
+// ratio approaches 6*gamma1 + 3.
+//
+// We rebuild the construction for sweeps of (g, gamma1, 1/eps') and report
+// the measured FirstFit cost over the shape-grouped schedule's cost — the
+// paper's ratio g(1+2g1-e)(3-e) / (g + 6*gamma1 - 1) — next to the
+// asymptotic target 6*gamma1 + 3 and the Lemma 3.5 upper bound 6*gamma1 + 4.
+#include "bench_common.hpp"
+#include "rect/lower_bound_instance.hpp"
+
+int main(int argc, char** argv) {
+  using namespace busytime;
+  const auto common = bench::parse_common(argc, argv);
+
+  Table table({"g", "gamma1", "1/eps", "n_jobs", "ff_cost", "good_cost", "ratio",
+               "target(6g1+3)", "cap(6g1+4)"});
+  for (const Time gamma1 : {1, 2, 4}) {
+    for (const int g : {5, 10, 20, 40}) {
+      for (const Time inv_eps : {10, 1000}) {
+        const Fig3Instance fig =
+            make_fig3_instance({.g = g, .gamma1 = gamma1, .inv_eps = inv_eps});
+        const RectSchedule ff = solve_rect_first_fit(fig.instance, fig.priorities);
+        const Time ff_cost = ff.cost(fig.instance);
+        const double ratio =
+            static_cast<double>(ff_cost) / static_cast<double>(fig.good_cost);
+        table.add_row({Table::fmt(static_cast<long long>(g)),
+                       Table::fmt(static_cast<long long>(gamma1)),
+                       Table::fmt(static_cast<long long>(inv_eps)),
+                       Table::fmt(static_cast<long long>(fig.instance.size())),
+                       Table::fmt(static_cast<long long>(ff_cost)),
+                       Table::fmt(static_cast<long long>(fig.good_cost)),
+                       Table::fmt(ratio, 4),
+                       Table::fmt(6.0 * static_cast<double>(gamma1) + 3.0, 1),
+                       Table::fmt(6.0 * static_cast<double>(gamma1) + 4.0, 1)});
+      }
+    }
+  }
+  bench::emit(table, common,
+              "F3: FirstFit lower-bound construction (ratio -> 6*gamma1+3)",
+              "Figure 3 / Lemma 3.5");
+  return 0;
+}

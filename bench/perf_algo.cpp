@@ -1,0 +1,68 @@
+// PERF — MinBusy algorithm scaling: FirstFit, BestCut, proper clique DP,
+// dispatcher.
+#include <benchmark/benchmark.h>
+
+#include "algo/best_cut.hpp"
+#include "algo/dispatch.hpp"
+#include "algo/first_fit.hpp"
+#include "algo/proper_clique_dp.hpp"
+#include "workload/generators.hpp"
+
+namespace busytime {
+namespace {
+
+void BM_FirstFit(benchmark::State& state) {
+  GenParams p;
+  p.n = static_cast<int>(state.range(0));
+  p.g = 8;
+  p.horizon = 10 * p.n;
+  p.seed = 3;
+  const Instance inst = gen_general(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_first_fit(inst));
+  }
+}
+BENCHMARK(BM_FirstFit)->Range(1 << 7, 1 << 11);
+
+void BM_BestCut(benchmark::State& state) {
+  GenParams p;
+  p.n = static_cast<int>(state.range(0));
+  p.g = 8;
+  p.seed = 3;
+  const Instance inst = gen_proper(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_best_cut(inst));
+  }
+}
+BENCHMARK(BM_BestCut)->Range(1 << 7, 1 << 12);
+
+void BM_ProperCliqueDp(benchmark::State& state) {
+  GenParams p;
+  p.n = static_cast<int>(state.range(0));
+  p.g = 8;
+  p.seed = 3;
+  const Instance inst = gen_proper_clique(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proper_clique_optimal_cost(inst));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ProperCliqueDp)->Range(1 << 8, 1 << 14)->Complexity(benchmark::oN);
+
+void BM_DispatchAuto(benchmark::State& state) {
+  GenParams p;
+  p.n = static_cast<int>(state.range(0));
+  p.g = 4;
+  p.horizon = 10 * p.n;
+  p.seed = 3;
+  const Instance inst = gen_general(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_minbusy_auto(inst));
+  }
+}
+BENCHMARK(BM_DispatchAuto)->Range(1 << 7, 1 << 10);
+
+}  // namespace
+}  // namespace busytime
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// PERF — core kernel microbenchmarks: union length, validity sweepline,
+// schedule cost, classification.
+#include <benchmark/benchmark.h>
+
+#include "core/bounds.hpp"
+#include "core/classify.hpp"
+#include "core/validate.hpp"
+#include "algo/first_fit.hpp"
+#include "workload/generators.hpp"
+
+namespace busytime {
+namespace {
+
+Instance make_instance(std::int64_t n) {
+  GenParams p;
+  p.n = static_cast<int>(n);
+  p.g = 8;
+  p.horizon = 10 * n;
+  p.seed = 99;
+  return gen_general(p);
+}
+
+void BM_UnionLength(benchmark::State& state) {
+  const Instance inst = make_instance(state.range(0));
+  const auto intervals = inst.intervals();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(union_length(intervals));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_UnionLength)->Range(1 << 8, 1 << 14)->Complexity(benchmark::oNLogN);
+
+void BM_ValiditySweep(benchmark::State& state) {
+  const Instance inst = make_instance(state.range(0));
+  const Schedule s = solve_first_fit(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(is_valid(inst, s));
+  }
+}
+BENCHMARK(BM_ValiditySweep)->Range(1 << 8, 1 << 12);
+
+void BM_ScheduleCost(benchmark::State& state) {
+  const Instance inst = make_instance(state.range(0));
+  const Schedule s = solve_first_fit(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.cost(inst));
+  }
+}
+BENCHMARK(BM_ScheduleCost)->Range(1 << 8, 1 << 12);
+
+void BM_Classify(benchmark::State& state) {
+  const Instance inst = make_instance(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classify(inst));
+  }
+}
+BENCHMARK(BM_Classify)->Range(1 << 8, 1 << 14);
+
+}  // namespace
+}  // namespace busytime
+
+BENCHMARK_MAIN();

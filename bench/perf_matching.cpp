@@ -1,0 +1,45 @@
+// PERF — maximum-weight matching: O(n^3) blossom vs greedy on clique
+// overlap graphs (the Lemma 3.1 workload).
+#include <benchmark/benchmark.h>
+
+#include "matching/blossom.hpp"
+#include "matching/greedy_matching.hpp"
+#include "workload/generators.hpp"
+
+namespace busytime {
+namespace {
+
+std::vector<WeightedEdge> clique_overlap_edges(std::int64_t n) {
+  GenParams p;
+  p.n = static_cast<int>(n);
+  p.g = 2;
+  p.seed = 7;
+  const Instance inst = gen_clique(p);
+  std::vector<WeightedEdge> edges;
+  for (int u = 0; u < p.n; ++u)
+    for (int v = u + 1; v < p.n; ++v)
+      edges.push_back({u, v, inst.job(u).interval.overlap_length(inst.job(v).interval)});
+  return edges;
+}
+
+void BM_Blossom(benchmark::State& state) {
+  const auto edges = clique_overlap_edges(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_weight_matching(static_cast<int>(state.range(0)), edges));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Blossom)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+void BM_GreedyMatching(benchmark::State& state) {
+  const auto edges = clique_overlap_edges(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedy_matching(static_cast<int>(state.range(0)), edges));
+  }
+}
+BENCHMARK(BM_GreedyMatching)->RangeMultiplier(2)->Range(16, 256);
+
+}  // namespace
+}  // namespace busytime
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// PERF — 2-D kernels: union area (sweepline + segment tree), rect FirstFit,
+// BucketFirstFit.
+#include <benchmark/benchmark.h>
+
+#include "rect/bucket_first_fit.hpp"
+#include "rect/rect_first_fit.hpp"
+#include "rect/union_area.hpp"
+#include "workload/rect_generators.hpp"
+
+namespace busytime {
+namespace {
+
+RectInstance make_rects(std::int64_t n) {
+  RectGenParams p;
+  p.n = static_cast<int>(n);
+  p.g = 8;
+  p.horizon1 = 10 * n;
+  p.horizon2 = 10 * n;
+  p.min_len1 = 10;
+  p.max_len1 = 640;
+  p.seed = 13;
+  return gen_rects(p);
+}
+
+void BM_UnionArea(benchmark::State& state) {
+  const RectInstance inst = make_rects(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(union_area(inst.jobs()));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_UnionArea)->Range(1 << 8, 1 << 14)->Complexity(benchmark::oNLogN);
+
+void BM_RectFirstFit(benchmark::State& state) {
+  const RectInstance inst = make_rects(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_rect_first_fit(inst));
+  }
+}
+BENCHMARK(BM_RectFirstFit)->Range(1 << 6, 1 << 10);
+
+void BM_BucketFirstFit(benchmark::State& state) {
+  const RectInstance inst = make_rects(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_bucket_first_fit(inst));
+  }
+}
+BENCHMARK(BM_BucketFirstFit)->Range(1 << 6, 1 << 10);
+
+}  // namespace
+}  // namespace busytime
+
+BENCHMARK_MAIN();

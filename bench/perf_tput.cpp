@@ -1,0 +1,55 @@
+// PERF — MaxThroughput scaling: clique 4-approx and the collapsed-state
+// proper clique DP (value-only, O(n g) memory).
+#include <benchmark/benchmark.h>
+
+#include "throughput/clique_tput.hpp"
+#include "throughput/proper_clique_tput_dp.hpp"
+#include "workload/generators.hpp"
+
+namespace busytime {
+namespace {
+
+void BM_CliqueTputCombined(benchmark::State& state) {
+  GenParams p;
+  p.n = static_cast<int>(state.range(0));
+  p.g = 8;
+  p.seed = 5;
+  const Instance inst = gen_clique(p);
+  const Time budget = inst.span() * 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_clique_tput(inst, budget));
+  }
+}
+BENCHMARK(BM_CliqueTputCombined)->Range(1 << 7, 1 << 11);
+
+void BM_ProperCliqueTputValue(benchmark::State& state) {
+  GenParams p;
+  p.n = static_cast<int>(state.range(0));
+  p.g = 8;
+  p.seed = 5;
+  const Instance inst = gen_proper_clique(p);
+  const Time budget = inst.span() * 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proper_clique_tput_value(inst, budget));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ProperCliqueTputValue)->RangeMultiplier(2)->Range(64, 1024)->Complexity(benchmark::oNSquared);
+
+void BM_ProperCliqueTputSchedule(benchmark::State& state) {
+  GenParams p;
+  p.n = static_cast<int>(state.range(0));
+  p.g = 8;
+  p.seed = 5;
+  const Instance inst = gen_proper_clique(p);
+  const Time budget = inst.span() * 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_proper_clique_tput(inst, budget));
+  }
+}
+BENCHMARK(BM_ProperCliqueTputSchedule)->RangeMultiplier(2)->Range(64, 512);
+
+}  // namespace
+}  // namespace busytime
+
+BENCHMARK_MAIN();

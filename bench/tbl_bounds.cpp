@@ -1,0 +1,83 @@
+// P-2.1 — Observation 2.1 / Proposition 2.1: every valid full schedule sits
+// between the span/parallelism lower bounds and the length upper bound, so
+// ANY algorithm is a g-approximation.
+//
+// Rows: per instance family, the bound sandwich for every MinBusy algorithm
+// the dispatcher can produce, and the worst observed cost/LB ratio vs g.
+#include "algo/dispatch.hpp"
+#include "algo/first_fit.hpp"
+#include "bench_common.hpp"
+#include "core/bounds.hpp"
+#include "workload/generators.hpp"
+#include "workload/trace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace busytime;
+  const auto common = bench::parse_common(argc, argv);
+
+  Table table({"family", "g", "algo_ratio_max", "ff_ratio_max", "g(=cap)",
+               "bound_violations"});
+  const int g_values[] = {2, 4, 8};
+  for (const int g : g_values) {
+    struct Family {
+      const char* name;
+      Instance (*make)(std::uint64_t, int);
+    };
+    const Family families[] = {
+        {"general",
+         [](std::uint64_t seed, int gg) {
+           GenParams p;
+           p.n = 80;
+           p.g = gg;
+           p.seed = seed;
+           return gen_general(p);
+         }},
+        {"clique",
+         [](std::uint64_t seed, int gg) {
+           GenParams p;
+           p.n = 80;
+           p.g = gg;
+           p.seed = seed;
+           return gen_clique(p);
+         }},
+        {"proper",
+         [](std::uint64_t seed, int gg) {
+           GenParams p;
+           p.n = 80;
+           p.g = gg;
+           p.seed = seed;
+           return gen_proper(p);
+         }},
+        {"trace",
+         [](std::uint64_t seed, int gg) {
+           TraceParams p;
+           p.n = 80;
+           p.g = gg;
+           p.seed = seed;
+           return gen_trace(p);
+         }},
+    };
+    for (const auto& family : families) {
+      double algo_max = 0, ff_max = 0;
+      long long violations = 0;
+      for (int rep = 0; rep < common.reps; ++rep) {
+        const Instance inst =
+            family.make(common.seed + static_cast<std::uint64_t>(rep) * 127 + g, g);
+        const CostBounds b = compute_bounds(inst);
+        const Time auto_cost = solve_minbusy_auto(inst).schedule.cost(inst);
+        const Time ff_cost = solve_first_fit(inst).cost(inst);
+        violations += !b.admissible(auto_cost);
+        violations += !b.admissible(ff_cost);
+        algo_max = std::max(algo_max, ratio_to_lower_bound(inst, auto_cost));
+        ff_max = std::max(ff_max, ratio_to_lower_bound(inst, ff_cost));
+      }
+      table.add_row({family.name, Table::fmt(static_cast<long long>(g)),
+                     Table::fmt(algo_max, 3), Table::fmt(ff_max, 3),
+                     Table::fmt(static_cast<long long>(g)), Table::fmt(violations)});
+    }
+  }
+  bench::emit(table, common,
+              "P-2.1: bound sandwich; every algorithm's ratio <= g, violations = 0",
+              "Observation 2.1 / Proposition 2.1");
+  return 0;
+}

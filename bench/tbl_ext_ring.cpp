@@ -1,0 +1,46 @@
+// X-R — Section 5 extension: ring topology (Theorem 3.3 carries over).
+//
+// Rows: arc FirstFit and bucketed FirstFit vs the span/parallelism lower
+// bound across arc-length spreads; both must respect the Observation 2.1
+// sandwich lifted to rings.
+#include "bench_common.hpp"
+#include "extensions/ring.hpp"
+#include "util/prng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace busytime;
+  const auto common = bench::parse_common(argc, argv);
+
+  Table table({"len_spread", "g", "ff_ratio_mean", "bucket_ratio_mean", "valid"});
+  for (const Time max_len : {100, 400}) {
+    for (const int g : {2, 4, 8}) {
+      StatAccumulator ff_ratio, bucket_ratio;
+      int valid = 0;
+      for (int rep = 0; rep < common.reps; ++rep) {
+        Rng rng(common.seed + static_cast<std::uint64_t>(rep) * 6089 +
+                static_cast<std::uint64_t>(max_len + g));
+        const Time circumference = 1000;
+        std::vector<Arc> arcs;
+        for (int i = 0; i < 60; ++i)
+          arcs.push_back({rng.uniform_int(0, circumference - 1),
+                          rng.uniform_int(20, max_len)});
+        const RingInstance inst(std::move(arcs), circumference, g);
+        const double lb =
+            std::max(static_cast<double>(arc_union_length(inst.arcs(), circumference)),
+                     static_cast<double>(inst.total_length()) / g);
+        const RingSchedule ff = solve_ring_first_fit(inst);
+        const RingSchedule bucket = solve_ring_bucket_first_fit(inst);
+        valid += (is_valid(inst, ff) && is_valid(inst, bucket));
+        ff_ratio.add(static_cast<double>(ff.cost(inst)) / lb);
+        bucket_ratio.add(static_cast<double>(bucket.cost(inst)) / lb);
+      }
+      table.add_row({Table::fmt(static_cast<long long>(max_len) / 20),
+                     Table::fmt(static_cast<long long>(g)),
+                     Table::fmt(ff_ratio.mean(), 3), Table::fmt(bucket_ratio.mean(), 3),
+                     std::to_string(valid) + "/" + std::to_string(common.reps)});
+    }
+  }
+  bench::emit(table, common, "X-R: circular-arc FirstFit / BucketFirstFit vs LB",
+              "Section 5 (ring topology, Theorem 3.3 extension)");
+  return 0;
+}

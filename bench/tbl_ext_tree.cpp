@@ -1,0 +1,80 @@
+// X-T — Section 5 extension: one-sided greedy on tree topologies.
+//
+// Rows: the tree greedy vs the one-path-per-machine baseline across tree
+// shapes; on degenerate path trees with shared endpoints it must match the
+// 1-D one-sided optimum exactly.
+#include "algo/one_sided.hpp"
+#include "bench_common.hpp"
+#include "extensions/tree_one_sided.hpp"
+#include "util/prng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace busytime;
+  const auto common = bench::parse_common(argc, argv);
+
+  // Part a: degenerate path tree sanity (exact match with Observation 3.1).
+  Table exact_table({"n_paths", "g", "tree_cost", "1d_optimum", "match"});
+  for (const int g : {2, 3}) {
+    Rng rng(common.seed + static_cast<std::uint64_t>(g));
+    const int nodes = 20;
+    std::vector<int> parent{-1};
+    std::vector<Time> weight{0};
+    for (int v = 1; v < nodes; ++v) {
+      parent.push_back(v - 1);
+      weight.push_back(rng.uniform_int(1, 5));
+    }
+    const Tree tree(parent, weight);
+    std::vector<TreePath> paths;
+    std::vector<Time> lengths;
+    for (int i = 0; i < 12; ++i) {
+      const int endpoint = static_cast<int>(rng.uniform_int(1, nodes - 1));
+      paths.push_back({0, endpoint});
+      lengths.push_back(tree.dist(0, endpoint));
+    }
+    const TreeSchedule s = solve_tree_one_sided(tree, paths, g);
+    const Time opt = one_sided_cost(lengths, g);
+    exact_table.add_row({"12", Table::fmt(static_cast<long long>(g)),
+                         Table::fmt(s.cost), Table::fmt(opt),
+                         s.cost == opt ? "yes" : "NO"});
+  }
+  bench::emit(exact_table, common,
+              "X-Ta: path-tree degeneration matches Observation 3.1 exactly",
+              "Section 5 (tree topology)");
+
+  // Part b: random trees, greedy vs trivial baseline.
+  Table table({"tree", "g", "greedy_cost", "baseline(len)", "saving_pct",
+               "machines"});
+  for (const int shape : {0, 1}) {  // 0 = random, 1 = caterpillar
+    for (const int g : {2, 4, 8}) {
+      Rng rng(common.seed * 31 + static_cast<std::uint64_t>(shape * 10 + g));
+      const int nodes = 60;
+      std::vector<int> parent{-1};
+      std::vector<Time> weight{0};
+      for (int v = 1; v < nodes; ++v) {
+        parent.push_back(shape == 1 ? v - 1
+                                    : static_cast<int>(rng.uniform_int(0, v - 1)));
+        weight.push_back(rng.uniform_int(1, 9));
+      }
+      const Tree tree(parent, weight);
+      std::vector<TreePath> paths;
+      for (int i = 0; i < 80; ++i) {
+        const int u = static_cast<int>(rng.uniform_int(0, nodes - 1));
+        int v = static_cast<int>(rng.uniform_int(0, nodes - 1));
+        if (u == v) v = (v + 1) % nodes;
+        paths.push_back({u, v});
+      }
+      const TreeSchedule s = solve_tree_one_sided(tree, paths, g);
+      const Time baseline = tree_paths_total_length(tree, paths);
+      table.add_row({shape == 0 ? "random" : "caterpillar",
+                     Table::fmt(static_cast<long long>(g)), Table::fmt(s.cost),
+                     Table::fmt(baseline),
+                     Table::fmt(100.0 * static_cast<double>(baseline - s.cost) /
+                                    static_cast<double>(baseline),
+                                1),
+                     Table::fmt(static_cast<long long>(s.machines_used))});
+    }
+  }
+  bench::emit(table, common, "X-Tb: tree grooming saving vs trivial coloring",
+              "Section 5 (tree topology)");
+  return 0;
+}

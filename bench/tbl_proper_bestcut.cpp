@@ -1,0 +1,50 @@
+// T-3.3 — Theorem 3.1: BestCut is a (2 - 1/g)-approximation on proper
+// instances.
+//
+// Rows per g: measured ratio vs exact optimum (small n) against the bound,
+// plus the ablation "fixed cut" (phase i = g only, no best-of-g) and the
+// spread between the best and worst phase — what the best-of-g buys.
+#include <algorithm>
+
+#include "algo/best_cut.hpp"
+#include "algo/exact_minbusy.hpp"
+#include "bench_common.hpp"
+#include "workload/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace busytime;
+  const auto common = bench::parse_common(argc, argv);
+
+  Table table({"g", "n", "bound(2-1/g)", "best_mean", "best_max", "fixed_cut_mean",
+               "worst_phase_mean"});
+  for (const int g : {2, 3, 4, 6}) {
+    for (const int n : {10, 13}) {
+      StatAccumulator best, fixed, worst;
+      for (int rep = 0; rep < common.reps; ++rep) {
+        GenParams p;
+        p.n = n;
+        p.g = g;
+        p.min_len = 20;
+        p.max_len = 120;
+        p.horizon = 200;
+        p.seed = common.seed + static_cast<std::uint64_t>(rep) * 6367 +
+                 static_cast<std::uint64_t>(g * 17 + n);
+        const Instance inst = gen_proper(p);
+        const double opt = static_cast<double>(exact_minbusy_cost(inst).value());
+        const auto phases = best_cut_phase_costs(inst);
+        best.add(static_cast<double>(*std::min_element(phases.begin(), phases.end())) / opt);
+        fixed.add(static_cast<double>(phases.back()) / opt);
+        worst.add(static_cast<double>(*std::max_element(phases.begin(), phases.end())) / opt);
+      }
+      table.add_row({Table::fmt(static_cast<long long>(g)),
+                     Table::fmt(static_cast<long long>(n)),
+                     Table::fmt(2.0 - 1.0 / g, 4), Table::fmt(best.mean(), 4),
+                     Table::fmt(best.max(), 4), Table::fmt(fixed.mean(), 4),
+                     Table::fmt(worst.mean(), 4)});
+    }
+  }
+  bench::emit(table, common,
+              "T-3.3: BestCut vs (2-1/g) on proper instances (best_max <= bound)",
+              "Theorem 3.1");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// T-3.5 — Theorem 3.3: BucketFirstFit is a
+// min(g, 13.82*log min(gamma1,gamma2) + O(1))-approximation on rectangles.
+//
+// Rows: gamma sweep at the paper's beta = 3.3 — measured ratio vs the
+// certified lower bound max(span, area/g) against the theorem envelope —
+// plus a beta ablation showing 3.3 is a sensible choice of base.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "rect/bucket_first_fit.hpp"
+#include "rect/rect_first_fit.hpp"
+#include "workload/rect_generators.hpp"
+
+namespace busytime {
+namespace {
+
+double lower_bound(const RectInstance& inst) {
+  return std::max(static_cast<double>(inst.span()),
+                  static_cast<double>(inst.total_area()) / inst.g());
+}
+
+}  // namespace
+}  // namespace busytime
+
+int main(int argc, char** argv) {
+  using namespace busytime;
+  const auto common = bench::parse_common(argc, argv);
+
+  Table table({"gamma_target", "g", "ratio_mean", "ratio_max", "buckets",
+               "envelope", "plain_ff_mean"});
+  for (const Time max_len : {20, 160, 1280}) {
+    for (const int g : {4, 10}) {
+      StatAccumulator bucket_ratio, plain_ratio;
+      int buckets = 0;
+      double envelope = 0;
+      for (int rep = 0; rep < common.reps; ++rep) {
+        RectGenParams p;
+        p.n = 150;
+        p.g = g;
+        p.min_len1 = 10;
+        p.max_len1 = max_len;
+        p.min_len2 = 10;
+        p.max_len2 = max_len;
+        p.seed = common.seed + static_cast<std::uint64_t>(rep) * 5099 +
+                 static_cast<std::uint64_t>(max_len + g);
+        const RectInstance inst = gen_rects(p);
+        const double lb = lower_bound(inst);
+        const auto r = solve_bucket_first_fit(inst, kPaperBeta);
+        bucket_ratio.add(static_cast<double>(r.schedule.cost(inst)) / lb);
+        plain_ratio.add(static_cast<double>(solve_rect_first_fit(inst).cost(inst)) / lb);
+        buckets = std::max(buckets, r.buckets_used);
+        const double gamma = std::min(inst.gamma().gamma1(), inst.gamma().gamma2());
+        envelope = std::max(
+            envelope, std::min(static_cast<double>(g),
+                               13.82 * std::log2(std::max(gamma, 1.0)) + 10.0));
+      }
+      table.add_row({Table::fmt(static_cast<double>(max_len) / 10.0, 0),
+                     Table::fmt(static_cast<long long>(g)),
+                     Table::fmt(bucket_ratio.mean(), 3),
+                     Table::fmt(bucket_ratio.max(), 3),
+                     Table::fmt(static_cast<long long>(buckets)),
+                     Table::fmt(envelope, 1), Table::fmt(plain_ratio.mean(), 3)});
+    }
+  }
+  bench::emit(table, common,
+              "T-3.5a: BucketFirstFit ratio vs theorem envelope (beta = 3.3)",
+              "Theorem 3.3");
+
+  // Beta ablation: (6*beta+4)/log2(beta) is minimized near beta ~ 3.3.
+  Table beta_table({"beta", "coef=(6b+4)/log2(b)", "ratio_mean", "buckets"});
+  for (const double beta : {1.5, 2.0, 3.3, 5.0, 10.0}) {
+    StatAccumulator ratio;
+    int buckets = 0;
+    for (int rep = 0; rep < common.reps; ++rep) {
+      RectGenParams p;
+      p.n = 150;
+      p.g = 6;
+      p.min_len1 = 10;
+      p.max_len1 = 1280;
+      p.min_len2 = 10;
+      p.max_len2 = 1280;
+      p.seed = common.seed + static_cast<std::uint64_t>(rep) * 4099;
+      const RectInstance inst = gen_rects(p);
+      const auto r = solve_bucket_first_fit(inst, beta);
+      ratio.add(static_cast<double>(r.schedule.cost(inst)) / lower_bound(inst));
+      buckets = std::max(buckets, r.buckets_used);
+    }
+    beta_table.add_row({Table::fmt(beta, 1),
+                        Table::fmt((6 * beta + 4) / std::log2(beta), 2),
+                        Table::fmt(ratio.mean(), 3),
+                        Table::fmt(static_cast<long long>(buckets))});
+  }
+  bench::emit(beta_table, common, "T-3.5b: bucket base ablation",
+              "Theorem 3.3 (choice of beta = 3.3)");
+  return 0;
+}

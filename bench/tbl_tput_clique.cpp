@@ -1,0 +1,57 @@
+// T-4.1 — Theorem 4.1: the combined Alg1/Alg2 algorithm is a
+// 4-approximation for clique instances of MaxThroughput.
+//
+// Rows: budget sweep — measured tput*/tput vs the bound 4, plus the
+// regime ablation (Alg1 alone vs Alg2 alone) around the tput* = 4g split
+// the analysis uses (Lemmas 4.1 / 4.2).
+#include "bench_common.hpp"
+#include "throughput/clique_tput.hpp"
+#include "throughput/exact_tput.hpp"
+#include "workload/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace busytime;
+  const auto common = bench::parse_common(argc, argv);
+
+  Table table({"g", "budget", "opt/combined_max", "combined_mean_tput",
+               "alg1_mean", "alg2_mean", "opt_mean"});
+  for (const int g : {2, 3}) {
+    for (const double budget_frac : {0.25, 0.5, 1.0, 2.0}) {
+      double worst = 0;
+      StatAccumulator combined_t, alg1_t, alg2_t, opt_t;
+      for (int rep = 0; rep < common.reps; ++rep) {
+        GenParams p;
+        p.n = 13;
+        p.g = g;
+        p.min_len = 5;
+        p.max_len = 80;
+        p.horizon = 200;
+        p.seed = common.seed + static_cast<std::uint64_t>(rep) * 1217 +
+                 static_cast<std::uint64_t>(g * 101) +
+                 static_cast<std::uint64_t>(budget_frac * 1000);
+        const Instance inst = gen_clique(p);
+        const Time budget = static_cast<Time>(budget_frac * static_cast<double>(inst.span()));
+        const TputResult combined = solve_clique_tput(inst, budget);
+        const TputResult a1 = clique_tput_alg1(inst, budget);
+        const TputResult a2 = clique_tput_alg2(inst, budget);
+        const TputResult opt = exact_tput_clique(inst, budget);
+        combined_t.add(static_cast<double>(combined.throughput));
+        alg1_t.add(static_cast<double>(a1.throughput));
+        alg2_t.add(static_cast<double>(a2.throughput));
+        opt_t.add(static_cast<double>(opt.throughput));
+        if (opt.throughput > 0)
+          worst = std::max(worst, static_cast<double>(opt.throughput) /
+                                      std::max<double>(1.0, static_cast<double>(
+                                                                combined.throughput)));
+      }
+      table.add_row({Table::fmt(static_cast<long long>(g)),
+                     Table::fmt(budget_frac, 2) + "*span", Table::fmt(worst, 3),
+                     Table::fmt(combined_t.mean(), 2), Table::fmt(alg1_t.mean(), 2),
+                     Table::fmt(alg2_t.mean(), 2), Table::fmt(opt_t.mean(), 2)});
+    }
+  }
+  bench::emit(table, common,
+              "T-4.1: clique MaxThroughput 4-approx (opt/combined_max <= 4)",
+              "Theorem 4.1, Lemmas 4.1-4.2");
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Command-line driver: solve instances from files, report, and export.
+//
+//   busytime_cli solve   --in=inst.txt [--out=sched.txt] [--gantt] [--improve]
+//   busytime_cli tput    --in=inst.txt --budget=T
+//   busytime_cli gen     --family=clique|proper|proper_clique|one_sided|general|trace
+//                        --n=50 --g=4 --seed=1 --out=inst.txt
+//   busytime_cli check   --in=inst.txt --schedule=sched.txt
+//
+// The fourth example application: a production-style front door over the
+// library for scripting experiments.
+#include <iostream>
+
+#include "algo/local_search.hpp"
+#include "busytime.hpp"
+#include "io/serialize.hpp"
+#include "util/flags.hpp"
+#include "viz/gantt.hpp"
+
+namespace {
+
+using namespace busytime;
+
+int usage() {
+  std::cerr << "usage: busytime_cli <solve|tput|gen|check> [--flags]\n"
+            << "  solve --in=FILE [--out=FILE] [--gantt] [--improve]\n"
+            << "  tput  --in=FILE --budget=T\n"
+            << "  gen   --family=NAME --n=N --g=G --seed=S --out=FILE\n"
+            << "  check --in=FILE --schedule=FILE\n";
+  return 2;
+}
+
+int cmd_solve(const Flags& flags) {
+  const Instance inst = load_instance(flags.get("in", ""));
+  std::cout << inst.summary() << "\n";
+  DispatchResult result = solve_minbusy_auto(inst);
+  std::cout << "algorithms:";
+  for (const auto algo : result.algos) std::cout << " " << to_string(algo);
+  std::cout << "\ncost=" << result.schedule.cost(inst)
+            << " lower_bound=" << compute_bounds(inst).lower_bound() << "\n";
+  if (flags.get_bool("improve")) {
+    const LocalSearchStats stats = improve_schedule(inst, result.schedule);
+    std::cout << "local search: " << stats.initial_cost << " -> " << stats.final_cost
+              << " (" << stats.relocations << " moves, " << stats.swaps
+              << " swaps, " << stats.rounds << " rounds)\n";
+  }
+  if (!is_valid(inst, result.schedule)) {
+    std::cerr << "internal error: invalid schedule\n";
+    return 1;
+  }
+  if (flags.get_bool("gantt")) std::cout << render_gantt(inst, result.schedule);
+  if (flags.has("out")) {
+    save_schedule(flags.get("out", ""), result.schedule);
+    std::cout << "schedule written to " << flags.get("out", "") << "\n";
+  }
+  return 0;
+}
+
+int cmd_tput(const Flags& flags) {
+  const Instance inst = load_instance(flags.get("in", ""));
+  const Time budget = flags.get_int("budget", -1);
+  if (budget < 0) return usage();
+  std::cout << inst.summary() << " budget=" << budget << "\n";
+  const InstanceClass cls = classify(inst);
+  if (cls.proper_clique()) {
+    const TputResult r = solve_proper_clique_tput(inst, budget);
+    std::cout << "proper-clique DP (exact): throughput=" << r.throughput
+              << " cost=" << r.cost << "\n";
+  } else if (cls.clique) {
+    const TputResult r = solve_clique_tput(inst, budget);
+    std::cout << "clique 4-approx: throughput=" << r.throughput
+              << " cost=" << r.cost << "\n";
+  } else if (const auto r = exact_tput(inst, budget)) {
+    std::cout << "exact (small n): throughput=" << r->throughput
+              << " cost=" << r->cost << "\n";
+  } else {
+    std::cerr << "no MaxThroughput algorithm applies (general large instance)\n";
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_gen(const Flags& flags) {
+  GenParams p;
+  p.n = static_cast<int>(flags.get_int("n", 50));
+  p.g = static_cast<int>(flags.get_int("g", 4));
+  p.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::string family = flags.get("family", "general");
+  Instance inst;
+  if (family == "clique") {
+    inst = gen_clique(p);
+  } else if (family == "proper") {
+    inst = gen_proper(p);
+  } else if (family == "proper_clique") {
+    inst = gen_proper_clique(p);
+  } else if (family == "one_sided") {
+    inst = gen_one_sided(p);
+  } else if (family == "trace") {
+    TraceParams t;
+    t.n = p.n;
+    t.g = p.g;
+    t.seed = p.seed;
+    inst = gen_trace(t);
+  } else if (family == "general") {
+    inst = gen_general(p);
+  } else {
+    std::cerr << "unknown family '" << family << "'\n";
+    return usage();
+  }
+  const std::string out = flags.get("out", "");
+  if (out.empty()) {
+    write_instance(std::cout, inst);
+  } else {
+    save_instance(out, inst);
+    std::cout << "wrote " << inst.summary() << " to " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_check(const Flags& flags) {
+  const Instance inst = load_instance(flags.get("in", ""));
+  const Schedule s = load_schedule(flags.get("schedule", ""), inst.size());
+  if (const auto violation = find_violation(inst, s)) {
+    std::cout << "INVALID: " << violation->to_string() << "\n";
+    return 1;
+  }
+  std::cout << "valid; cost=" << s.cost(inst) << " throughput=" << s.throughput()
+            << " machines=" << s.machine_count() << "\n";
+  const CostBounds b = compute_bounds(inst);
+  std::cout << "lower bound=" << b.lower_bound()
+            << " ratio=" << ratio_to_lower_bound(inst, s.cost(inst)) << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace busytime;
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Flags flags(argc - 1, argv + 1);
+  try {
+    if (command == "solve") return cmd_solve(flags);
+    if (command == "tput") return cmd_tput(flags);
+    if (command == "gen") return cmd_gen(flags);
+    if (command == "check") return cmd_check(flags);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,55 @@
+#include "algo/best_cut.hpp"
+
+#include <cassert>
+#include <limits>
+
+#include "core/classify.hpp"
+
+namespace busytime {
+
+namespace {
+
+/// Builds phase schedule s^i (1-based phase index i in [1, g]): machine 0
+/// takes the first i jobs of the proper order, then machines of exactly g
+/// consecutive jobs (the last may be smaller).
+Schedule phase_schedule(const Instance& inst, const std::vector<JobId>& order, int i) {
+  Schedule s(inst.size());
+  const int n = static_cast<int>(order.size());
+  const int g = inst.g();
+  for (int k = 0; k < n; ++k) {
+    const MachineId m = k < i ? 0 : static_cast<MachineId>(1 + (k - i) / g);
+    s.assign(order[static_cast<std::size_t>(k)], m);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<Time> best_cut_phase_costs(const Instance& inst) {
+  assert(is_proper(inst));
+  const auto order = inst.ids_by_start();
+  std::vector<Time> costs;
+  costs.reserve(static_cast<std::size_t>(inst.g()));
+  for (int i = 1; i <= inst.g(); ++i)
+    costs.push_back(phase_schedule(inst, order, i).cost(inst));
+  return costs;
+}
+
+Schedule solve_best_cut(const Instance& inst) {
+  assert(is_proper(inst));
+  if (inst.empty()) return Schedule(0);
+  const auto order = inst.ids_by_start();
+  Schedule best = phase_schedule(inst, order, 1);
+  Time best_cost = best.cost(inst);
+  for (int i = 2; i <= inst.g(); ++i) {
+    Schedule cand = phase_schedule(inst, order, i);
+    const Time cand_cost = cand.cost(inst);
+    if (cand_cost < best_cost) {
+      best = std::move(cand);
+      best_cost = cand_cost;
+    }
+  }
+  return best;
+}
+
+}  // namespace busytime

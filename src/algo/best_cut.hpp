@@ -1,0 +1,25 @@
+// BestCut (Algorithm 1) — a (2 - 1/g)-approximation for proper instances of
+// MinBusy (Theorem 3.1), improving on the 2-approximation of [13].
+//
+// With jobs in the proper order J1 <= J2 <= ... <= Jn, BestCut tries the g
+// "phase" schedules s^i (first machine takes jobs 1..i, every subsequent
+// machine takes the next g consecutive jobs) and returns the cheapest.  The
+// analysis shows the best phase saves at least (g-1)/g of the total
+// consecutive-overlap mass, which combined with Lemma 2.1 yields 2 - 1/g.
+#pragma once
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace busytime {
+
+/// BestCut schedule for a proper instance (asserts is_proper).
+/// The instance need not be connected; components are handled implicitly by
+/// the cost function (disjoint jobs on one machine cost their union).
+Schedule solve_best_cut(const Instance& inst);
+
+/// Costs of all g candidate phase schedules (ablation hook: shows the spread
+/// a single fixed cut would leave on the table).  costs[i-1] = cost(s^i).
+std::vector<Time> best_cut_phase_costs(const Instance& inst);
+
+}  // namespace busytime

@@ -1,0 +1,42 @@
+#include "algo/clique_matching.hpp"
+
+#include <cassert>
+
+#include "core/classify.hpp"
+#include "matching/blossom.hpp"
+
+namespace busytime {
+
+Schedule solve_clique_pairing(const Instance& inst) {
+  assert(is_clique(inst));
+  const int n = static_cast<int>(inst.size());
+  // In a clique instance all pairs overlap: G_m is complete with
+  // weight(u, v) = overlap length.
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n) / 2);
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v) {
+      const Time w = inst.job(u).interval.overlap_length(inst.job(v).interval);
+      assert(w > 0);
+      edges.push_back({u, v, w});
+    }
+
+  const MatchingResult matching = max_weight_matching(n, edges);
+  Schedule s(inst.size());
+  MachineId next = 0;
+  for (int v = 0; v < n; ++v) {
+    if (s.is_scheduled(v)) continue;
+    const int mate = matching.mate[static_cast<std::size_t>(v)];
+    s.assign(v, next);
+    if (mate >= 0) s.assign(mate, next);
+    ++next;
+  }
+  return s;
+}
+
+Schedule solve_clique_g2_matching(const Instance& inst) {
+  assert(inst.g() == 2);
+  return solve_clique_pairing(inst);
+}
+
+}  // namespace busytime

@@ -1,0 +1,23 @@
+// Exact polynomial algorithm for clique instances with g = 2 (Lemma 3.1).
+//
+// On a clique instance with g = 2, every machine hosts at most two jobs (any
+// three jobs share a time point), so a schedule is a matching in the overlap
+// graph G_m, and the saving equals the matching weight.  Maximum-weight
+// matching therefore minimizes the cost exactly.
+#pragma once
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace busytime {
+
+/// Optimal MinBusy schedule for a clique instance with g = 2.
+/// Preconditions (asserted): is_clique(inst), inst.g() == 2.
+Schedule solve_clique_g2_matching(const Instance& inst);
+
+/// The same pairing idea on any clique instance with any g >= 2: matching
+/// still yields a valid schedule (pairs of jobs), but is only optimal for
+/// g = 2.  Exposed for ablation benchmarks.
+Schedule solve_clique_pairing(const Instance& inst);
+
+}  // namespace busytime

@@ -1,0 +1,143 @@
+#include "algo/clique_setcover.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "core/classify.hpp"
+
+namespace busytime {
+
+namespace {
+
+struct Group {
+  std::vector<int> elements;
+  Time span = 0;
+  Time len = 0;
+};
+
+/// Enumerates all subsets of {0..n-1} of size in [1, g] with their clique
+/// span (max completion - min start) and total length.
+std::vector<Group> enumerate_groups(const Instance& inst) {
+  const int n = static_cast<int>(inst.size());
+  const int g = inst.g();
+  std::vector<Group> family;
+  std::vector<int> stack;
+  auto recurse = [&](auto&& self, int next, Time min_start, Time max_completion,
+                     Time len) -> void {
+    if (!stack.empty()) {
+      Group grp;
+      grp.elements = stack;
+      grp.span = max_completion - min_start;
+      grp.len = len;
+      family.push_back(std::move(grp));
+    }
+    if (static_cast<int>(stack.size()) == g) return;
+    for (int e = next; e < n; ++e) {
+      stack.push_back(e);
+      self(self, e + 1, std::min(min_start, inst.job(e).start()),
+           std::max(max_completion, inst.job(e).completion()),
+           len + inst.job(e).length());
+      stack.pop_back();
+    }
+  };
+  recurse(recurse, 0, std::numeric_limits<Time>::max(), std::numeric_limits<Time>::min(), 0);
+  return family;
+}
+
+/// Partition-greedy set cover: at each step pick, among groups whose
+/// elements are ALL still uncovered, the one minimizing weight/|Q|
+/// (exact integer cross-multiplication).  Restricting to fully-uncovered
+/// groups makes the output a partition of J, which is what Lemma 3.2's
+/// accounting  weight(s) = cost(s) - len(J)/g  requires.  (The textbook
+/// greedy may pick overlapping sets; converting such a cover to a schedule
+/// can exceed the lemma's bound because the shaped weight is not monotone
+/// under removing duplicated jobs — see DESIGN.md.)
+Schedule partition_greedy(const Instance& inst, const std::vector<Group>& family,
+                          bool shaped) {
+  const int n = static_cast<int>(inst.size());
+  const int g = inst.g();
+  auto weight_of = [&](const Group& grp) -> std::int64_t {
+    return shaped ? static_cast<std::int64_t>(g) * grp.span - grp.len
+                  : static_cast<std::int64_t>(g) * grp.span;
+  };
+
+  std::vector<char> covered(static_cast<std::size_t>(n), 0);
+  int remaining = n;
+  Schedule s(inst.size());
+  MachineId machine = 0;
+
+  while (remaining > 0) {
+    int best = -1;
+    std::int64_t best_weight = 0;
+    std::size_t best_size = 0;
+    for (std::size_t i = 0; i < family.size(); ++i) {
+      const Group& grp = family[i];
+      bool all_free = true;
+      for (const int e : grp.elements)
+        if (covered[static_cast<std::size_t>(e)]) {
+          all_free = false;
+          break;
+        }
+      if (!all_free) continue;
+      const std::int64_t w = weight_of(grp);
+      if (best == -1) {
+        best = static_cast<int>(i);
+        best_weight = w;
+        best_size = grp.elements.size();
+        continue;
+      }
+      // Exact comparison w / |Q| < best_weight / best_size.
+      const std::int64_t lhs = w * static_cast<std::int64_t>(best_size);
+      const std::int64_t rhs = best_weight * static_cast<std::int64_t>(grp.elements.size());
+      if (lhs < rhs || (lhs == rhs && grp.elements.size() > best_size)) {
+        best = static_cast<int>(i);
+        best_weight = w;
+        best_size = grp.elements.size();
+      }
+    }
+    assert(best != -1 && "singletons are always available");
+    for (const int e : family[static_cast<std::size_t>(best)].elements) {
+      covered[static_cast<std::size_t>(e)] = 1;
+      s.assign(e, machine);
+      --remaining;
+    }
+    ++machine;
+  }
+  return s;
+}
+
+Schedule solve_with_weight(const Instance& inst, bool shaped) {
+  assert(is_clique(inst));
+  assert(clique_setcover_family_size(inst.size(), inst.g()) <= kMaxSetCoverFamily &&
+         "instance too large for subset enumeration; use another solver");
+  if (inst.empty()) return Schedule(0);
+  const std::vector<Group> family = enumerate_groups(inst);
+  return partition_greedy(inst, family, shaped);
+}
+
+}  // namespace
+
+std::size_t clique_setcover_family_size(std::size_t n, int g) {
+  std::size_t total = 0;
+  // Σ_{k=1..g} C(n,k), saturating.
+  std::size_t binom = 1;  // C(n, 0)
+  for (int k = 1; k <= g && static_cast<std::size_t>(k) <= n; ++k) {
+    // C(n,k) = C(n,k-1) * (n-k+1) / k — exact at every step.
+    binom = binom * (n - static_cast<std::size_t>(k) + 1) / static_cast<std::size_t>(k);
+    total += binom;
+    if (total > kMaxSetCoverFamily) return kMaxSetCoverFamily + 1;
+  }
+  return total;
+}
+
+Schedule solve_clique_setcover(const Instance& inst) {
+  return solve_with_weight(inst, /*shaped=*/true);
+}
+
+Schedule solve_clique_setcover_unshaped(const Instance& inst) {
+  return solve_with_weight(inst, /*shaped=*/false);
+}
+
+}  // namespace busytime

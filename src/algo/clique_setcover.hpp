@@ -1,0 +1,40 @@
+// Set-cover based approximation for clique instances (Lemma 3.2):
+// a g·H_g/(H_g + g - 1)-approximation for any fixed g, which beats the
+// 2-approximation of [13] for g <= 6.
+//
+// Idea: a clique schedule is a cover of J by groups Q of size <= g.  Assign
+// each Q the *excess* weight  g·span(Q) − len(Q)  (the paper's
+// span(Q) − len(Q)/g scaled by g to stay integral): greedy set cover is then
+// H_g-competitive against OPT − len(J)/g, and mixing with the length bound
+// gives the stated ratio.
+//
+// Complexity: Θ(Σ_{k<=g} C(n,k)) candidate sets — exponential in g, so this
+// solver is gated by a budget on the family size (the paper calls for
+// "fixed g").
+#pragma once
+
+#include <cstddef>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace busytime {
+
+/// Hard cap on the enumerated subset-family size; callers should check
+/// clique_setcover_family_size() first for large n/g.
+inline constexpr std::size_t kMaxSetCoverFamily = 5'000'000;
+
+/// Number of candidate groups Σ_{k=1..g} C(n,k) (saturates at
+/// kMaxSetCoverFamily + 1 to avoid overflow).
+std::size_t clique_setcover_family_size(std::size_t n, int g);
+
+/// Lemma 3.2 schedule for a clique instance (asserts is_clique and the
+/// family-size budget).
+Schedule solve_clique_setcover(const Instance& inst);
+
+/// Ablation variant: greedy set cover with the *unshaped* weight span(Q)
+/// (plain H_g set cover, no parallelism-bound mixing).  Used by the T-3.2
+/// bench to measure what the weight shaping buys.
+Schedule solve_clique_setcover_unshaped(const Instance& inst);
+
+}  // namespace busytime

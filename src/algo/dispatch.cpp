@@ -1,0 +1,64 @@
+#include "algo/dispatch.hpp"
+
+#include "algo/best_cut.hpp"
+#include "algo/clique_matching.hpp"
+#include "algo/clique_setcover.hpp"
+#include "algo/first_fit.hpp"
+#include "algo/one_sided.hpp"
+#include "algo/proper_clique_dp.hpp"
+#include "core/classify.hpp"
+#include "core/components.hpp"
+
+namespace busytime {
+
+std::string to_string(MinBusyAlgo algo) {
+  switch (algo) {
+    case MinBusyAlgo::kOneSided: return "one_sided";
+    case MinBusyAlgo::kProperCliqueDp: return "proper_clique_dp";
+    case MinBusyAlgo::kCliqueMatching: return "clique_matching";
+    case MinBusyAlgo::kCliqueSetCover: return "clique_setcover";
+    case MinBusyAlgo::kBestCut: return "best_cut";
+    case MinBusyAlgo::kFirstFit: return "first_fit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+MinBusyAlgo pick(const Instance& sub) {
+  const InstanceClass cls = classify(sub);
+  if (cls.one_sided) return MinBusyAlgo::kOneSided;
+  if (cls.proper_clique()) return MinBusyAlgo::kProperCliqueDp;
+  if (cls.clique && sub.g() == 2) return MinBusyAlgo::kCliqueMatching;
+  if (cls.clique &&
+      clique_setcover_family_size(sub.size(), sub.g()) <= kMaxSetCoverFamily)
+    return MinBusyAlgo::kCliqueSetCover;
+  if (cls.proper) return MinBusyAlgo::kBestCut;
+  return MinBusyAlgo::kFirstFit;
+}
+
+Schedule run(MinBusyAlgo algo, const Instance& sub) {
+  switch (algo) {
+    case MinBusyAlgo::kOneSided: return solve_one_sided(sub);
+    case MinBusyAlgo::kProperCliqueDp: return solve_proper_clique_dp(sub);
+    case MinBusyAlgo::kCliqueMatching: return solve_clique_g2_matching(sub);
+    case MinBusyAlgo::kCliqueSetCover: return solve_clique_setcover(sub);
+    case MinBusyAlgo::kBestCut: return solve_best_cut(sub);
+    case MinBusyAlgo::kFirstFit: return solve_first_fit(sub);
+  }
+  return solve_first_fit(sub);
+}
+
+}  // namespace
+
+DispatchResult solve_minbusy_auto(const Instance& inst) {
+  DispatchResult result;
+  result.schedule = solve_per_component(inst, [&](const Instance& sub) {
+    const MinBusyAlgo algo = pick(sub);
+    result.algos.push_back(algo);
+    return run(algo, sub);
+  });
+  return result;
+}
+
+}  // namespace busytime

@@ -1,0 +1,40 @@
+// Algorithm dispatcher: routes an instance to the strongest applicable
+// MinBusy algorithm from the paper, per connected component.
+//
+//   one-sided clique        -> Observation 3.1 greedy        (optimal)
+//   proper clique           -> FindBestConsecutive DP        (optimal)
+//   clique, g = 2           -> maximum-weight matching       (optimal)
+//   clique, small n         -> Lemma 3.2 set cover           (gH_g/(H_g+g-1))
+//   proper                  -> BestCut                       (2 - 1/g)
+//   otherwise               -> FirstFit                      (4, from [13])
+#pragma once
+
+#include <string>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace busytime {
+
+/// Which algorithm the dispatcher picked (for reporting).
+enum class MinBusyAlgo {
+  kOneSided,
+  kProperCliqueDp,
+  kCliqueMatching,
+  kCliqueSetCover,
+  kBestCut,
+  kFirstFit,
+};
+
+std::string to_string(MinBusyAlgo algo);
+
+struct DispatchResult {
+  Schedule schedule;
+  /// Algorithm used per component, in component order.
+  std::vector<MinBusyAlgo> algos;
+};
+
+/// Solves MinBusy with the best applicable algorithm per component.
+DispatchResult solve_minbusy_auto(const Instance& inst);
+
+}  // namespace busytime

@@ -1,0 +1,194 @@
+#include "algo/exact_minbusy.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "core/classify.hpp"
+#include "core/components.hpp"
+#include "core/validate.hpp"
+#include "intervalgraph/sweepline.hpp"
+
+namespace busytime {
+
+namespace {
+
+constexpr Time kInf = std::numeric_limits<Time>::max() / 4;
+
+// ---------------------------------------------------------------- clique DP
+
+Schedule clique_dp_impl(const Instance& inst) {
+  const int n = static_cast<int>(inst.size());
+  const std::size_t full = std::size_t{1} << n;
+  const int g = inst.g();
+
+  // span(mask) = max completion - min start (contiguous on a clique).
+  std::vector<Time> min_start(full, kInf), max_completion(full, 0);
+  min_start[0] = kInf;
+  for (std::size_t mask = 1; mask < full; ++mask) {
+    const int v = std::countr_zero(mask);
+    const std::size_t rest = mask & (mask - 1);
+    min_start[mask] = std::min(rest ? min_start[rest] : kInf, inst.job(v).start());
+    max_completion[mask] =
+        std::max(rest ? max_completion[rest] : Time{0}, inst.job(v).completion());
+  }
+
+  // dp[mask] = optimal cost of scheduling exactly the jobs in mask;
+  // group_of[mask] = the group containing the lowest set bit in an optimal
+  // partition of mask.
+  std::vector<Time> dp(full, kInf);
+  std::vector<std::size_t> group_of(full, 0);
+  dp[0] = 0;
+  for (std::size_t mask = 1; mask < full; ++mask) {
+    const std::size_t low = mask & (~mask + 1);  // lowest set bit
+    const std::size_t rest = mask ^ low;
+    // Enumerate groups = {low} ∪ (submask of rest), |group| <= g.
+    for (std::size_t sub = rest;; sub = (sub - 1) & rest) {
+      const std::size_t group = sub | low;
+      if (std::popcount(group) <= g) {
+        const Time span = max_completion[group] - min_start[group];
+        const Time cand = dp[mask ^ group] + span;
+        if (cand < dp[mask]) {
+          dp[mask] = cand;
+          group_of[mask] = group;
+        }
+      }
+      if (sub == 0) break;
+    }
+  }
+
+  Schedule s(inst.size());
+  std::size_t mask = full - 1;
+  MachineId machine = 0;
+  while (mask) {
+    const std::size_t group = group_of[mask];
+    for (std::size_t rem = group; rem; rem &= rem - 1)
+      s.assign(std::countr_zero(rem), machine);
+    ++machine;
+    mask ^= group;
+  }
+  return s;
+}
+
+// ------------------------------------------------------------ branch & bound
+
+class BranchBound {
+ public:
+  explicit BranchBound(const Instance& inst)
+      : inst_(inst), order_(inst.ids_by_start()), n_(static_cast<int>(inst.size())) {}
+
+  Schedule solve() {
+    // Start from a quick feasible solution (one job per machine) to prime
+    // the incumbent bound.
+    best_cost_ = inst_.total_length();
+    best_assignment_.assign(static_cast<std::size_t>(n_), 0);
+    for (int k = 0; k < n_; ++k)
+      best_assignment_[static_cast<std::size_t>(order_[static_cast<std::size_t>(k)])] =
+          static_cast<MachineId>(k);
+
+    assignment_.assign(static_cast<std::size_t>(n_), Schedule::kUnscheduled);
+    machines_.clear();
+    recurse(0, 0);
+
+    return Schedule(best_assignment_);
+  }
+
+ private:
+  struct Machine {
+    std::vector<Interval> jobs;
+    Time busy = 0;  // current union length
+  };
+
+  // Exact busy time of a machine's job set (recomputed; sets are tiny).
+  static Time busy_of(const std::vector<Interval>& ivs) {
+    return union_length(ivs);
+  }
+
+  bool fits(const Machine& m, const Interval& iv) const {
+    std::vector<Interval> clipped;
+    for (const auto& other : m.jobs) {
+      const Time lo = std::max(other.start, iv.start);
+      const Time hi = std::min(other.completion, iv.completion);
+      if (lo < hi) clipped.push_back({lo, hi});
+    }
+    if (clipped.size() < static_cast<std::size_t>(inst_.g())) return true;
+    return peak_overlap(clipped).count + 1 <= inst_.g();
+  }
+
+  void recurse(int k, Time cost_so_far) {
+    if (cost_so_far >= best_cost_) return;  // cost is monotone in assignments
+    if (k == n_) {
+      best_cost_ = cost_so_far;
+      best_assignment_ = assignment_;
+      return;
+    }
+    const JobId job = order_[static_cast<std::size_t>(k)];
+    const Interval iv = inst_.job(job).interval;
+
+    // Try existing machines.
+    for (std::size_t m = 0; m < machines_.size(); ++m) {
+      if (!fits(machines_[m], iv)) continue;
+      machines_[m].jobs.push_back(iv);
+      const Time old_busy = machines_[m].busy;
+      machines_[m].busy = busy_of(machines_[m].jobs);
+      assignment_[static_cast<std::size_t>(job)] = static_cast<MachineId>(m);
+      recurse(k + 1, cost_so_far - old_busy + machines_[m].busy);
+      assignment_[static_cast<std::size_t>(job)] = Schedule::kUnscheduled;
+      machines_[m].jobs.pop_back();
+      machines_[m].busy = old_busy;
+    }
+
+    // Open one fresh machine (machines are interchangeable; a single new
+    // index breaks the symmetry).
+    machines_.push_back({{iv}, iv.length()});
+    assignment_[static_cast<std::size_t>(job)] = static_cast<MachineId>(machines_.size() - 1);
+    recurse(k + 1, cost_so_far + iv.length());
+    assignment_[static_cast<std::size_t>(job)] = Schedule::kUnscheduled;
+    machines_.pop_back();
+  }
+
+  const Instance& inst_;
+  std::vector<JobId> order_;
+  int n_;
+  std::vector<Machine> machines_;
+  std::vector<MachineId> assignment_;
+  Time best_cost_ = kInf;
+  std::vector<MachineId> best_assignment_;
+};
+
+}  // namespace
+
+Schedule exact_minbusy_clique_dp(const Instance& inst) {
+  assert(is_clique(inst));
+  assert(inst.size() <= kExactCliqueDpMaxJobs);
+  if (inst.empty()) return Schedule(0);
+  return clique_dp_impl(inst);
+}
+
+Schedule exact_minbusy_branch_bound(const Instance& inst) {
+  assert(inst.size() <= kExactBranchBoundMaxJobs);
+  if (inst.empty()) return Schedule(0);
+  // Per-component solving both shrinks the search and is exact (machines
+  // never profitably mix components).
+  return solve_per_component(
+      inst, [](const Instance& sub) { return BranchBound(sub).solve(); });
+}
+
+std::optional<Schedule> exact_minbusy(const Instance& inst) {
+  if (is_clique(inst) && inst.size() <= kExactCliqueDpMaxJobs)
+    return exact_minbusy_clique_dp(inst);
+  if (inst.size() <= kExactBranchBoundMaxJobs)
+    return exact_minbusy_branch_bound(inst);
+  // Large non-clique instances: give up (callers fall back to lower bounds).
+  return std::nullopt;
+}
+
+std::optional<Time> exact_minbusy_cost(const Instance& inst) {
+  const auto s = exact_minbusy(inst);
+  if (!s) return std::nullopt;
+  return s->cost(inst);
+}
+
+}  // namespace busytime

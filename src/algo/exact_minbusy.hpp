@@ -1,0 +1,42 @@
+// Exact MinBusy reference solvers (exponential time, small instances only).
+//
+// The paper proves approximation ratios analytically; to *measure* ratios we
+// need true optima.  Two engines:
+//
+//  * clique instances — O(3^n) partition DP over job subsets (any group of
+//    size <= g is feasible on a clique, and its span is contiguous);
+//  * general instances — branch and bound assigning jobs in start order to
+//    existing machines or one fresh machine, pruning on partial cost and
+//    machine symmetry.
+//
+// Both are exact; the dispatcher picks the DP when it applies.
+#pragma once
+
+#include <optional>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace busytime {
+
+/// Size caps above which the exact solvers refuse (see exact_minbusy).
+inline constexpr std::size_t kExactCliqueDpMaxJobs = 20;
+inline constexpr std::size_t kExactBranchBoundMaxJobs = 16;
+
+/// Exact optimum for a clique instance via subset-partition DP.
+/// Preconditions: is_clique(inst), n <= kExactCliqueDpMaxJobs.
+Schedule exact_minbusy_clique_dp(const Instance& inst);
+
+/// Exact optimum for any instance via branch and bound.
+/// Precondition: n <= kExactBranchBoundMaxJobs (practical limit; worst-case
+/// cost grows like the Bell numbers, pruning keeps small n fast).
+Schedule exact_minbusy_branch_bound(const Instance& inst);
+
+/// Dispatches to the applicable engine; returns nullopt if the instance is
+/// too large for exact solving.
+std::optional<Schedule> exact_minbusy(const Instance& inst);
+
+/// Convenience: exact optimal cost, nullopt if too large.
+std::optional<Time> exact_minbusy_cost(const Instance& inst);
+
+}  // namespace busytime

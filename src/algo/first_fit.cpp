@@ -1,0 +1,60 @@
+#include "algo/first_fit.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "intervalgraph/sweepline.hpp"
+
+namespace busytime {
+
+namespace {
+
+/// A machine's load: the intervals assigned so far.  Feasibility of adding
+/// `candidate` = peak overlap of (assigned ∩ candidate's window) + 1 <= g.
+class MachineLoad {
+ public:
+  bool fits(const Interval& candidate, int g) const {
+    // Count how many assigned intervals overlap each point of the candidate
+    // window; cheap exact check via local sweep over clipped intervals.
+    std::vector<Interval> clipped;
+    clipped.reserve(assigned_.size());
+    for (const auto& iv : assigned_) {
+      const Time lo = std::max(iv.start, candidate.start);
+      const Time hi = std::min(iv.completion, candidate.completion);
+      if (lo < hi) clipped.push_back({lo, hi});
+    }
+    if (clipped.size() < static_cast<std::size_t>(g)) return true;
+    return peak_overlap(clipped).count + 1 <= g;
+  }
+
+  void add(const Interval& iv) { assigned_.push_back(iv); }
+
+ private:
+  std::vector<Interval> assigned_;
+};
+
+}  // namespace
+
+Schedule solve_first_fit(const Instance& inst) {
+  Schedule s(inst.size());
+  std::vector<MachineLoad> machines;
+  for (const JobId j : inst.ids_by_length_desc()) {
+    const Interval& iv = inst.job(j).interval;
+    MachineId target = -1;
+    for (std::size_t m = 0; m < machines.size(); ++m) {
+      if (machines[m].fits(iv, inst.g())) {
+        target = static_cast<MachineId>(m);
+        break;
+      }
+    }
+    if (target == -1) {
+      target = static_cast<MachineId>(machines.size());
+      machines.emplace_back();
+    }
+    machines[static_cast<std::size_t>(target)].add(iv);
+    s.assign(j, target);
+  }
+  return s;
+}
+
+}  // namespace busytime

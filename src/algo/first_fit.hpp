@@ -1,0 +1,18 @@
+// FirstFit for 1-D instances — the prior-work baseline of Flammini et al.
+// [13], a 4-approximation for general inputs.
+//
+// Jobs are considered in non-increasing length order; each goes to the
+// first machine that can take it.  In one dimension "machine can take it"
+// reduces to "peak concurrency stays <= g" because interval graphs are
+// perfect (χ = ω), so no explicit thread bookkeeping is needed.
+#pragma once
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace busytime {
+
+/// FirstFit schedule (full, valid).  O(n^2 log n) worst case.
+Schedule solve_first_fit(const Instance& inst);
+
+}  // namespace busytime

@@ -1,0 +1,183 @@
+#include "algo/local_search.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "intervalgraph/sweepline.hpp"
+
+namespace busytime {
+
+namespace {
+
+/// Mutable per-machine job sets with cached busy time.
+class Machines {
+ public:
+  Machines(const Instance& inst, const Schedule& s) : inst_(inst) {
+    sets_.resize(static_cast<std::size_t>(std::max(s.machine_count(), 1)));
+    for (std::size_t j = 0; j < inst.size(); ++j) {
+      const MachineId m = s.machine_of(static_cast<JobId>(j));
+      if (m != Schedule::kUnscheduled)
+        sets_[static_cast<std::size_t>(m)].push_back(static_cast<JobId>(j));
+    }
+    busy_.resize(sets_.size());
+    for (std::size_t m = 0; m < sets_.size(); ++m) busy_[m] = busy_of(sets_[m]);
+  }
+
+  std::size_t count() const noexcept { return sets_.size(); }
+
+  Time busy(std::size_t m) const { return busy_[m]; }
+
+  Time total_cost() const noexcept {
+    Time total = 0;
+    for (const Time b : busy_) total += b;
+    return total;
+  }
+
+  /// Busy time of machine m if job j were added (no mutation).
+  Time busy_with(std::size_t m, JobId j) const {
+    auto jobs = sets_[m];
+    jobs.push_back(j);
+    return busy_of(jobs);
+  }
+
+  /// Busy time of machine m if job j were removed (no mutation).
+  Time busy_without(std::size_t m, JobId j) const {
+    auto jobs = sets_[m];
+    jobs.erase(std::find(jobs.begin(), jobs.end(), j));
+    return busy_of(jobs);
+  }
+
+  /// Validity of machine m with job j added.
+  bool fits(std::size_t m, JobId j) const {
+    std::vector<Interval> ivs;
+    ivs.reserve(sets_[m].size() + 1);
+    for (const JobId other : sets_[m]) ivs.push_back(inst_.job(other).interval);
+    ivs.push_back(inst_.job(j).interval);
+    return peak_overlap(ivs).count <= inst_.g();
+  }
+
+  /// Validity of machine m with job `out` replaced by job `in`.
+  bool fits_replacing(std::size_t m, JobId out, JobId in) const {
+    std::vector<Interval> ivs;
+    ivs.reserve(sets_[m].size());
+    for (const JobId other : sets_[m])
+      ivs.push_back(inst_.job(other == out ? in : other).interval);
+    return peak_overlap(ivs).count <= inst_.g();
+  }
+
+  void move(JobId j, std::size_t from, std::size_t to) {
+    auto& src = sets_[from];
+    src.erase(std::find(src.begin(), src.end(), j));
+    sets_[to].push_back(j);
+    busy_[from] = busy_of(sets_[from]);
+    busy_[to] = busy_of(sets_[to]);
+  }
+
+  void swap_jobs(JobId a, std::size_t ma, JobId b, std::size_t mb) {
+    auto& sa = sets_[ma];
+    auto& sb = sets_[mb];
+    *std::find(sa.begin(), sa.end(), a) = b;
+    *std::find(sb.begin(), sb.end(), b) = a;
+    busy_[ma] = busy_of(sa);
+    busy_[mb] = busy_of(sb);
+  }
+
+  std::size_t add_machine() {
+    sets_.emplace_back();
+    busy_.push_back(0);
+    return sets_.size() - 1;
+  }
+
+  void write_to(Schedule& s) const {
+    for (std::size_t m = 0; m < sets_.size(); ++m)
+      for (const JobId j : sets_[m]) s.assign(j, static_cast<MachineId>(m));
+  }
+
+ private:
+  Time busy_of(const std::vector<JobId>& jobs) const {
+    std::vector<Interval> ivs;
+    ivs.reserve(jobs.size());
+    for (const JobId j : jobs) ivs.push_back(inst_.job(j).interval);
+    return union_length(std::move(ivs));
+  }
+
+  const Instance& inst_;
+  std::vector<std::vector<JobId>> sets_;
+  std::vector<Time> busy_;
+};
+
+}  // namespace
+
+LocalSearchStats improve_schedule(const Instance& inst, Schedule& schedule,
+                                  int max_rounds) {
+  LocalSearchStats stats;
+  stats.initial_cost = schedule.cost(inst);
+
+  Machines machines(inst, schedule);
+  std::vector<std::size_t> machine_of(inst.size(), SIZE_MAX);
+  for (std::size_t j = 0; j < inst.size(); ++j)
+    if (schedule.is_scheduled(static_cast<JobId>(j)))
+      machine_of[j] = static_cast<std::size_t>(schedule.machine_of(static_cast<JobId>(j)));
+
+  bool improved = true;
+  while (improved && stats.rounds < max_rounds) {
+    improved = false;
+    ++stats.rounds;
+
+    // Relocations.
+    for (std::size_t j = 0; j < inst.size(); ++j) {
+      if (machine_of[j] == SIZE_MAX) continue;
+      const std::size_t from = machine_of[j];
+      const Time gain_out =
+          machines.busy(from) - machines.busy_without(from, static_cast<JobId>(j));
+      if (gain_out <= 0) continue;  // removing j saves nothing anywhere
+      for (std::size_t to = 0; to < machines.count(); ++to) {
+        if (to == from) continue;
+        if (!machines.fits(to, static_cast<JobId>(j))) continue;
+        const Time cost_in =
+            machines.busy_with(to, static_cast<JobId>(j)) - machines.busy(to);
+        if (cost_in < gain_out) {
+          machines.move(static_cast<JobId>(j), from, to);
+          machine_of[j] = to;
+          ++stats.relocations;
+          improved = true;
+          break;
+        }
+      }
+    }
+
+    // Swaps.
+    for (std::size_t a = 0; a < inst.size(); ++a) {
+      if (machine_of[a] == SIZE_MAX) continue;
+      for (std::size_t b = a + 1; b < inst.size(); ++b) {
+        if (machine_of[b] == SIZE_MAX) continue;
+        const std::size_t ma = machine_of[a];
+        const std::size_t mb = machine_of[b];
+        if (ma == mb) continue;
+        if (!machines.fits_replacing(ma, static_cast<JobId>(a), static_cast<JobId>(b)))
+          continue;
+        if (!machines.fits_replacing(mb, static_cast<JobId>(b), static_cast<JobId>(a)))
+          continue;
+        const Time before = machines.busy(ma) + machines.busy(mb);
+        machines.swap_jobs(static_cast<JobId>(a), ma, static_cast<JobId>(b), mb);
+        const Time after = machines.busy(ma) + machines.busy(mb);
+        if (after < before) {
+          std::swap(machine_of[a], machine_of[b]);
+          ++stats.swaps;
+          improved = true;
+        } else {
+          machines.swap_jobs(static_cast<JobId>(b), ma, static_cast<JobId>(a), mb);
+        }
+      }
+    }
+  }
+
+  machines.write_to(schedule);
+  schedule.compact();
+  stats.final_cost = schedule.cost(inst);
+  assert(stats.final_cost <= stats.initial_cost);
+  return stats;
+}
+
+}  // namespace busytime

@@ -1,0 +1,34 @@
+// Local-search post-optimization for MinBusy schedules.
+//
+// Not part of the paper's algorithm suite — an engineering ablation: given
+// any valid schedule, hill-climb with two move types until a local optimum:
+//
+//   relocate(j, m)  move job j to machine m (existing or fresh);
+//   swap(j, k)      exchange the machines of jobs j and k.
+//
+// Every accepted move strictly decreases the total busy time, so the search
+// terminates; each round is O(n * machines) cost evaluations on incremental
+// machine sets.  The T-3.3/T-3.2 benches use it to show how much slack the
+// approximation algorithms leave on typical (non-adversarial) inputs.
+#pragma once
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace busytime {
+
+struct LocalSearchStats {
+  int relocations = 0;
+  int swaps = 0;
+  int rounds = 0;
+  Time initial_cost = 0;
+  Time final_cost = 0;
+};
+
+/// Improves `schedule` in place until no single relocate/swap helps, or
+/// `max_rounds` full passes elapse.  The input must be valid; validity is
+/// preserved.  Unscheduled jobs stay unscheduled.
+LocalSearchStats improve_schedule(const Instance& inst, Schedule& schedule,
+                                  int max_rounds = 50);
+
+}  // namespace busytime

@@ -1,0 +1,28 @@
+#include "algo/one_sided.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/classify.hpp"
+
+namespace busytime {
+
+Schedule solve_one_sided(const Instance& inst) {
+  assert(is_one_sided(inst));
+  const auto ids = inst.ids_by_length_desc();
+  Schedule s(inst.size());
+  for (std::size_t k = 0; k < ids.size(); ++k)
+    s.assign(ids[k], static_cast<MachineId>(k / static_cast<std::size_t>(inst.g())));
+  return s;
+}
+
+Time one_sided_cost(std::vector<Time> lengths, int g) {
+  assert(g >= 1);
+  std::sort(lengths.begin(), lengths.end(), std::greater<>());
+  Time cost = 0;
+  for (std::size_t k = 0; k < lengths.size(); k += static_cast<std::size_t>(g))
+    cost += lengths[k];
+  return cost;
+}
+
+}  // namespace busytime

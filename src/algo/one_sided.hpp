@@ -1,0 +1,25 @@
+// Optimal algorithm for one-sided clique instances of MinBusy
+// (Observation 3.1).
+//
+// When all jobs share a start time (or all share a completion time), sorting
+// by non-increasing length and grouping g at a time is optimal: each group's
+// span is the length of its longest (first) job, and any schedule must pay
+// at least the k-th longest job's length for its k-th machine.
+#pragma once
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace busytime {
+
+/// Optimal MinBusy schedule for a one-sided clique instance.
+/// Precondition: is_one_sided(inst) (checked by assert).
+Schedule solve_one_sided(const Instance& inst);
+
+/// The optimal one-sided cost without materializing the schedule:
+/// sum of lengths at ranks 0, g, 2g, ... in the non-increasing length order.
+/// Works on any instance's *lengths* (used by the reduced-cost machinery of
+/// Section 4.1, where heads of clique jobs form a one-sided instance).
+Time one_sided_cost(std::vector<Time> lengths, int g);
+
+}  // namespace busytime

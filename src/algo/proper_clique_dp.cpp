@@ -1,0 +1,99 @@
+#include "algo/proper_clique_dp.hpp"
+
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "core/classify.hpp"
+
+namespace busytime {
+
+namespace {
+
+constexpr Time kInf = std::numeric_limits<Time>::max() / 4;
+
+struct DpTables {
+  // cost[i][j]: optimal cost of the first i jobs where the last machine has
+  // exactly j jobs (1-based i in [1, n], j in [1, min(i, g)]).
+  std::vector<std::vector<Time>> cost;
+  // best[i]: min_j cost[i][j]; best_j[i]: the arg min (for reconstruction).
+  std::vector<Time> best;
+  std::vector<int> best_j;
+};
+
+DpTables run_dp(const Instance& inst, const std::vector<JobId>& order) {
+  const int n = static_cast<int>(order.size());
+  const int g = inst.g();
+
+  // Consecutive overlaps |I_k| = overlap(J_k, J_{k+1}) in proper order
+  // (0-based: overlap[k] between order[k] and order[k+1]).
+  std::vector<Time> overlap(static_cast<std::size_t>(std::max(0, n - 1)));
+  for (int k = 0; k + 1 < n; ++k)
+    overlap[static_cast<std::size_t>(k)] =
+        inst.job(order[static_cast<std::size_t>(k)])
+            .interval.overlap_length(inst.job(order[static_cast<std::size_t>(k + 1)]).interval);
+
+  DpTables t;
+  t.cost.assign(static_cast<std::size_t>(n) + 1,
+                std::vector<Time>(static_cast<std::size_t>(g) + 1, kInf));
+  t.best.assign(static_cast<std::size_t>(n) + 1, kInf);
+  t.best_j.assign(static_cast<std::size_t>(n) + 1, 0);
+  t.best[0] = 0;
+
+  for (int i = 1; i <= n; ++i) {
+    const Time len_i = inst.job(order[static_cast<std::size_t>(i - 1)]).length();
+    // j = 1: job i opens a new machine.
+    t.cost[static_cast<std::size_t>(i)][1] = len_i + t.best[static_cast<std::size_t>(i - 1)];
+    // j >= 2: job i joins the machine holding jobs i-j+1 .. i-1; the added
+    // busy time is len_i minus the overlap with its consecutive predecessor
+    // (proper instances: group span telescopes over consecutive overlaps).
+    for (int j = 2; j <= std::min(i, g); ++j) {
+      const Time prev = t.cost[static_cast<std::size_t>(i - 1)][static_cast<std::size_t>(j - 1)];
+      if (prev >= kInf) continue;
+      t.cost[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          prev + len_i - overlap[static_cast<std::size_t>(i - 2)];
+    }
+    for (int j = 1; j <= std::min(i, g); ++j) {
+      const Time c = t.cost[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      if (c < t.best[static_cast<std::size_t>(i)]) {
+        t.best[static_cast<std::size_t>(i)] = c;
+        t.best_j[static_cast<std::size_t>(i)] = j;
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+Time proper_clique_optimal_cost(const Instance& inst) {
+  assert(is_proper(inst) && is_clique(inst));
+  if (inst.empty()) return 0;
+  const auto order = inst.ids_by_start();
+  return run_dp(inst, order).best[inst.size()];
+}
+
+Schedule solve_proper_clique_dp(const Instance& inst) {
+  assert(is_proper(inst) && is_clique(inst));
+  Schedule s(inst.size());
+  if (inst.empty()) return s;
+  const auto order = inst.ids_by_start();
+  const DpTables t = run_dp(inst, order);
+
+  // Reconstruct machine blocks right-to-left: at position i the last machine
+  // holds exactly best_j[i] jobs.
+  int i = static_cast<int>(inst.size());
+  MachineId machine = 0;
+  while (i > 0) {
+    const int j = t.best_j[static_cast<std::size_t>(i)];
+    assert(j >= 1);
+    for (int k = i - j; k < i; ++k)
+      s.assign(order[static_cast<std::size_t>(k)], machine);
+    ++machine;
+    i -= j;
+  }
+  s.compact();
+  return s;
+}
+
+}  // namespace busytime

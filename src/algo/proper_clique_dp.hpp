@@ -1,0 +1,27 @@
+// FindBestConsecutive (Algorithm 2) — exact polynomial MinBusy for proper
+// clique instances (Theorem 3.2).
+//
+// Lemma 3.3 proves some optimal schedule groups *consecutive* jobs (in the
+// proper order) on each machine; the O(n·g) dynamic program below optimizes
+// over consecutive groupings:
+//
+//   cost*(i, 1) = |J_i| + cost*(i-1)
+//   cost*(i, j) = cost*(i-1, j-1) + |J_i| - |I_{i-1}|          (2 <= j <= g)
+//   cost*(i)    = min_j cost*(i, j)
+//
+// where |I_k| is the overlap of consecutive jobs J_k, J_{k+1}.
+#pragma once
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace busytime {
+
+/// Optimal MinBusy schedule for a proper clique instance
+/// (asserts is_proper and is_clique).  O(n·g) time and memory.
+Schedule solve_proper_clique_dp(const Instance& inst);
+
+/// Cost-only variant (no schedule reconstruction), same recurrence.
+Time proper_clique_optimal_cost(const Instance& inst);
+
+}  // namespace busytime

@@ -1,0 +1,66 @@
+// Umbrella header for the busytime library.
+//
+// Reproduction of "Optimizing Busy Time on Parallel Machines"
+// (Mertzios, Shalom, Voloshin, Wong, Zaks — IPDPS 2012 / TCS 2015).
+//
+// Modules (each header is independently includable):
+//   core/           problem model, schedules, validity, bounds, classification
+//   intervalgraph/  sweepline + interval-graph substrate
+//   matching/       maximum-weight general matching (blossom) + oracles
+//   setcover/       weighted greedy set cover
+//   algo/           MinBusy algorithms (Section 3) + exact reference solvers
+//   throughput/     MaxThroughput algorithms (Section 4) + reduction
+//   rect/           2-D rectangular jobs (Section 3.4)
+//   workload/       seeded synthetic instance generators
+//   sim/            event-driven machine/energy simulator + app mappings
+//   extensions/     Section 5 extensions (weighted, demands, ring, tree)
+#pragma once
+
+#include "algo/best_cut.hpp"
+#include "algo/clique_matching.hpp"
+#include "algo/clique_setcover.hpp"
+#include "algo/dispatch.hpp"
+#include "algo/exact_minbusy.hpp"
+#include "algo/first_fit.hpp"
+#include "algo/one_sided.hpp"
+#include "algo/proper_clique_dp.hpp"
+#include "core/bounds.hpp"
+#include "core/classify.hpp"
+#include "core/components.hpp"
+#include "core/instance.hpp"
+#include "core/job.hpp"
+#include "core/schedule.hpp"
+#include "core/time_types.hpp"
+#include "core/validate.hpp"
+#include "algo/local_search.hpp"
+#include "extensions/capacity_demands.hpp"
+#include "extensions/flexible_jobs.hpp"
+#include "extensions/ring.hpp"
+#include "extensions/tree_one_sided.hpp"
+#include "extensions/weighted_tput.hpp"
+#include "intervalgraph/interval_graph.hpp"
+#include "intervalgraph/sweepline.hpp"
+#include "io/serialize.hpp"
+#include "matching/blossom.hpp"
+#include "matching/dp_matching.hpp"
+#include "matching/greedy_matching.hpp"
+#include "rect/bucket_first_fit.hpp"
+#include "rect/lower_bound_instance.hpp"
+#include "rect/rect_first_fit.hpp"
+#include "rect/rect_instance.hpp"
+#include "rect/rect_schedule.hpp"
+#include "rect/rect_types.hpp"
+#include "rect/union_area.hpp"
+#include "setcover/greedy_setcover.hpp"
+#include "sim/billing.hpp"
+#include "sim/machine_sim.hpp"
+#include "sim/regenerator.hpp"
+#include "throughput/clique_tput.hpp"
+#include "throughput/exact_tput.hpp"
+#include "throughput/one_sided_tput.hpp"
+#include "throughput/proper_clique_tput_dp.hpp"
+#include "throughput/reduction.hpp"
+#include "viz/gantt.hpp"
+#include "workload/generators.hpp"
+#include "workload/rect_generators.hpp"
+#include "workload/trace.hpp"

@@ -1,0 +1,23 @@
+#include "core/bounds.hpp"
+
+#include <cassert>
+
+namespace busytime {
+
+CostBounds compute_bounds(const Instance& inst) {
+  CostBounds b;
+  b.length = inst.total_length();
+  b.span = inst.span();
+  b.parallelism_num = b.length;
+  b.g = inst.g();
+  return b;
+}
+
+double ratio_to_lower_bound(const Instance& inst, Time cost) {
+  const CostBounds b = compute_bounds(inst);
+  assert(b.lower_bound_times_g() > 0);
+  return static_cast<double>(cost) * static_cast<double>(b.g) /
+         static_cast<double>(b.lower_bound_times_g());
+}
+
+}  // namespace busytime

@@ -1,0 +1,69 @@
+#include "core/classify.hpp"
+
+#include <algorithm>
+
+namespace busytime {
+
+std::optional<Time> clique_time(const Instance& inst) {
+  if (inst.empty()) return std::nullopt;
+  Time max_start = inst.jobs().front().start();
+  Time min_completion = inst.jobs().front().completion();
+  for (const auto& j : inst.jobs()) {
+    max_start = std::max(max_start, j.start());
+    min_completion = std::min(min_completion, j.completion());
+  }
+  // Half-open intervals: the intersection [max_start, min_completion) is a
+  // set of common times iff it is non-empty.  (The paper requires the
+  // pairwise intersections to have positive length for jobs to "overlap";
+  // a clique set shares a full sub-interval, so strict < is the right test.)
+  if (max_start < min_completion) return max_start;
+  return std::nullopt;
+}
+
+bool is_clique(const Instance& inst) { return clique_time(inst).has_value(); }
+
+bool is_proper(const Instance& inst) {
+  // Sort by (start asc, completion desc); a properly contained job appears
+  // after its container, with completion <= container's.  Track the running
+  // max completion among jobs with strictly smaller start, plus exact-prefix
+  // duplicates separately.
+  const auto ids = inst.ids_by_start();
+  // proper <=> sorting by start also sorts by completion (non-decreasing),
+  // with the caveat that equal intervals are allowed (they don't *properly*
+  // contain each other) and equal starts with different completions are a
+  // violation (the longer properly contains the shorter).
+  for (std::size_t k = 1; k < ids.size(); ++k) {
+    const auto& prev = inst.job(ids[k - 1]).interval;
+    const auto& cur = inst.job(ids[k]).interval;
+    if (prev.start == cur.start) {
+      if (prev.completion != cur.completion) return false;
+    } else if (cur.completion <= prev.completion) {
+      // prev starts strictly earlier and ends no earlier: proper containment.
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_one_sided(const Instance& inst) {
+  if (inst.size() <= 1) return true;
+  bool same_start = true;
+  bool same_completion = true;
+  const Time s0 = inst.jobs().front().start();
+  const Time c0 = inst.jobs().front().completion();
+  for (const auto& j : inst.jobs()) {
+    same_start &= (j.start() == s0);
+    same_completion &= (j.completion() == c0);
+  }
+  return same_start || same_completion;
+}
+
+InstanceClass classify(const Instance& inst) {
+  InstanceClass c;
+  c.clique = is_clique(inst);
+  c.proper = is_proper(inst);
+  c.one_sided = c.clique && is_one_sided(inst);
+  return c;
+}
+
+}  // namespace busytime

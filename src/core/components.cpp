@@ -1,0 +1,31 @@
+#include "core/components.hpp"
+
+#include <algorithm>
+
+namespace busytime {
+
+std::vector<std::vector<JobId>> connected_components(const Instance& inst) {
+  std::vector<std::vector<JobId>> components;
+  const auto ids = inst.ids_by_start();
+  if (ids.empty()) return components;
+
+  // Sweep in start order: a job overlapping the running frontier
+  // (max completion so far) joins the current component.  Strict inequality:
+  // a job starting exactly at the frontier only touches it and starts a new
+  // component.
+  Time frontier = inst.job(ids.front()).completion();
+  components.push_back({ids.front()});
+  for (std::size_t k = 1; k < ids.size(); ++k) {
+    const auto& iv = inst.job(ids[k]).interval;
+    if (iv.start < frontier) {
+      components.back().push_back(ids[k]);
+      frontier = std::max(frontier, iv.completion);
+    } else {
+      components.push_back({ids[k]});
+      frontier = iv.completion;
+    }
+  }
+  return components;
+}
+
+}  // namespace busytime

@@ -1,0 +1,44 @@
+// Connected components of the interval graph.
+//
+// MinBusy decomposes over connected components (Section 2): machines never
+// profitably mix jobs from different components, so solvers run per
+// component and the costs add.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace busytime {
+
+/// Job ids of each connected component of the interval graph, in sweep
+/// order.  Two jobs are adjacent iff their intervals overlap (positive
+/// intersection length); touching endpoints do NOT connect.  O(n log n).
+std::vector<std::vector<JobId>> connected_components(const Instance& inst);
+
+/// Runs `solve` on each connected component as an independent sub-instance
+/// and stitches the per-component schedules into one schedule over the
+/// original job ids (machine ids are made disjoint across components).
+///
+/// `solve` must return a schedule for the sub-instance it is given.
+template <typename Solver>
+Schedule solve_per_component(const Instance& inst, Solver&& solve) {
+  Schedule out(inst.size());
+  MachineId base = 0;
+  for (const auto& comp : connected_components(inst)) {
+    const Instance sub = inst.restricted_to(comp);
+    const Schedule part = solve(sub);
+    MachineId max_used = -1;
+    for (std::size_t j = 0; j < comp.size(); ++j) {
+      const MachineId m = part.machine_of(static_cast<JobId>(j));
+      if (m == Schedule::kUnscheduled) continue;
+      out.assign(comp[j], base + m);
+      max_used = std::max(max_used, m);
+    }
+    base += max_used + 1;
+  }
+  return out;
+}
+
+}  // namespace busytime

@@ -1,0 +1,71 @@
+#include "core/instance.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <sstream>
+
+namespace busytime {
+
+Instance::Instance(std::vector<Job> jobs, int g) : jobs_(std::move(jobs)), g_(g) {
+  assert(g_ >= 1);
+#ifndef NDEBUG
+  for (const auto& j : jobs_) assert(j.length() > 0 && "jobs must have positive length");
+#endif
+}
+
+Time Instance::total_length() const noexcept {
+  Time sum = 0;
+  for (const auto& j : jobs_) sum += j.length();
+  return sum;
+}
+
+Time Instance::span() const { return union_length(intervals()); }
+
+std::vector<Interval> Instance::intervals() const {
+  std::vector<Interval> out;
+  out.reserve(jobs_.size());
+  for (const auto& j : jobs_) out.push_back(j.interval);
+  return out;
+}
+
+std::vector<JobId> Instance::ids_by_start() const {
+  std::vector<JobId> ids(jobs_.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::sort(ids.begin(), ids.end(), [&](JobId a, JobId b) {
+    const auto& ja = jobs_[static_cast<std::size_t>(a)].interval;
+    const auto& jb = jobs_[static_cast<std::size_t>(b)].interval;
+    if (ja.start != jb.start) return ja.start < jb.start;
+    if (ja.completion != jb.completion) return ja.completion < jb.completion;
+    return a < b;
+  });
+  return ids;
+}
+
+std::vector<JobId> Instance::ids_by_length_desc() const {
+  std::vector<JobId> ids(jobs_.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::sort(ids.begin(), ids.end(), [&](JobId a, JobId b) {
+    const Time la = jobs_[static_cast<std::size_t>(a)].length();
+    const Time lb = jobs_[static_cast<std::size_t>(b)].length();
+    if (la != lb) return la > lb;
+    return a < b;
+  });
+  return ids;
+}
+
+Instance Instance::restricted_to(const std::vector<JobId>& ids) const {
+  std::vector<Job> sub;
+  sub.reserve(ids.size());
+  for (JobId id : ids) sub.push_back(job(id));
+  return Instance(std::move(sub), g_);
+}
+
+std::string Instance::summary() const {
+  std::ostringstream os;
+  os << "Instance{n=" << jobs_.size() << ", g=" << g_ << ", len=" << total_length()
+     << ", span=" << span() << "}";
+  return os.str();
+}
+
+}  // namespace busytime

@@ -1,0 +1,58 @@
+// Problem instance: a set of jobs plus the parallelism parameter g.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/job.hpp"
+#include "core/time_types.hpp"
+
+namespace busytime {
+
+/// An instance (J, g) of MinBusy, or the job/capacity part of a
+/// MaxThroughput instance (J, g, T).
+///
+/// Invariants (checked in debug builds on construction):
+///  * every job has positive length;
+///  * g >= 1.
+class Instance {
+ public:
+  Instance() = default;
+  Instance(std::vector<Job> jobs, int g);
+
+  const std::vector<Job>& jobs() const noexcept { return jobs_; }
+  const Job& job(JobId id) const { return jobs_.at(static_cast<std::size_t>(id)); }
+  std::size_t size() const noexcept { return jobs_.size(); }
+  bool empty() const noexcept { return jobs_.empty(); }
+  int g() const noexcept { return g_; }
+
+  /// len(J) = Σ_j len(J_j).
+  Time total_length() const noexcept;
+
+  /// span(J) = length of ∪_j J_j.
+  Time span() const;
+
+  /// All job intervals, in job-id order.
+  std::vector<Interval> intervals() const;
+
+  /// Job ids sorted by non-decreasing start time (ties: by completion).
+  /// For proper instances this is exactly the paper's order J1 <= J2 <= ...
+  std::vector<JobId> ids_by_start() const;
+
+  /// Job ids sorted by non-increasing length (FirstFit order).
+  std::vector<JobId> ids_by_length_desc() const;
+
+  /// Sub-instance restricted to `ids` (job ids renumbered 0..k-1 in the
+  /// given order); used by per-component and per-bucket decompositions.
+  Instance restricted_to(const std::vector<JobId>& ids) const;
+
+  /// Human-readable one-line summary for logs and error messages.
+  std::string summary() const;
+
+ private:
+  std::vector<Job> jobs_;
+  int g_ = 1;
+};
+
+}  // namespace busytime

@@ -1,0 +1,43 @@
+// Job model.
+//
+// A job is an interval that must be processed from start to completion on a
+// single machine (no preemption, no migration).  The optional `weight` and
+// `demand` fields support the Section 5 extensions (weighted throughput and
+// per-job capacity demands); the base algorithms ignore them (weight = 1,
+// demand = 1 reproduce the paper's setting).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+#include "core/time_types.hpp"
+
+namespace busytime {
+
+/// Index of a job inside an Instance.
+using JobId = std::int32_t;
+
+struct Job {
+  Interval interval;
+  /// Throughput weight (Section 5 "weighted throughput" extension).
+  std::int64_t weight = 1;
+  /// Capacity demand (Section 5 / [16] extension); base model: 1.
+  std::int64_t demand = 1;
+
+  Job() = default;
+  explicit Job(Interval iv) : interval(iv) {}
+  Job(Time s, Time c) : interval(s, c) {}
+  Job(Time s, Time c, std::int64_t w) : interval(s, c), weight(w) {}
+
+  Time start() const noexcept { return interval.start; }
+  Time completion() const noexcept { return interval.completion; }
+  Time length() const noexcept { return interval.length(); }
+
+  friend bool operator==(const Job&, const Job&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Job& j) {
+  return os << "Job" << j.interval;
+}
+
+}  // namespace busytime

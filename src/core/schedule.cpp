@@ -1,0 +1,90 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace busytime {
+
+std::int64_t Schedule::throughput() const noexcept {
+  std::int64_t n = 0;
+  for (MachineId m : assignment_) n += (m != kUnscheduled);
+  return n;
+}
+
+std::int64_t Schedule::weighted_throughput(const Instance& inst) const {
+  assert(inst.size() == assignment_.size());
+  std::int64_t w = 0;
+  for (std::size_t j = 0; j < assignment_.size(); ++j)
+    if (assignment_[j] != kUnscheduled) w += inst.jobs()[j].weight;
+  return w;
+}
+
+std::int32_t Schedule::machine_count() const noexcept {
+  MachineId max_id = kUnscheduled;
+  for (MachineId m : assignment_) max_id = std::max(max_id, m);
+  return max_id + 1;
+}
+
+std::vector<std::vector<JobId>> Schedule::jobs_per_machine() const {
+  std::vector<std::vector<JobId>> per(static_cast<std::size_t>(machine_count()));
+  for (std::size_t j = 0; j < assignment_.size(); ++j)
+    if (assignment_[j] != kUnscheduled)
+      per[static_cast<std::size_t>(assignment_[j])].push_back(static_cast<JobId>(j));
+  return per;
+}
+
+Time Schedule::machine_busy_time(const Instance& inst, MachineId m) const {
+  assert(inst.size() == assignment_.size());
+  std::vector<Interval> ivs;
+  for (std::size_t j = 0; j < assignment_.size(); ++j)
+    if (assignment_[j] == m) ivs.push_back(inst.jobs()[j].interval);
+  return union_length(std::move(ivs));
+}
+
+Time Schedule::cost(const Instance& inst) const {
+  assert(inst.size() == assignment_.size());
+  Time total = 0;
+  for (const auto& group : jobs_per_machine()) {
+    if (group.empty()) continue;
+    std::vector<Interval> ivs;
+    ivs.reserve(group.size());
+    for (JobId j : group) ivs.push_back(inst.job(j).interval);
+    total += union_length(std::move(ivs));
+  }
+  return total;
+}
+
+Time Schedule::saving(const Instance& inst) const {
+  Time scheduled_len = 0;
+  for (std::size_t j = 0; j < assignment_.size(); ++j)
+    if (assignment_[j] != kUnscheduled) scheduled_len += inst.jobs()[j].length();
+  return scheduled_len - cost(inst);
+}
+
+void Schedule::compact() {
+  std::vector<MachineId> remap(static_cast<std::size_t>(machine_count()), kUnscheduled);
+  MachineId next = 0;
+  for (auto& m : assignment_) {
+    if (m == kUnscheduled) continue;
+    auto& slot = remap[static_cast<std::size_t>(m)];
+    if (slot == kUnscheduled) slot = next++;
+    m = slot;
+  }
+}
+
+Schedule one_job_per_machine(const Instance& inst) {
+  Schedule s(inst.size());
+  for (std::size_t j = 0; j < inst.size(); ++j)
+    s.assign(static_cast<JobId>(j), static_cast<MachineId>(j));
+  return s;
+}
+
+Schedule schedule_from_groups(std::size_t n,
+                              const std::vector<std::vector<JobId>>& groups) {
+  Schedule s(n);
+  for (std::size_t m = 0; m < groups.size(); ++m)
+    for (JobId j : groups[m]) s.assign(j, static_cast<MachineId>(m));
+  return s;
+}
+
+}  // namespace busytime

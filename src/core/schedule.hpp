@@ -1,0 +1,80 @@
+// Schedule representation and cost accounting.
+//
+// A (partial) schedule is a function from jobs to machines (Section 2).  We
+// store it as a dense vector indexed by JobId; kUnscheduled marks jobs left
+// out by a partial MaxThroughput schedule.  Machines are identified by dense
+// non-negative integers; the machine pool is conceptually infinite, so any
+// machine id is legal.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace busytime {
+
+using MachineId = std::int32_t;
+
+class Schedule {
+ public:
+  static constexpr MachineId kUnscheduled = -1;
+
+  Schedule() = default;
+  /// Creates an all-unscheduled schedule for `n` jobs.
+  explicit Schedule(std::size_t n) : assignment_(n, kUnscheduled) {}
+  /// Wraps an explicit assignment vector.
+  explicit Schedule(std::vector<MachineId> assignment)
+      : assignment_(std::move(assignment)) {}
+
+  std::size_t size() const noexcept { return assignment_.size(); }
+
+  MachineId machine_of(JobId j) const { return assignment_.at(static_cast<std::size_t>(j)); }
+  bool is_scheduled(JobId j) const { return machine_of(j) != kUnscheduled; }
+
+  void assign(JobId j, MachineId m) { assignment_.at(static_cast<std::size_t>(j)) = m; }
+  void unschedule(JobId j) { assign(j, kUnscheduled); }
+
+  const std::vector<MachineId>& assignment() const noexcept { return assignment_; }
+
+  /// Number of scheduled jobs — tput(s) in Section 2.
+  std::int64_t throughput() const noexcept;
+
+  /// Total scheduled weight (Section 5 weighted-throughput extension).
+  std::int64_t weighted_throughput(const Instance& inst) const;
+
+  /// Largest machine id used plus one (0 if no job is scheduled).
+  std::int32_t machine_count() const noexcept;
+
+  /// Job ids per machine, indexed by machine id in [0, machine_count()).
+  std::vector<std::vector<JobId>> jobs_per_machine() const;
+
+  /// busy_i = span(J_i): union length of the jobs on machine m.
+  Time machine_busy_time(const Instance& inst, MachineId m) const;
+
+  /// cost(s) = Σ_i busy_i over all machines (Section 2).
+  Time cost(const Instance& inst) const;
+
+  /// sav(s) = len(scheduled jobs) - cost(s): the overlap saving relative to
+  /// the one-job-per-machine schedule (Section 2).  For full schedules this
+  /// is len(J) - cost(s).
+  Time saving(const Instance& inst) const;
+
+  /// Renumbers machines to a dense 0..k-1 range preserving job grouping.
+  void compact();
+
+ private:
+  std::vector<MachineId> assignment_;
+};
+
+/// Builds the trivial full schedule that gives every job its own machine
+/// (the schedule s-bar in Section 2, cost = len(J)).
+Schedule one_job_per_machine(const Instance& inst);
+
+/// Builds a full schedule from explicit machine groups: groups[m] lists the
+/// job ids on machine m.  Jobs not mentioned stay unscheduled.
+Schedule schedule_from_groups(std::size_t n,
+                              const std::vector<std::vector<JobId>>& groups);
+
+}  // namespace busytime

@@ -1,0 +1,123 @@
+// Fundamental time and interval types.
+//
+// All times are 64-bit integers and all job intervals are half-open
+// [start, completion).  Half-open semantics implement the paper's convention
+// that "a job [s, c] is not being processed at time c" (Section 2): two
+// intervals overlap iff their intersection has positive length, so [1,2) and
+// [2,3) do NOT overlap and can share a thread of execution.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+namespace busytime {
+
+/// Integer time coordinate.  Integer arithmetic keeps every cost computation
+/// exact; generators scale rational paper constructions to integers.
+using Time = std::int64_t;
+
+/// Half-open time interval [start, completion).
+struct Interval {
+  Time start = 0;
+  Time completion = 0;
+
+  constexpr Interval() = default;
+  constexpr Interval(Time s, Time c) : start(s), completion(c) { assert(s <= c); }
+
+  /// len(I) = c_I - s_I (Definition 2.1).
+  constexpr Time length() const noexcept { return completion - start; }
+
+  constexpr bool empty() const noexcept { return completion <= start; }
+
+  /// Two intervals overlap iff their intersection contains more than one
+  /// point (Definition 2.2), i.e. has positive length.
+  constexpr bool overlaps(const Interval& other) const noexcept {
+    return std::max(start, other.start) < std::min(completion, other.completion);
+  }
+
+  /// Length of the intersection, clipped at zero.
+  constexpr Time overlap_length(const Interval& other) const noexcept {
+    const Time lo = std::max(start, other.start);
+    const Time hi = std::min(completion, other.completion);
+    return hi > lo ? hi - lo : 0;
+  }
+
+  /// True if this interval contains `other` (not necessarily properly).
+  constexpr bool contains(const Interval& other) const noexcept {
+    return start <= other.start && other.completion <= completion;
+  }
+
+  /// True if this interval properly contains `other`: contains it and the
+  /// two are distinct (used by the "proper instance" definition).
+  constexpr bool properly_contains(const Interval& other) const noexcept {
+    return contains(other) && (start != other.start || completion != other.completion);
+  }
+
+  constexpr bool contains_time(Time t) const noexcept {
+    return start <= t && t < completion;
+  }
+
+  /// Smallest interval containing both (the "hull"); for a clique set the
+  /// hull length equals the span.
+  constexpr Interval hull(const Interval& other) const noexcept {
+    Interval h;
+    h.start = std::min(start, other.start);
+    h.completion = std::max(completion, other.completion);
+    return h;
+  }
+
+  friend constexpr bool operator==(const Interval&, const Interval&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  return os << "[" << iv.start << "," << iv.completion << ")";
+}
+
+/// Total length Σ len(I) over a set of intervals (Definition 2.1).
+Time total_length(const std::vector<Interval>& intervals) noexcept;
+
+/// Length of the union ∪I of a set of intervals — span(I) in Definition 2.2.
+/// O(k log k); the input is copied and sorted.
+Time union_length(std::vector<Interval> intervals);
+
+/// The union ∪I as a minimal sorted list of disjoint, non-touching maximal
+/// intervals (SPAN(I) in Definition 2.2 may be disconnected for non-clique
+/// sets; the paper's WLOG splits such machines, we keep the pieces).
+std::vector<Interval> union_intervals(std::vector<Interval> intervals);
+
+inline Time total_length(const std::vector<Interval>& intervals) noexcept {
+  Time sum = 0;
+  for (const auto& iv : intervals) sum += iv.length();
+  return sum;
+}
+
+inline std::vector<Interval> union_intervals(std::vector<Interval> intervals) {
+  if (intervals.empty()) return {};
+  std::sort(intervals.begin(), intervals.end(), [](const Interval& a, const Interval& b) {
+    return a.start != b.start ? a.start < b.start : a.completion < b.completion;
+  });
+  std::vector<Interval> merged;
+  merged.push_back(intervals.front());
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    // Touching intervals ([1,2) and [2,3)) merge into one busy segment: the
+    // machine never goes idle in between, so the busy length is additive
+    // either way; merging keeps the representation minimal.
+    if (intervals[i].start <= merged.back().completion) {
+      merged.back().completion = std::max(merged.back().completion, intervals[i].completion);
+    } else {
+      merged.push_back(intervals[i]);
+    }
+  }
+  return merged;
+}
+
+inline Time union_length(std::vector<Interval> intervals) {
+  Time sum = 0;
+  for (const auto& iv : union_intervals(std::move(intervals))) sum += iv.length();
+  return sum;
+}
+
+}  // namespace busytime

@@ -1,0 +1,42 @@
+#include "core/validate.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <vector>
+
+#include "intervalgraph/sweepline.hpp"
+
+namespace busytime {
+
+std::string Violation::to_string() const {
+  std::ostringstream os;
+  os << "machine " << machine << " runs " << concurrency << " jobs at time " << time;
+  return os.str();
+}
+
+std::optional<Violation> find_violation(const Instance& inst, const Schedule& s) {
+  assert(inst.size() == s.size());
+  const auto per_machine = s.jobs_per_machine();
+  for (std::size_t m = 0; m < per_machine.size(); ++m) {
+    if (per_machine[m].size() <= static_cast<std::size_t>(inst.g())) continue;
+    std::vector<Interval> ivs;
+    ivs.reserve(per_machine[m].size());
+    for (JobId j : per_machine[m]) ivs.push_back(inst.job(j).interval);
+    const auto peak = peak_overlap(ivs);
+    if (peak.count > inst.g()) {
+      return Violation{static_cast<MachineId>(m), peak.time, peak.count};
+    }
+  }
+  return std::nullopt;
+}
+
+bool is_valid(const Instance& inst, const Schedule& s) {
+  return !find_violation(inst, s).has_value();
+}
+
+int max_concurrency(const Instance& inst) {
+  return peak_overlap(inst.intervals()).count;
+}
+
+}  // namespace busytime

@@ -1,0 +1,164 @@
+#include "extensions/capacity_demands.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "core/components.hpp"
+#include "intervalgraph/sweepline.hpp"
+
+namespace busytime {
+
+namespace {
+
+/// Peak total demand of `jobs` (with demands) clipped to `window`, plus the
+/// candidate's own demand.  Used for fit checks.
+bool fits_with_demand(const std::vector<Interval>& assigned,
+                      const std::vector<std::int64_t>& demands,
+                      const Interval& candidate, std::int64_t candidate_demand,
+                      int g) {
+  assert(candidate_demand >= 1);
+  std::vector<Interval> clipped;
+  std::vector<std::int64_t> clipped_demands;
+  for (std::size_t i = 0; i < assigned.size(); ++i) {
+    const Time lo = std::max(assigned[i].start, candidate.start);
+    const Time hi = std::min(assigned[i].completion, candidate.completion);
+    if (lo < hi) {
+      clipped.push_back({lo, hi});
+      clipped_demands.push_back(demands[i]);
+    }
+  }
+  const auto peak = peak_weighted_overlap(clipped, clipped_demands);
+  return peak.weight + candidate_demand <= g;
+}
+
+}  // namespace
+
+std::optional<DemandViolation> find_demand_violation(const Instance& inst,
+                                                     const Schedule& s) {
+  assert(inst.size() == s.size());
+  const auto per_machine = s.jobs_per_machine();
+  for (std::size_t m = 0; m < per_machine.size(); ++m) {
+    std::vector<Interval> ivs;
+    std::vector<std::int64_t> demands;
+    for (const JobId j : per_machine[m]) {
+      ivs.push_back(inst.job(j).interval);
+      demands.push_back(inst.job(j).demand);
+    }
+    const auto peak = peak_weighted_overlap(ivs, demands);
+    if (peak.weight > inst.g())
+      return DemandViolation{static_cast<MachineId>(m), peak.time, peak.weight};
+  }
+  return std::nullopt;
+}
+
+bool is_valid_demands(const Instance& inst, const Schedule& s) {
+  return !find_demand_violation(inst, s).has_value();
+}
+
+Schedule solve_first_fit_demands(const Instance& inst) {
+  Schedule s(inst.size());
+  struct Machine {
+    std::vector<Interval> jobs;
+    std::vector<std::int64_t> demands;
+  };
+  std::vector<Machine> machines;
+  for (const JobId j : inst.ids_by_length_desc()) {
+    const Interval& iv = inst.job(j).interval;
+    const std::int64_t demand = inst.job(j).demand;
+    assert(demand >= 1 && demand <= inst.g());
+    MachineId target = -1;
+    for (std::size_t m = 0; m < machines.size(); ++m) {
+      if (fits_with_demand(machines[m].jobs, machines[m].demands, iv, demand, inst.g())) {
+        target = static_cast<MachineId>(m);
+        break;
+      }
+    }
+    if (target == -1) {
+      target = static_cast<MachineId>(machines.size());
+      machines.emplace_back();
+    }
+    machines[static_cast<std::size_t>(target)].jobs.push_back(iv);
+    machines[static_cast<std::size_t>(target)].demands.push_back(demand);
+    s.assign(j, target);
+  }
+  return s;
+}
+
+namespace {
+
+class DemandBranchBound {
+ public:
+  explicit DemandBranchBound(const Instance& inst)
+      : inst_(inst), order_(inst.ids_by_start()), n_(static_cast<int>(inst.size())) {}
+
+  Schedule solve() {
+    best_cost_ = inst_.total_length();
+    best_assignment_.assign(static_cast<std::size_t>(n_), 0);
+    for (int k = 0; k < n_; ++k)
+      best_assignment_[static_cast<std::size_t>(order_[static_cast<std::size_t>(k)])] =
+          static_cast<MachineId>(k);
+    assignment_.assign(static_cast<std::size_t>(n_), Schedule::kUnscheduled);
+    recurse(0, 0);
+    return Schedule(best_assignment_);
+  }
+
+ private:
+  struct Machine {
+    std::vector<Interval> jobs;
+    std::vector<std::int64_t> demands;
+    Time busy = 0;
+  };
+
+  void recurse(int k, Time cost_so_far) {
+    if (cost_so_far >= best_cost_) return;
+    if (k == n_) {
+      best_cost_ = cost_so_far;
+      best_assignment_ = assignment_;
+      return;
+    }
+    const JobId job = order_[static_cast<std::size_t>(k)];
+    const Interval iv = inst_.job(job).interval;
+    const std::int64_t demand = inst_.job(job).demand;
+
+    for (std::size_t m = 0; m < machines_.size(); ++m) {
+      if (!fits_with_demand(machines_[m].jobs, machines_[m].demands, iv, demand, inst_.g()))
+        continue;
+      machines_[m].jobs.push_back(iv);
+      machines_[m].demands.push_back(demand);
+      const Time old_busy = machines_[m].busy;
+      machines_[m].busy = union_length(machines_[m].jobs);
+      assignment_[static_cast<std::size_t>(job)] = static_cast<MachineId>(m);
+      recurse(k + 1, cost_so_far - old_busy + machines_[m].busy);
+      assignment_[static_cast<std::size_t>(job)] = Schedule::kUnscheduled;
+      machines_[m].jobs.pop_back();
+      machines_[m].demands.pop_back();
+      machines_[m].busy = old_busy;
+    }
+
+    machines_.push_back({{iv}, {demand}, iv.length()});
+    assignment_[static_cast<std::size_t>(job)] = static_cast<MachineId>(machines_.size() - 1);
+    recurse(k + 1, cost_so_far + iv.length());
+    assignment_[static_cast<std::size_t>(job)] = Schedule::kUnscheduled;
+    machines_.pop_back();
+  }
+
+  const Instance& inst_;
+  std::vector<JobId> order_;
+  int n_;
+  std::vector<Machine> machines_;
+  std::vector<MachineId> assignment_;
+  Time best_cost_ = std::numeric_limits<Time>::max() / 4;
+  std::vector<MachineId> best_assignment_;
+};
+
+}  // namespace
+
+Schedule exact_minbusy_demands(const Instance& inst) {
+  assert(inst.size() <= 14);
+  if (inst.empty()) return Schedule(0);
+  return solve_per_component(
+      inst, [](const Instance& sub) { return DemandBranchBound(sub).solve(); });
+}
+
+}  // namespace busytime

@@ -1,0 +1,34 @@
+// Per-job capacity demands (Section 5 cloud extension; the model of
+// Khandekar et al. [16]).
+//
+// Each job j has a demand d_j in [1, g]; a machine may run any job set whose
+// *total demand* of concurrently active jobs never exceeds g.  Unit demands
+// recover the paper's base model exactly.
+#pragma once
+
+#include <optional>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace busytime {
+
+/// First demand violation, or nullopt if the schedule respects all machine
+/// demand capacities.  Demands come from Job::demand.
+struct DemandViolation {
+  MachineId machine = 0;
+  Time time = 0;
+  std::int64_t demand = 0;  ///< total concurrent demand there (> g)
+};
+std::optional<DemandViolation> find_demand_violation(const Instance& inst,
+                                                     const Schedule& s);
+bool is_valid_demands(const Instance& inst, const Schedule& s);
+
+/// Demand-aware FirstFit: jobs in non-increasing length order, each placed
+/// on the first machine whose peak concurrent demand stays within g.
+Schedule solve_first_fit_demands(const Instance& inst);
+
+/// Exact reference by branch and bound (n <= 14).
+Schedule exact_minbusy_demands(const Instance& inst);
+
+}  // namespace busytime

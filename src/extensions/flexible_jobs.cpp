@@ -1,0 +1,239 @@
+#include "extensions/flexible_jobs.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+#include "intervalgraph/sweepline.hpp"
+
+namespace busytime {
+
+namespace {
+
+constexpr Time kInf = std::numeric_limits<Time>::max() / 4;
+
+/// Clamps start candidate t into job j's feasible start range.
+Time clamp_start(const FlexJob& job, Time t) {
+  return std::clamp(t, job.window.start, job.window.completion - job.processing);
+}
+
+/// Candidate start times for `job` against already-placed intervals on one
+/// machine: window edges plus alignment to each placed edge (start-at-end,
+/// end-at-start, start-at-start, end-at-end), all clamped into the window.
+std::vector<Time> candidates(const FlexJob& job, const std::vector<Interval>& placed) {
+  std::vector<Time> cands{job.window.start,
+                          job.window.completion - job.processing};
+  for (const auto& iv : placed) {
+    cands.push_back(clamp_start(job, iv.start));
+    cands.push_back(clamp_start(job, iv.completion));
+    cands.push_back(clamp_start(job, iv.start - job.processing));
+    cands.push_back(clamp_start(job, iv.completion - job.processing));
+  }
+  std::sort(cands.begin(), cands.end());
+  cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+  return cands;
+}
+
+bool fits(const std::vector<Interval>& placed, const Interval& candidate, int g) {
+  std::vector<Interval> clipped;
+  for (const auto& iv : placed) {
+    const Time lo = std::max(iv.start, candidate.start);
+    const Time hi = std::min(iv.completion, candidate.completion);
+    if (lo < hi) clipped.push_back({lo, hi});
+  }
+  if (clipped.size() < static_cast<std::size_t>(g)) return true;
+  return peak_overlap(clipped).count + 1 <= g;
+}
+
+Time busy_with(const std::vector<Interval>& placed, const Interval& candidate) {
+  std::vector<Interval> all = placed;
+  all.push_back(candidate);
+  return union_length(std::move(all));
+}
+
+}  // namespace
+
+bool is_valid_flexible(const std::vector<FlexJob>& jobs, const FlexSchedule& s, int g) {
+  if (s.start.size() != jobs.size() || s.machine.size() != jobs.size()) return false;
+  std::int32_t machines = 0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (s.start[j] < jobs[j].window.start ||
+        s.start[j] + jobs[j].processing > jobs[j].window.completion)
+      return false;
+    if (s.machine[j] < 0) return false;
+    machines = std::max(machines, s.machine[j] + 1);
+  }
+  for (std::int32_t m = 0; m < machines; ++m) {
+    std::vector<Interval> ivs;
+    for (std::size_t j = 0; j < jobs.size(); ++j)
+      if (s.machine[j] == m) ivs.push_back(s.placed(jobs, j));
+    if (peak_overlap(ivs).count > g) return false;
+  }
+  return true;
+}
+
+Time flexible_cost(const std::vector<FlexJob>& jobs, const FlexSchedule& s) {
+  std::int32_t machines = 0;
+  for (const auto m : s.machine) machines = std::max(machines, m + 1);
+  Time total = 0;
+  for (std::int32_t m = 0; m < machines; ++m) {
+    std::vector<Interval> ivs;
+    for (std::size_t j = 0; j < jobs.size(); ++j)
+      if (s.machine[j] == m) ivs.push_back(s.placed(jobs, j));
+    total += union_length(std::move(ivs));
+  }
+  return total;
+}
+
+FlexSchedule solve_flexible_best_fit(const std::vector<FlexJob>& jobs, int g) {
+  assert(g >= 1);
+  const std::size_t n = jobs.size();
+  FlexSchedule s;
+  s.start.assign(n, 0);
+  s.machine.assign(n, -1);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (jobs[a].processing != jobs[b].processing)
+      return jobs[a].processing > jobs[b].processing;
+    return a < b;
+  });
+
+  std::vector<std::vector<Interval>> machines;
+  for (const std::size_t j : order) {
+    const FlexJob& job = jobs[j];
+    assert(job.processing >= 1 && job.processing <= job.window.length());
+    Time best_increase = kInf;
+    std::int32_t best_machine = -1;
+    Time best_start = job.window.start;
+    for (std::size_t m = 0; m < machines.size(); ++m) {
+      const Time busy_before = union_length(machines[m]);
+      for (const Time t : candidates(job, machines[m])) {
+        const Interval placed{t, t + job.processing};
+        if (!fits(machines[m], placed, g)) continue;
+        const Time increase = busy_with(machines[m], placed) - busy_before;
+        if (increase < best_increase) {
+          best_increase = increase;
+          best_machine = static_cast<std::int32_t>(m);
+          best_start = t;
+        }
+        if (best_increase == 0) break;  // cannot beat a free ride
+      }
+      if (best_increase == 0) break;
+    }
+    if (best_machine == -1 || best_increase >= job.processing) {
+      // A fresh machine always costs exactly p; prefer it when no machine
+      // absorbs the job cheaper.
+      best_machine = static_cast<std::int32_t>(machines.size());
+      best_start = job.window.start;
+      machines.emplace_back();
+    }
+    machines[static_cast<std::size_t>(best_machine)].push_back(
+        {best_start, best_start + job.processing});
+    s.machine[j] = best_machine;
+    s.start[j] = best_start;
+  }
+  return s;
+}
+
+namespace {
+
+class FlexExact {
+ public:
+  FlexExact(const std::vector<FlexJob>& jobs, int g) : jobs_(jobs), g_(g) {
+    order_.resize(jobs.size());
+    std::iota(order_.begin(), order_.end(), 0);
+    // Global event grid per job: every job's window edges, clamped into this
+    // job's feasible start range (both "start here" and "end here" flavors).
+    grid_.resize(jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      auto& grid = grid_[j];
+      for (const auto& other : jobs) {
+        grid.push_back(clamp_start(jobs[j], other.window.start));
+        grid.push_back(clamp_start(jobs[j], other.window.completion));
+        grid.push_back(clamp_start(jobs[j], other.window.start - jobs[j].processing));
+        grid.push_back(
+            clamp_start(jobs[j], other.window.completion - jobs[j].processing));
+      }
+      std::sort(grid.begin(), grid.end());
+      grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+    }
+  }
+
+  FlexSchedule solve() {
+    best_ = solve_flexible_best_fit(jobs_, g_);
+    best_cost_ = flexible_cost(jobs_, best_);
+    current_.start.assign(jobs_.size(), 0);
+    current_.machine.assign(jobs_.size(), -1);
+    recurse(0, 0);
+    return best_;
+  }
+
+ private:
+  void recurse(std::size_t k, Time cost_so_far) {
+    if (cost_so_far >= best_cost_) return;
+    if (k == jobs_.size()) {
+      best_cost_ = cost_so_far;
+      best_ = current_;
+      return;
+    }
+    const FlexJob& job = jobs_[order_[k]];
+    // Existing machines with event-aligned candidates.  Index-based access
+    // only: deeper recursion may grow machines_ and reallocate.
+    const std::size_t existing = machines_.size();
+    for (std::size_t m = 0; m < existing; ++m) {
+      const Time busy_before = union_length(machines_[m]);
+      std::vector<Time> cands = candidates(job, machines_[m]);
+      cands.insert(cands.end(), grid_[order_[k]].begin(), grid_[order_[k]].end());
+      std::sort(cands.begin(), cands.end());
+      cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+      for (const Time t : cands) {
+        const Interval placed{t, t + job.processing};
+        if (!fits(machines_[m], placed, g_)) continue;
+        const Time increase = busy_with(machines_[m], placed) - busy_before;
+        machines_[m].push_back(placed);
+        current_.machine[order_[k]] = static_cast<std::int32_t>(m);
+        current_.start[order_[k]] = t;
+        recurse(k + 1, cost_so_far + increase);
+        machines_[m].pop_back();
+      }
+    }
+    // One fresh machine (machines are symmetric).  The first job of a
+    // machine must sit on the global event grid: optimal schedules can be
+    // normalized so every job rests at a window edge or an alignment chain
+    // grounding at one.
+    for (const Time t : grid_[order_[k]]) {
+      machines_.emplace_back();
+      machines_.back().push_back({t, t + job.processing});
+      current_.machine[order_[k]] = static_cast<std::int32_t>(existing);
+      current_.start[order_[k]] = t;
+      recurse(k + 1, cost_so_far + job.processing);
+      machines_.pop_back();
+    }
+  }
+
+  const std::vector<FlexJob>& jobs_;
+  int g_;
+  std::vector<std::size_t> order_;
+  std::vector<std::vector<Time>> grid_;
+  std::vector<std::vector<Interval>> machines_;
+  FlexSchedule current_, best_;
+  Time best_cost_ = kInf;
+};
+
+}  // namespace
+
+FlexSchedule exact_flexible(const std::vector<FlexJob>& jobs, int g) {
+  assert(jobs.size() <= 8 && "exact flexible solver limited to 8 jobs");
+  return FlexExact(jobs, g).solve();
+}
+
+Time flexible_lower_bound_times_g(const std::vector<FlexJob>& jobs) {
+  Time total = 0;
+  for (const auto& job : jobs) total += job.processing;
+  return total;
+}
+
+}  // namespace busytime

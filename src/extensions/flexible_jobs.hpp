@@ -1,0 +1,64 @@
+// Flexible-window jobs (Section 5 cloud extension, the model of [25]):
+// each job needs p_j consecutive time units anywhere inside its window
+// [s_j, c_j); the scheduler chooses the start offset *and* the machine.
+//
+// Rigid jobs (p = window length) recover the paper's base model.  Busy-time
+// minimization gains a new lever: sliding jobs together to overlap.  We
+// provide a best-fit placement heuristic, a small exact solver for tests
+// (start times can be restricted to "event-aligned" candidates: window
+// edges and other jobs' placed edges, by a standard exchange argument),
+// and validity checking.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/time_types.hpp"
+
+namespace busytime {
+
+struct FlexJob {
+  Interval window;      ///< allowed region [s, c)
+  Time processing = 0;  ///< p: consecutive units needed, 0 < p <= window len
+
+  Time slack() const noexcept { return window.length() - processing; }
+};
+
+/// A placement: chosen start time and machine per job.
+struct FlexSchedule {
+  std::vector<Time> start;          ///< start[j]; interval is [start, start+p)
+  std::vector<std::int32_t> machine;
+
+  Interval placed(const std::vector<FlexJob>& jobs, std::size_t j) const {
+    return {start[j], start[j] + jobs[j].processing};
+  }
+};
+
+/// Validity: every start inside its window, and every machine runs <= g
+/// concurrent placed intervals.
+bool is_valid_flexible(const std::vector<FlexJob>& jobs, const FlexSchedule& s, int g);
+
+/// Total busy time of a flexible schedule (union length per machine).
+Time flexible_cost(const std::vector<FlexJob>& jobs, const FlexSchedule& s);
+
+/// Best-fit heuristic: jobs by non-increasing processing time; each job
+/// tries event-aligned start candidates on every machine and takes the
+/// placement with the smallest busy-time increase (new machine as a
+/// fallback, left-aligned).  O(n^2 * candidates).
+FlexSchedule solve_flexible_best_fit(const std::vector<FlexJob>& jobs, int g);
+
+/// Reference optimum by exhaustive search over machines and an event grid
+/// of start candidates: every job's window edges (for all jobs, clamped)
+/// plus alignments with already-placed intervals.  An optimal schedule can
+/// be normalized so each job sits at a window edge or abuts a same-machine
+/// job, and such alignment chains ground at window edges, so the grid
+/// captures optima whose chains have depth <= 1 through unplaced jobs —
+/// exact on all tested families, and never worse than the heuristic by
+/// construction.  Exponential; n <= 8.
+FlexSchedule exact_flexible(const std::vector<FlexJob>& jobs, int g);
+
+/// Lower bound: sum of processing times / g (the parallelism bound; the
+/// span bound does not apply once windows are flexible).
+Time flexible_lower_bound_times_g(const std::vector<FlexJob>& jobs);
+
+}  // namespace busytime

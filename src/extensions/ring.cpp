@@ -1,0 +1,170 @@
+#include "extensions/ring.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace busytime {
+
+bool Arc::overlaps(const Arc& other, Time circumference) const noexcept {
+  // Overlap iff some point interior to both; compare on the universal cover:
+  // this = [start, start+length), other shifted by multiples of C.
+  for (const Time shift : {-circumference, Time{0}, circumference}) {
+    const Time lo = std::max(start, other.start + shift);
+    const Time hi = std::min(start + length, other.start + shift + other.length);
+    if (lo < hi) return true;
+  }
+  return false;
+}
+
+RingInstance::RingInstance(std::vector<Arc> arcs, Time circumference, int g)
+    : arcs_(std::move(arcs)), circumference_(circumference), g_(g) {
+  assert(circumference_ >= 1 && g_ >= 1);
+#ifndef NDEBUG
+  for (const auto& arc : arcs_) {
+    assert(arc.length >= 1 && arc.length <= circumference_);
+    assert(arc.start >= 0 && arc.start < circumference_);
+  }
+#endif
+}
+
+Time RingInstance::total_length() const noexcept {
+  Time sum = 0;
+  for (const auto& arc : arcs_) sum += arc.length;
+  return sum;
+}
+
+Time arc_union_length(const std::vector<Arc>& arcs, Time circumference) {
+  // Unroll each arc to [start, start+len) on the cover, clip to [0, 2C),
+  // then fold [C, 2C) back onto [0, C) and measure the union on [0, C).
+  std::vector<Interval> pieces;
+  for (const auto& arc : arcs) {
+    if (arc.length >= circumference) return circumference;  // full circle
+    const Time end = arc.start + arc.length;
+    if (end <= circumference) {
+      pieces.push_back({arc.start, end});
+    } else {
+      pieces.push_back({arc.start, circumference});
+      pieces.push_back({0, end - circumference});
+    }
+  }
+  const Time len = union_length(std::move(pieces));
+  return std::min(len, circumference);
+}
+
+std::int32_t RingSchedule::machine_count() const noexcept {
+  std::int32_t max_id = kUnscheduled;
+  for (const auto m : machine_) max_id = std::max(max_id, m);
+  return max_id + 1;
+}
+
+Time RingSchedule::cost(const RingInstance& inst) const {
+  assert(inst.size() == machine_.size());
+  const auto machines = static_cast<std::size_t>(machine_count());
+  std::vector<std::vector<Arc>> per(machines);
+  for (std::size_t j = 0; j < machine_.size(); ++j)
+    if (machine_[j] != kUnscheduled)
+      per[static_cast<std::size_t>(machine_[j])].push_back(inst.arcs()[j]);
+  Time total = 0;
+  for (const auto& group : per) total += arc_union_length(group, inst.circumference());
+  return total;
+}
+
+bool is_valid(const RingInstance& inst, const RingSchedule& s) {
+  // Group by (machine, thread); arcs in a thread must be pairwise disjoint.
+  std::vector<std::pair<std::pair<std::int32_t, std::int32_t>, std::size_t>> lanes;
+  for (std::size_t j = 0; j < inst.size(); ++j) {
+    if (s.machine_of(j) == RingSchedule::kUnscheduled) continue;
+    if (s.thread_of(j) < 0 || s.thread_of(j) >= inst.g()) return false;
+    lanes.push_back({{s.machine_of(j), s.thread_of(j)}, j});
+  }
+  std::sort(lanes.begin(), lanes.end());
+  for (std::size_t a = 0; a < lanes.size(); ++a)
+    for (std::size_t b = a + 1; b < lanes.size() && lanes[b].first == lanes[a].first; ++b)
+      if (inst.arcs()[lanes[a].second].overlaps(inst.arcs()[lanes[b].second],
+                                                inst.circumference()))
+        return false;
+  return true;
+}
+
+RingSchedule solve_ring_first_fit(const RingInstance& inst) {
+  const int g = inst.g();
+  std::vector<std::size_t> order(inst.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const Time la = inst.arcs()[a].length;
+    const Time lb = inst.arcs()[b].length;
+    return la != lb ? la > lb : a < b;
+  });
+
+  std::vector<std::vector<std::vector<std::size_t>>> threads;
+  RingSchedule s(inst.size());
+  for (const std::size_t j : order) {
+    const Arc& arc = inst.arcs()[j];
+    bool placed = false;
+    for (std::size_t m = 0; m < threads.size() && !placed; ++m) {
+      for (int tau = 0; tau < g && !placed; ++tau) {
+        auto& lane = threads[m][static_cast<std::size_t>(tau)];
+        const bool conflict = std::any_of(lane.begin(), lane.end(), [&](std::size_t other) {
+          return arc.overlaps(inst.arcs()[other], inst.circumference());
+        });
+        if (!conflict) {
+          lane.push_back(j);
+          s.assign(j, static_cast<std::int32_t>(m), tau);
+          placed = true;
+        }
+      }
+    }
+    if (!placed) {
+      threads.emplace_back(static_cast<std::size_t>(g));
+      threads.back()[0].push_back(j);
+      s.assign(j, static_cast<std::int32_t>(threads.size() - 1), 0);
+    }
+  }
+  return s;
+}
+
+RingSchedule solve_ring_bucket_first_fit(const RingInstance& inst, double beta) {
+  assert(beta > 1.0);
+  RingSchedule out(inst.size());
+  if (inst.size() == 0) return out;
+
+  Time min_len = inst.arcs().front().length;
+  for (const auto& arc : inst.arcs()) min_len = std::min(min_len, arc.length);
+  auto bucket_of = [&](Time len) {
+    int b = 0;
+    double upper = static_cast<double>(min_len) * beta;
+    while (static_cast<double>(len) > upper) {
+      upper *= beta;
+      ++b;
+    }
+    return b;
+  };
+
+  std::vector<std::vector<std::size_t>> buckets;
+  for (std::size_t j = 0; j < inst.size(); ++j) {
+    const int b = bucket_of(inst.arcs()[j].length);
+    if (static_cast<std::size_t>(b) >= buckets.size())
+      buckets.resize(static_cast<std::size_t>(b) + 1);
+    buckets[static_cast<std::size_t>(b)].push_back(j);
+  }
+
+  std::int32_t machine_base = 0;
+  for (const auto& bucket : buckets) {
+    if (bucket.empty()) continue;
+    std::vector<Arc> sub_arcs;
+    sub_arcs.reserve(bucket.size());
+    for (const std::size_t j : bucket) sub_arcs.push_back(inst.arcs()[j]);
+    const RingInstance sub(std::move(sub_arcs), inst.circumference(), inst.g());
+    const RingSchedule part = solve_ring_first_fit(sub);
+    std::int32_t max_machine = -1;
+    for (std::size_t k = 0; k < bucket.size(); ++k) {
+      out.assign(bucket[k], machine_base + part.machine_of(k), part.thread_of(k));
+      max_machine = std::max(max_machine, part.machine_of(k));
+    }
+    machine_base += max_machine + 1;
+  }
+  return out;
+}
+
+}  // namespace busytime

@@ -1,0 +1,90 @@
+// Ring-topology extension (Section 5): communication requests on a ring
+// optical network are circular arcs; busy time of a color is the total arc
+// length of the union of its requests.
+//
+// Circular-arc graphs are not perfect (chi can exceed omega), so — exactly
+// like the 2-D case — feasibility is thread-based: a machine has g threads
+// and a thread holds pairwise non-overlapping arcs.  The paper notes
+// Lemma 3.4 / Theorem 3.3 carry over to rings; we provide arc FirstFit and
+// geometric bucketing by arc length.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/time_types.hpp"
+
+namespace busytime {
+
+/// A circular arc on a ring of given circumference: starts at `start`
+/// (in [0, C)) and extends clockwise by `length` (1 <= length <= C).
+/// length == C is a full circle.
+struct Arc {
+  Time start = 0;
+  Time length = 1;
+
+  /// Half-open coverage test of ring position t (mod C).
+  bool covers(Time t, Time circumference) const noexcept {
+    const Time rel = ((t - start) % circumference + circumference) % circumference;
+    return rel < length;
+  }
+
+  /// Positive-length intersection on the ring.
+  bool overlaps(const Arc& other, Time circumference) const noexcept;
+};
+
+class RingInstance {
+ public:
+  RingInstance() = default;
+  RingInstance(std::vector<Arc> arcs, Time circumference, int g);
+
+  const std::vector<Arc>& arcs() const noexcept { return arcs_; }
+  std::size_t size() const noexcept { return arcs_.size(); }
+  Time circumference() const noexcept { return circumference_; }
+  int g() const noexcept { return g_; }
+
+  Time total_length() const noexcept;
+
+ private:
+  std::vector<Arc> arcs_;
+  Time circumference_ = 1;
+  int g_ = 1;
+};
+
+/// Union length of a set of arcs on the ring.
+Time arc_union_length(const std::vector<Arc>& arcs, Time circumference);
+
+/// Thread-explicit ring schedule (like RectSchedule).
+class RingSchedule {
+ public:
+  static constexpr std::int32_t kUnscheduled = -1;
+  RingSchedule() = default;
+  explicit RingSchedule(std::size_t n)
+      : machine_(n, kUnscheduled), thread_(n, kUnscheduled) {}
+
+  void assign(std::size_t j, std::int32_t machine, std::int32_t thread) {
+    machine_.at(j) = machine;
+    thread_.at(j) = thread;
+  }
+  std::int32_t machine_of(std::size_t j) const { return machine_.at(j); }
+  std::int32_t thread_of(std::size_t j) const { return thread_.at(j); }
+  std::int32_t machine_count() const noexcept;
+
+  Time cost(const RingInstance& inst) const;
+
+ private:
+  std::vector<std::int32_t> machine_;
+  std::vector<std::int32_t> thread_;
+};
+
+bool is_valid(const RingInstance& inst, const RingSchedule& s);
+
+/// FirstFit over arcs in non-increasing length order, thread-based.
+RingSchedule solve_ring_first_fit(const RingInstance& inst);
+
+/// BucketFirstFit analogue: geometric buckets by arc length, FirstFit per
+/// bucket on fresh machines.
+RingSchedule solve_ring_bucket_first_fit(const RingInstance& inst, double beta = 3.3);
+
+}  // namespace busytime

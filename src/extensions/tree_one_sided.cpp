@@ -1,0 +1,129 @@
+#include "extensions/tree_one_sided.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace busytime {
+
+Tree::Tree(std::vector<int> parent, std::vector<Time> parent_edge_weight)
+    : parent_(std::move(parent)), parent_weight_(std::move(parent_edge_weight)) {
+  const int n = size();
+  assert(n >= 1);
+  assert(parent_weight_.size() == parent_.size());
+  assert(parent_[0] == -1 && "node 0 must be the root (parent -1)");
+  depth_.assign(static_cast<std::size_t>(n), 0);
+  dist_root_.assign(static_cast<std::size_t>(n), 0);
+  for (int v = 1; v < n; ++v) {
+    assert(parent_[static_cast<std::size_t>(v)] >= 0 &&
+           parent_[static_cast<std::size_t>(v)] < v &&
+           "parents must precede children (topological numbering)");
+    const auto p = static_cast<std::size_t>(parent_[static_cast<std::size_t>(v)]);
+    depth_[static_cast<std::size_t>(v)] = depth_[p] + 1;
+    dist_root_[static_cast<std::size_t>(v)] =
+        dist_root_[p] + parent_weight_[static_cast<std::size_t>(v)];
+  }
+  int levels = 1;
+  while ((1 << levels) < n) ++levels;
+  up_.assign(static_cast<std::size_t>(levels) + 1,
+             std::vector<int>(static_cast<std::size_t>(n), 0));
+  for (int v = 0; v < n; ++v)
+    up_[0][static_cast<std::size_t>(v)] = std::max(parent_[static_cast<std::size_t>(v)], 0);
+  for (std::size_t k = 1; k < up_.size(); ++k)
+    for (int v = 0; v < n; ++v)
+      up_[k][static_cast<std::size_t>(v)] =
+          up_[k - 1][static_cast<std::size_t>(up_[k - 1][static_cast<std::size_t>(v)])];
+}
+
+int Tree::lca(int u, int v) const {
+  if (depth(u) < depth(v)) std::swap(u, v);
+  int diff = depth(u) - depth(v);
+  for (std::size_t k = 0; k < up_.size(); ++k)
+    if (diff >> k & 1) u = up_[k][static_cast<std::size_t>(u)];
+  if (u == v) return u;
+  for (std::size_t k = up_.size(); k-- > 0;) {
+    if (up_[k][static_cast<std::size_t>(u)] != up_[k][static_cast<std::size_t>(v)]) {
+      u = up_[k][static_cast<std::size_t>(u)];
+      v = up_[k][static_cast<std::size_t>(v)];
+    }
+  }
+  return up_[0][static_cast<std::size_t>(u)];
+}
+
+Time Tree::dist(int u, int v) const {
+  const int a = lca(u, v);
+  return dist_root_[static_cast<std::size_t>(u)] + dist_root_[static_cast<std::size_t>(v)] -
+         2 * dist_root_[static_cast<std::size_t>(a)];
+}
+
+bool Tree::on_path(int x, int a, int b) const {
+  return dist(a, x) + dist(x, b) == dist(a, b);
+}
+
+bool Tree::path_contains(int u2, int v2, int u1, int v1) const {
+  return on_path(u1, u2, v2) && on_path(v1, u2, v2);
+}
+
+Time tree_paths_total_length(const Tree& tree, const std::vector<TreePath>& paths) {
+  Time total = 0;
+  for (const auto& p : paths) total += tree.dist(p.u, p.v);
+  return total;
+}
+
+TreeSchedule solve_tree_one_sided(const Tree& tree, const std::vector<TreePath>& paths,
+                                  int g) {
+  assert(g >= 1);
+  const std::size_t n = paths.size();
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const Time la = tree.dist(paths[a].u, paths[a].v);
+    const Time lb = tree.dist(paths[b].u, paths[b].v);
+    return la != lb ? la > lb : a < b;
+  });
+
+  struct CurrentSet {
+    TreePath opening;
+    std::vector<std::size_t> members;
+  };
+  std::vector<CurrentSet> sets;
+  TreeSchedule result;
+  result.machine.assign(n, -1);
+
+  for (const std::size_t j : order) {
+    const TreePath& path = paths[j];
+    int best = -1;
+    for (std::size_t s = 0; s < sets.size(); ++s) {
+      if (sets[s].members.size() >= static_cast<std::size_t>(g)) continue;
+      if (!tree.path_contains(sets[s].opening.u, sets[s].opening.v, path.u, path.v))
+        continue;
+      if (best == -1 || sets[s].members.size() > sets[static_cast<std::size_t>(best)].members.size())
+        best = static_cast<int>(s);
+    }
+    if (best == -1) {
+      sets.push_back({path, {j}});
+      result.machine[j] = static_cast<std::int32_t>(sets.size() - 1);
+    } else {
+      sets[static_cast<std::size_t>(best)].members.push_back(j);
+      result.machine[j] = best;
+    }
+  }
+
+  // Cost: per set, project members onto the opening path coordinate and take
+  // the 1-D union length.
+  result.machines_used = static_cast<std::int32_t>(sets.size());
+  for (const auto& set : sets) {
+    std::vector<Interval> projections;
+    projections.reserve(set.members.size());
+    for (const std::size_t j : set.members) {
+      const Time a = tree.dist(set.opening.u, paths[j].u);
+      const Time b = tree.dist(set.opening.u, paths[j].v);
+      projections.push_back({std::min(a, b), std::max(a, b)});
+    }
+    result.cost += union_length(std::move(projections));
+  }
+  return result;
+}
+
+}  // namespace busytime

@@ -1,0 +1,70 @@
+// Tree-topology extension of the one-sided greedy (Section 5).
+//
+// Jobs are paths in an edge-weighted tree (regenerator placement on tree
+// networks).  The paper sketches the extension of Observation 3.1: process
+// paths in non-increasing length order keeping multiple "current sets"; a
+// set is possible for a new path J if J is contained in the set's *opening*
+// (first, hence longest-so-far compatible) path and the set holds < g paths;
+// J joins the possible set with the most paths, else opens a new set.
+//
+// Because every member is contained in its set's opening path, a set's busy
+// length is the union of sub-paths of one path — computed by projecting
+// members onto the opening path's arc-length coordinate and reusing the 1-D
+// interval union.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/time_types.hpp"
+
+namespace busytime {
+
+/// Rooted edge-weighted tree with LCA queries (binary lifting).
+class Tree {
+ public:
+  /// parent[v] in [0, v) for v >= 1 (node 0 is the root);
+  /// parent_edge_weight[v] = weight of the edge v -> parent[v].
+  Tree(std::vector<int> parent, std::vector<Time> parent_edge_weight);
+
+  int size() const noexcept { return static_cast<int>(parent_.size()); }
+  int lca(int u, int v) const;
+  Time dist(int u, int v) const;
+  int depth(int v) const { return depth_[static_cast<std::size_t>(v)]; }
+
+  /// True iff node x lies on the (unique) path between a and b.
+  bool on_path(int x, int a, int b) const;
+
+  /// True iff path (u1, v1) is contained in path (u2, v2) — for trees this
+  /// holds iff both endpoints of the first lie on the second.
+  bool path_contains(int u2, int v2, int u1, int v1) const;
+
+ private:
+  std::vector<int> parent_;
+  std::vector<Time> parent_weight_;
+  std::vector<int> depth_;
+  std::vector<Time> dist_root_;
+  std::vector<std::vector<int>> up_;  // binary lifting table
+};
+
+/// A path job between two tree nodes.
+struct TreePath {
+  int u = 0;
+  int v = 0;
+};
+
+struct TreeSchedule {
+  std::vector<std::int32_t> machine;  ///< per path
+  Time cost = 0;
+  std::int32_t machines_used = 0;
+};
+
+/// The Section 5 greedy for tree instances; `g` is the grooming factor.
+/// Cost = Σ over sets of the union length of their paths.
+TreeSchedule solve_tree_one_sided(const Tree& tree, const std::vector<TreePath>& paths,
+                                  int g);
+
+/// Baseline: every path its own machine — cost = Σ path lengths.
+Time tree_paths_total_length(const Tree& tree, const std::vector<TreePath>& paths);
+
+}  // namespace busytime

@@ -1,0 +1,240 @@
+#include "extensions/weighted_tput.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+#include "core/classify.hpp"
+
+namespace busytime {
+
+namespace {
+
+constexpr Time kInf = std::numeric_limits<Time>::max() / 4;
+
+/// One Pareto point: minimal cost for this weight, with provenance for
+/// schedule reconstruction.
+struct Point {
+  Time cost = 0;
+  std::int64_t weight = 0;
+  int prev_i = 0;       ///< frontier index this point came from
+  int prev_point = 0;   ///< point index within F[prev_i]
+  int window_a = -1;    ///< window [a, i] opened here; -1 = job i skipped
+};
+
+/// Frontier: sorted by ascending cost, strictly increasing weight.
+using Frontier = std::vector<Point>;
+
+Frontier prune(Frontier all) {
+  std::sort(all.begin(), all.end(), [](const Point& a, const Point& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.weight > b.weight;
+  });
+  Frontier out;
+  std::int64_t best_weight = -1;
+  for (const Point& p : all) {
+    if (p.weight > best_weight) {
+      out.push_back(p);
+      best_weight = p.weight;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+WeightedTputResult solve_proper_clique_weighted_tput(const Instance& inst, Time budget) {
+  assert(is_proper(inst) && is_clique(inst));
+  assert(budget >= 0);
+  const int n = static_cast<int>(inst.size());
+  WeightedTputResult result{Schedule(inst.size()), 0, 0};
+  if (n == 0) return result;
+  const int g = inst.g();
+
+  const auto order = inst.ids_by_start();
+  std::vector<Time> start(static_cast<std::size_t>(n)), completion(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> weight(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const Job& job = inst.job(order[static_cast<std::size_t>(i)]);
+    start[static_cast<std::size_t>(i)] = job.start();
+    completion[static_cast<std::size_t>(i)] = job.completion();
+    weight[static_cast<std::size_t>(i)] = job.weight;
+    assert(job.weight >= 0);
+  }
+
+  // window_weight[a][b] = scheduled weight of window [a, b]: both endpoints
+  // plus the heaviest min(g-2, b-a-1) interior jobs.  Single-job windows are
+  // always allowed; two-or-more-job windows require g >= 2.
+  // Computed with a running min-heap of the kept interior weights per a.
+  std::vector<std::vector<std::int64_t>> window_weight(
+      static_cast<std::size_t>(n), std::vector<std::int64_t>(static_cast<std::size_t>(n), -1));
+  for (int a = 0; a < n; ++a) {
+    window_weight[static_cast<std::size_t>(a)][static_cast<std::size_t>(a)] =
+        weight[static_cast<std::size_t>(a)];
+    if (g < 2) continue;
+    // kept = heaviest (g-2) interior weights so far; spill holds the rest.
+    std::priority_queue<std::int64_t, std::vector<std::int64_t>, std::greater<>> kept;
+    std::int64_t kept_sum = 0;
+    for (int b = a + 1; b < n; ++b) {
+      // Interior gains job b-1 when the window extends from b-1 to b.
+      if (b - 1 > a) {
+        const std::int64_t w = weight[static_cast<std::size_t>(b - 1)];
+        kept.push(w);
+        kept_sum += w;
+        if (static_cast<int>(kept.size()) > g - 2) {
+          kept_sum -= kept.top();
+          kept.pop();
+        }
+      }
+      window_weight[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+          weight[static_cast<std::size_t>(a)] + weight[static_cast<std::size_t>(b)] + kept_sum;
+    }
+  }
+
+  // DP over prefixes: F[i] = Pareto frontier after deciding jobs 1..i
+  // (1-based); F[0] = {(0, 0)}.
+  std::vector<Frontier> frontier(static_cast<std::size_t>(n) + 1);
+  frontier[0] = {{0, 0, 0, 0, -1}};
+  for (int i = 1; i <= n; ++i) {
+    Frontier all;
+    // Job i unscheduled.
+    for (std::size_t k = 0; k < frontier[static_cast<std::size_t>(i - 1)].size(); ++k) {
+      Point p = frontier[static_cast<std::size_t>(i - 1)][k];
+      p.prev_i = i - 1;
+      p.prev_point = static_cast<int>(k);
+      p.window_a = -1;
+      all.push_back(p);
+    }
+    // Window [a, i] (1-based a) closing at job i.
+    for (int a = 1; a <= i; ++a) {
+      if (a < i && g < 2) continue;  // multi-job windows need g >= 2
+      const std::int64_t w =
+          window_weight[static_cast<std::size_t>(a - 1)][static_cast<std::size_t>(i - 1)];
+      const Time c = completion[static_cast<std::size_t>(i - 1)] -
+                     start[static_cast<std::size_t>(a - 1)];
+      for (std::size_t k = 0; k < frontier[static_cast<std::size_t>(a - 1)].size(); ++k) {
+        const Point& base = frontier[static_cast<std::size_t>(a - 1)][k];
+        if (base.cost + c > budget) break;  // frontier sorted by cost
+        all.push_back({base.cost + c, base.weight + w, a - 1, static_cast<int>(k), a});
+      }
+    }
+    frontier[static_cast<std::size_t>(i)] = prune(std::move(all));
+  }
+
+  // Best point within budget (frontiers only ever contain cost <= budget
+  // for window transitions; skip transitions preserve that).
+  const Frontier& last = frontier[static_cast<std::size_t>(n)];
+  int best = -1;
+  for (std::size_t k = 0; k < last.size(); ++k) {
+    if (last[k].cost > budget) break;
+    if (best == -1 || last[k].weight > last[static_cast<std::size_t>(best)].weight)
+      best = static_cast<int>(k);
+  }
+  if (best == -1) return result;
+
+  result.weight = last[static_cast<std::size_t>(best)].weight;
+  result.cost = last[static_cast<std::size_t>(best)].cost;
+
+  // Walk provenance backwards, materializing windows.
+  int i = n;
+  int point = best;
+  MachineId machine = 0;
+  while (i > 0) {
+    const Point& p = frontier[static_cast<std::size_t>(i)][static_cast<std::size_t>(point)];
+    if (p.window_a == -1) {
+      point = p.prev_point;
+      i = p.prev_i;
+      continue;
+    }
+    const int a = p.window_a;  // window [a, i] 1-based
+    // Schedule endpoints and the heaviest g-2 interiors (ties -> lower
+    // index, matching top_k accounting by any consistent rule).
+    result.schedule.assign(order[static_cast<std::size_t>(a - 1)], machine);
+    if (i > a) result.schedule.assign(order[static_cast<std::size_t>(i - 1)], machine);
+    if (i > a + 1 && g >= 3) {
+      std::vector<std::pair<std::int64_t, int>> interior;  // (weight, index)
+      for (int x = a + 1; x <= i - 1; ++x)
+        interior.push_back({weight[static_cast<std::size_t>(x - 1)], x});
+      std::sort(interior.begin(), interior.end(), [](const auto& lhs, const auto& rhs) {
+        if (lhs.first != rhs.first) return lhs.first > rhs.first;
+        return lhs.second < rhs.second;
+      });
+      for (int k = 0; k < std::min<int>(g - 2, static_cast<int>(interior.size())); ++k)
+        result.schedule.assign(
+            order[static_cast<std::size_t>(interior[static_cast<std::size_t>(k)].second - 1)],
+            machine);
+    }
+    ++machine;
+    point = p.prev_point;
+    i = p.prev_i;
+  }
+  result.schedule.compact();
+  assert(result.schedule.weighted_throughput(inst) == result.weight);
+  assert(result.schedule.cost(inst) <= budget);
+  return result;
+}
+
+WeightedTputResult exact_weighted_tput_clique(const Instance& inst, Time budget) {
+  assert(is_clique(inst));
+  assert(inst.size() <= 18);
+  const int n = static_cast<int>(inst.size());
+  WeightedTputResult result{Schedule(inst.size()), 0, 0};
+  if (n == 0) return result;
+  const std::size_t full = std::size_t{1} << n;
+  const int g = inst.g();
+
+  std::vector<Time> min_start(full, kInf), max_completion(full, 0);
+  std::vector<std::int64_t> mask_weight(full, 0);
+  for (std::size_t mask = 1; mask < full; ++mask) {
+    const int v = std::countr_zero(mask);
+    const std::size_t rest = mask & (mask - 1);
+    min_start[mask] = std::min(rest ? min_start[rest] : kInf, inst.job(v).start());
+    max_completion[mask] =
+        std::max(rest ? max_completion[rest] : Time{0}, inst.job(v).completion());
+    mask_weight[mask] = mask_weight[rest] + inst.job(v).weight;
+  }
+
+  std::vector<Time> cost(full, kInf);
+  std::vector<std::size_t> group_of(full, 0);
+  cost[0] = 0;
+  for (std::size_t mask = 1; mask < full; ++mask) {
+    const std::size_t low = mask & (~mask + 1);
+    const std::size_t rest = mask ^ low;
+    for (std::size_t sub = rest;; sub = (sub - 1) & rest) {
+      const std::size_t group = sub | low;
+      if (std::popcount(group) <= g) {
+        const Time cand = cost[mask ^ group] + (max_completion[group] - min_start[group]);
+        if (cand < cost[mask]) {
+          cost[mask] = cand;
+          group_of[mask] = group;
+        }
+      }
+      if (sub == 0) break;
+    }
+  }
+
+  std::size_t best_mask = 0;
+  for (std::size_t mask = 0; mask < full; ++mask) {
+    if (cost[mask] > budget) continue;
+    if (mask_weight[mask] > result.weight ||
+        (mask_weight[mask] == result.weight && cost[mask] < cost[best_mask])) {
+      result.weight = mask_weight[mask];
+      best_mask = mask;
+    }
+  }
+  result.cost = cost[best_mask];
+  std::size_t mask = best_mask;
+  MachineId machine = 0;
+  while (mask) {
+    const std::size_t group = group_of[mask];
+    for (std::size_t rem = group; rem; rem &= rem - 1)
+      result.schedule.assign(std::countr_zero(rem), machine);
+    ++machine;
+    mask ^= group;
+  }
+  return result;
+}
+
+}  // namespace busytime

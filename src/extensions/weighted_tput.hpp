@@ -1,0 +1,44 @@
+// Weighted throughput (Section 5 open problem, "extend the results to
+// weighted throughput").
+//
+// Lemma 4.3's consecutive-block structure does NOT survive weights: an
+// optimal machine may skip a low-weight job lying strictly inside its span
+// (interior jobs are free in busy time, but capacity g forces choosing the
+// heaviest ones).  The correct structure, proved by an uncrossing exchange
+// (swapping interleaved machines' index windows never raises cost, by
+// Property 3.1 monotonicity), is:
+//
+//   some optimal schedule partitions the scheduled jobs into machines whose
+//   index windows [a, b] are pairwise disjoint; each machine schedules both
+//   endpoint jobs plus the heaviest <= g-2 interior jobs of its window, at
+//   cost c_b - s_a.
+//
+// The DP scans windows with Pareto frontiers of (cost, weight) pairs; it is
+// pseudo-polynomial — O(n^2 (log n + F)) for frontier size F <= total
+// weight — consistent with the weighted problem containing knapsack.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace busytime {
+
+struct WeightedTputResult {
+  Schedule schedule;
+  std::int64_t weight = 0;  ///< total scheduled weight
+  Time cost = 0;
+};
+
+/// Maximum scheduled *weight* under busy-time budget for a proper clique
+/// instance (asserts is_proper && is_clique).  Job weights come from
+/// Job::weight (>= 0).
+WeightedTputResult solve_proper_clique_weighted_tput(const Instance& inst, Time budget);
+
+/// Exact reference for clique instances by subset enumeration
+/// (n <= 18): max total weight over subsets whose exact MinBusy cost fits.
+WeightedTputResult exact_weighted_tput_clique(const Instance& inst, Time budget);
+
+}  // namespace busytime

@@ -1,0 +1,80 @@
+#include "intervalgraph/interval_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <queue>
+
+namespace busytime {
+
+IntervalGraph::IntervalGraph(const Instance& inst) {
+  const std::size_t n = inst.size();
+  adjacency_.assign(n, {});
+
+  // Sweep in start order keeping an "active" set; each new interval overlaps
+  // exactly the active intervals with completion > its start.  Worst case
+  // O(n^2) edges (a clique), which is inherent to materializing the graph.
+  const auto ids = inst.ids_by_start();
+  std::vector<JobId> active;
+  for (const JobId v : ids) {
+    const Interval& iv = inst.job(v).interval;
+    // Drop expired actives.
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [&](JobId u) {
+                                  return inst.job(u).completion() <= iv.start;
+                                }),
+                 active.end());
+    for (const JobId u : active) {
+      const Time w = iv.overlap_length(inst.job(u).interval);
+      assert(w > 0);
+      adjacency_[static_cast<std::size_t>(u)].push_back(v);
+      adjacency_[static_cast<std::size_t>(v)].push_back(u);
+      edges_.push_back({std::min(u, v), std::max(u, v), w});
+    }
+    active.push_back(v);
+  }
+  for (auto& neigh : adjacency_) std::sort(neigh.begin(), neigh.end());
+}
+
+bool IntervalGraph::adjacent(JobId a, JobId b) const {
+  const auto& neigh = neighbors(a);
+  return std::binary_search(neigh.begin(), neigh.end(), b);
+}
+
+std::vector<int> interval_coloring(const std::vector<Interval>& intervals) {
+  const std::size_t n = intervals.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (intervals[a].start != intervals[b].start)
+      return intervals[a].start < intervals[b].start;
+    return intervals[a].completion < intervals[b].completion;
+  });
+
+  std::vector<int> color(n, -1);
+  // Min-heap of (completion, color) for active intervals; a color is free
+  // for interval I iff its holder completes at or before I starts.
+  std::priority_queue<std::pair<Time, int>, std::vector<std::pair<Time, int>>,
+                      std::greater<>>
+      active;
+  int next_color = 0;
+  for (const std::size_t i : order) {
+    if (!active.empty() && active.top().first <= intervals[i].start) {
+      color[i] = active.top().second;
+      active.pop();
+    } else {
+      color[i] = next_color++;
+    }
+    active.push({intervals[i].completion, color[i]});
+  }
+  return color;
+}
+
+int chromatic_number(const std::vector<Interval>& intervals) {
+  const auto colors = interval_coloring(intervals);
+  int max_color = -1;
+  for (const int c : colors) max_color = std::max(max_color, c);
+  return max_color + 1;
+}
+
+}  // namespace busytime

@@ -1,0 +1,173 @@
+#include "io/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace busytime {
+
+namespace {
+
+/// Reads lines, strips '#' comments, skips blanks, tracks line numbers.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& is) : is_(is) {}
+
+  /// Next non-empty line as a token stream; false at EOF.
+  bool next(std::istringstream& tokens) {
+    std::string line;
+    while (std::getline(is_, line)) {
+      ++line_number_;
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      // Skip if only whitespace remains.
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      tokens = std::istringstream(line);
+      return true;
+    }
+    return false;
+  }
+
+  int line() const noexcept { return line_number_; }
+
+ private:
+  std::istream& is_;
+  int line_number_ = 0;
+};
+
+}  // namespace
+
+void write_instance(std::ostream& os, const Instance& inst) {
+  os << "busytime-instance v1\n";
+  os << "g " << inst.g() << "\n";
+  for (const auto& job : inst.jobs()) {
+    os << "job " << job.start() << " " << job.completion();
+    if (job.weight != 1 || job.demand != 1) os << " " << job.weight;
+    if (job.demand != 1) os << " " << job.demand;
+    os << "\n";
+  }
+}
+
+Instance read_instance(std::istream& is) {
+  LineReader reader(is);
+  std::istringstream tokens;
+
+  if (!reader.next(tokens)) throw ParseError(reader.line(), "empty input");
+  std::string magic, version;
+  tokens >> magic >> version;
+  if (magic != "busytime-instance" || version != "v1")
+    throw ParseError(reader.line(), "expected 'busytime-instance v1' header");
+
+  int g = 0;
+  std::vector<Job> jobs;
+  while (reader.next(tokens)) {
+    std::string keyword;
+    tokens >> keyword;
+    if (keyword == "g") {
+      if (!(tokens >> g) || g < 1)
+        throw ParseError(reader.line(), "g must be an integer >= 1");
+    } else if (keyword == "job") {
+      Time start = 0, completion = 0;
+      if (!(tokens >> start >> completion))
+        throw ParseError(reader.line(), "job needs <start> <completion>");
+      if (completion <= start)
+        throw ParseError(reader.line(), "job must have positive length");
+      Job job(start, completion);
+      if (tokens >> job.weight) {
+        if (job.weight < 0) throw ParseError(reader.line(), "negative weight");
+        if (tokens >> job.demand) {
+          if (job.demand < 1) throw ParseError(reader.line(), "demand must be >= 1");
+        }
+      }
+      jobs.push_back(job);
+    } else {
+      throw ParseError(reader.line(), "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (g < 1) throw ParseError(reader.line(), "missing 'g' line");
+  return Instance(std::move(jobs), g);
+}
+
+void write_schedule(std::ostream& os, const Schedule& s) {
+  os << "busytime-schedule v1\n";
+  os << "n " << s.size() << "\n";
+  for (std::size_t j = 0; j < s.size(); ++j)
+    if (s.is_scheduled(static_cast<JobId>(j)))
+      os << "assign " << j << " " << s.machine_of(static_cast<JobId>(j)) << "\n";
+}
+
+Schedule read_schedule(std::istream& is, std::size_t expected_jobs) {
+  LineReader reader(is);
+  std::istringstream tokens;
+
+  if (!reader.next(tokens)) throw ParseError(reader.line(), "empty input");
+  std::string magic, version;
+  tokens >> magic >> version;
+  if (magic != "busytime-schedule" || version != "v1")
+    throw ParseError(reader.line(), "expected 'busytime-schedule v1' header");
+
+  std::size_t n = 0;
+  bool have_n = false;
+  Schedule s(expected_jobs);
+  while (reader.next(tokens)) {
+    std::string keyword;
+    tokens >> keyword;
+    if (keyword == "n") {
+      if (!(tokens >> n)) throw ParseError(reader.line(), "n needs a count");
+      if (n != expected_jobs)
+        throw ParseError(reader.line(),
+                         "schedule is for " + std::to_string(n) + " jobs, expected " +
+                             std::to_string(expected_jobs));
+      have_n = true;
+    } else if (keyword == "assign") {
+      long long job = -1, machine = -1;
+      if (!(tokens >> job >> machine))
+        throw ParseError(reader.line(), "assign needs <job> <machine>");
+      if (job < 0 || static_cast<std::size_t>(job) >= expected_jobs)
+        throw ParseError(reader.line(), "job id out of range");
+      if (machine < 0) throw ParseError(reader.line(), "machine id must be >= 0");
+      s.assign(static_cast<JobId>(job), static_cast<MachineId>(machine));
+    } else {
+      throw ParseError(reader.line(), "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!have_n) throw ParseError(reader.line(), "missing 'n' line");
+  return s;
+}
+
+namespace {
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  return is;
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  return os;
+}
+
+}  // namespace
+
+void save_instance(const std::string& path, const Instance& inst) {
+  auto os = open_out(path);
+  write_instance(os, inst);
+}
+
+Instance load_instance(const std::string& path) {
+  auto is = open_in(path);
+  return read_instance(is);
+}
+
+void save_schedule(const std::string& path, const Schedule& s) {
+  auto os = open_out(path);
+  write_schedule(os, s);
+}
+
+Schedule load_schedule(const std::string& path, std::size_t expected_jobs) {
+  auto is = open_in(path);
+  return read_schedule(is, expected_jobs);
+}
+
+}  // namespace busytime

@@ -1,0 +1,53 @@
+// Plain-text serialization of instances and schedules.
+//
+// Format (line-oriented, '#' comments, whitespace-separated):
+//
+//   busytime-instance v1
+//   g <capacity>
+//   job <start> <completion> [weight] [demand]     (one line per job)
+//
+//   busytime-schedule v1
+//   n <jobs>
+//   assign <job> <machine>                         (unscheduled jobs omitted)
+//
+// Designed for experiment reproducibility: dumps are deterministic, diffs
+// are reviewable, and loads validate invariants (positive lengths, g >= 1,
+// ids in range) with error positions.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace busytime {
+
+/// Raised on malformed input; what() names the offending line.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+void write_instance(std::ostream& os, const Instance& inst);
+Instance read_instance(std::istream& is);
+
+void write_schedule(std::ostream& os, const Schedule& s);
+/// `expected_jobs` guards against pairing a schedule with the wrong
+/// instance.
+Schedule read_schedule(std::istream& is, std::size_t expected_jobs);
+
+/// File-path conveniences (throw std::runtime_error on I/O failure).
+void save_instance(const std::string& path, const Instance& inst);
+Instance load_instance(const std::string& path);
+void save_schedule(const std::string& path, const Schedule& s);
+Schedule load_schedule(const std::string& path, std::size_t expected_jobs);
+
+}  // namespace busytime

@@ -1,0 +1,334 @@
+#include "matching/blossom.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+
+namespace busytime {
+
+namespace {
+
+// O(n^3) maximum-weight general matching, primal-dual with blossom
+// shrinking.  Internal indices are 1-based; indices in (n, n_x] are shrunken
+// blossoms ("flowers").  Edge weights are doubled so vertex duals (lab) stay
+// integral throughout (half-integrality of the LP duals).
+class Blossom {
+ public:
+  explicit Blossom(int n)
+      : n_(n),
+        max_nodes_(2 * n + 1),
+        graph_(static_cast<std::size_t>(max_nodes_) + 1,
+               std::vector<Edge>(static_cast<std::size_t>(max_nodes_) + 1)),
+        flower_(static_cast<std::size_t>(max_nodes_) + 1),
+        flower_from_(static_cast<std::size_t>(max_nodes_) + 1,
+                     std::vector<int>(static_cast<std::size_t>(n_) + 1, 0)),
+        lab_(static_cast<std::size_t>(max_nodes_) + 1, 0),
+        match_(static_cast<std::size_t>(max_nodes_) + 1, 0),
+        slack_(static_cast<std::size_t>(max_nodes_) + 1, 0),
+        st_(static_cast<std::size_t>(max_nodes_) + 1, 0),
+        pa_(static_cast<std::size_t>(max_nodes_) + 1, 0),
+        state_(static_cast<std::size_t>(max_nodes_) + 1, -1),
+        vis_(static_cast<std::size_t>(max_nodes_) + 1, 0) {
+    for (int u = 0; u <= max_nodes_; ++u) {
+      for (int v = 0; v <= max_nodes_; ++v) {
+        graph_[u][v] = Edge{u, v, 0};
+      }
+    }
+  }
+
+  void add_edge(int u, int v, std::int64_t w) {
+    // 1-based; doubled weight keeps duals integral.
+    if (w * 2 > graph_[u][v].w) {
+      graph_[u][v].w = w * 2;
+      graph_[v][u].w = w * 2;
+    }
+  }
+
+  MatchingResult solve() {
+    std::fill(match_.begin(), match_.end(), 0);
+    n_x_ = n_;
+    std::int64_t w_max = 0;
+    for (int u = 0; u <= n_; ++u) {
+      st_[u] = u;
+      flower_[u].clear();
+    }
+    for (int u = 1; u <= n_; ++u) {
+      for (int v = 1; v <= n_; ++v) {
+        flower_from_[u][v] = (u == v ? u : 0);
+        w_max = std::max(w_max, graph_[u][v].w);
+      }
+    }
+    for (int u = 1; u <= n_; ++u) lab_[u] = w_max;
+
+    while (grow_matching()) {
+    }
+
+    MatchingResult result;
+    result.mate.assign(static_cast<std::size_t>(n_), -1);
+    for (int u = 1; u <= n_; ++u) {
+      if (match_[u]) result.mate[u - 1] = match_[u] - 1;
+      if (match_[u] && match_[u] < u) result.weight += graph_[u][match_[u]].w / 2;
+    }
+    return result;
+  }
+
+ private:
+  struct Edge {
+    int u = 0, v = 0;
+    std::int64_t w = 0;
+  };
+
+  static constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+  std::int64_t e_delta(const Edge& e) const {  // reduced cost (slack) of edge
+    return lab_[e.u] + lab_[e.v] - graph_[e.u][e.v].w;
+  }
+
+  void update_slack(int u, int x) {
+    if (!slack_[x] || e_delta(graph_[u][x]) < e_delta(graph_[slack_[x]][x]))
+      slack_[x] = u;
+  }
+
+  void set_slack(int x) {
+    slack_[x] = 0;
+    for (int u = 1; u <= n_; ++u)
+      if (graph_[u][x].w > 0 && st_[u] != x && state_[st_[u]] == 0)
+        update_slack(u, x);
+  }
+
+  void queue_push(int x) {
+    if (x <= n_) {
+      queue_.push_back(x);
+    } else {
+      for (const int sub : flower_[x]) queue_push(sub);
+    }
+  }
+
+  void set_st(int x, int b) {
+    st_[x] = b;
+    if (x > n_)
+      for (const int sub : flower_[x]) set_st(sub, b);
+  }
+
+  int get_pr(int b, int xr) {
+    const auto pos = std::find(flower_[b].begin(), flower_[b].end(), xr) -
+                     flower_[b].begin();
+    int pr = static_cast<int>(pos);
+    if (pr % 2 == 1) {  // walk the even way around the odd cycle
+      std::reverse(flower_[b].begin() + 1, flower_[b].end());
+      return static_cast<int>(flower_[b].size()) - pr;
+    }
+    return pr;
+  }
+
+  void set_match(int u, int v) {
+    match_[u] = graph_[u][v].v;
+    if (u <= n_) return;
+    const Edge e = graph_[u][v];
+    const int xr = flower_from_[u][e.u];
+    const int pr = get_pr(u, xr);
+    for (int i = 0; i < pr; ++i) set_match(flower_[u][i], flower_[u][i ^ 1]);
+    set_match(xr, v);
+    std::rotate(flower_[u].begin(), flower_[u].begin() + pr, flower_[u].end());
+  }
+
+  void augment(int u, int v) {
+    for (;;) {
+      const int xnv = st_[match_[u]];
+      set_match(u, v);
+      if (!xnv) return;
+      set_match(xnv, st_[pa_[xnv]]);
+      u = st_[pa_[xnv]];
+      v = xnv;
+    }
+  }
+
+  int get_lca(int u, int v) {
+    static int timestamp = 0;
+    for (++timestamp; u || v; std::swap(u, v)) {
+      if (u == 0) continue;
+      if (vis_[u] == timestamp) return u;
+      vis_[u] = timestamp;
+      u = st_[match_[u]];
+      if (u) u = st_[pa_[u]];
+    }
+    return 0;
+  }
+
+  void add_blossom(int u, int lca, int v) {
+    int b = n_ + 1;
+    while (b <= n_x_ && st_[b]) ++b;
+    if (b > n_x_) ++n_x_;
+    assert(n_x_ <= max_nodes_);
+    lab_[b] = 0;
+    state_[b] = 0;
+    match_[b] = match_[lca];
+    flower_[b].clear();
+    flower_[b].push_back(lca);
+    for (int x = u, y; x != lca; x = st_[pa_[y]]) {
+      flower_[b].push_back(x);
+      flower_[b].push_back(y = st_[match_[x]]);
+      queue_push(y);
+    }
+    std::reverse(flower_[b].begin() + 1, flower_[b].end());
+    for (int x = v, y; x != lca; x = st_[pa_[y]]) {
+      flower_[b].push_back(x);
+      flower_[b].push_back(y = st_[match_[x]]);
+      queue_push(y);
+    }
+    set_st(b, b);
+    for (int x = 1; x <= n_x_; ++x) graph_[b][x].w = graph_[x][b].w = 0;
+    for (int x = 1; x <= n_; ++x) flower_from_[b][x] = 0;
+    for (const int xs : flower_[b]) {
+      for (int x = 1; x <= n_x_; ++x)
+        if (graph_[b][x].w == 0 || e_delta(graph_[xs][x]) < e_delta(graph_[b][x])) {
+          graph_[b][x] = graph_[xs][x];
+          graph_[x][b] = graph_[x][xs];
+        }
+      for (int x = 1; x <= n_; ++x)
+        if (flower_from_[xs][x]) flower_from_[b][x] = xs;
+    }
+    set_slack(b);
+  }
+
+  void expand_blossom(int b) {
+    for (const int sub : flower_[b]) set_st(sub, sub);
+    const int xr = flower_from_[b][graph_[b][pa_[b]].u];
+    const int pr = get_pr(b, xr);
+    for (int i = 0; i < pr; i += 2) {
+      const int xs = flower_[b][i];
+      const int xns = flower_[b][i + 1];
+      pa_[xs] = graph_[xns][xs].u;
+      state_[xs] = 1;
+      state_[xns] = 0;
+      slack_[xs] = 0;
+      set_slack(xns);
+      queue_push(xns);
+    }
+    state_[xr] = 1;
+    pa_[xr] = pa_[b];
+    for (std::size_t i = static_cast<std::size_t>(pr) + 1; i < flower_[b].size(); ++i) {
+      const int xs = flower_[b][i];
+      state_[xs] = -1;
+      set_slack(xs);
+    }
+    st_[b] = 0;
+  }
+
+  bool on_found_edge(const Edge& e) {
+    const int u = st_[e.u];
+    const int v = st_[e.v];
+    if (state_[v] == -1) {
+      pa_[v] = e.u;
+      state_[v] = 1;
+      const int nu = st_[match_[v]];
+      slack_[v] = slack_[nu] = 0;
+      state_[nu] = 0;
+      queue_push(nu);
+    } else if (state_[v] == 0) {
+      const int lca = get_lca(u, v);
+      if (!lca) {
+        augment(u, v);
+        augment(v, u);
+        return true;
+      }
+      add_blossom(u, lca, v);
+    }
+    return false;
+  }
+
+  bool grow_matching() {
+    std::fill(state_.begin(), state_.begin() + n_x_ + 1, -1);
+    std::fill(slack_.begin(), slack_.begin() + n_x_ + 1, 0);
+    queue_.clear();
+    for (int x = 1; x <= n_x_; ++x)
+      if (st_[x] == x && !match_[x]) {
+        pa_[x] = 0;
+        state_[x] = 0;
+        queue_push(x);
+      }
+    if (queue_.empty()) return false;
+
+    for (;;) {
+      while (!queue_.empty()) {
+        const int u = queue_.front();
+        queue_.pop_front();
+        if (state_[st_[u]] == 1) continue;
+        for (int v = 1; v <= n_; ++v)
+          if (graph_[u][v].w > 0 && st_[u] != st_[v]) {
+            if (e_delta(graph_[u][v]) == 0) {
+              if (on_found_edge(graph_[u][v])) return true;
+            } else {
+              update_slack(u, st_[v]);
+            }
+          }
+      }
+      // Dual adjustment.
+      std::int64_t d = kInf;
+      for (int b = n_ + 1; b <= n_x_; ++b)
+        if (st_[b] == b && state_[b] == 1) d = std::min(d, lab_[b] / 2);
+      for (int x = 1; x <= n_x_; ++x)
+        if (st_[x] == x && slack_[x]) {
+          if (state_[x] == -1)
+            d = std::min(d, e_delta(graph_[slack_[x]][x]));
+          else if (state_[x] == 0)
+            d = std::min(d, e_delta(graph_[slack_[x]][x]) / 2);
+        }
+      for (int u = 1; u <= n_; ++u) {
+        if (state_[st_[u]] == 0) {
+          if (lab_[u] <= d) return false;  // dual would go negative: optimal
+          lab_[u] -= d;
+        } else if (state_[st_[u]] == 1) {
+          lab_[u] += d;
+        }
+      }
+      for (int b = n_ + 1; b <= n_x_; ++b)
+        if (st_[b] == b) {
+          if (state_[b] == 0)
+            lab_[b] += d * 2;
+          else if (state_[b] == 1)
+            lab_[b] -= d * 2;
+        }
+      queue_.clear();
+      for (int x = 1; x <= n_x_; ++x)
+        if (st_[x] == x && slack_[x] && st_[slack_[x]] != x &&
+            e_delta(graph_[slack_[x]][x]) == 0)
+          if (on_found_edge(graph_[slack_[x]][x])) return true;
+      for (int b = n_ + 1; b <= n_x_; ++b)
+        if (st_[b] == b && state_[b] == 1 && lab_[b] == 0) expand_blossom(b);
+    }
+  }
+
+  int n_;
+  int n_x_ = 0;  // number of live node ids (vertices + flowers)
+  int max_nodes_;
+  std::vector<std::vector<Edge>> graph_;
+  std::vector<std::vector<int>> flower_;
+  std::vector<std::vector<int>> flower_from_;
+  std::vector<std::int64_t> lab_;  // dual variables
+  std::vector<int> match_;
+  std::vector<int> slack_;
+  std::vector<int> st_;  // surface (outermost blossom) of each node
+  std::vector<int> pa_;
+  std::vector<int> state_;  // -1 unlabeled, 0 even (S), 1 odd (T)
+  std::vector<int> vis_;
+  std::deque<int> queue_;
+};
+
+}  // namespace
+
+MatchingResult max_weight_matching(int n, const std::vector<WeightedEdge>& edges) {
+  assert(n >= 0);
+  if (n == 0) return MatchingResult{{}, 0};
+  Blossom blossom(n);
+  for (const auto& e : edges) {
+    assert(e.u >= 0 && e.u < n && e.v >= 0 && e.v < n);
+    assert(e.weight >= 0);
+    if (e.u == e.v || e.weight == 0) continue;  // loops/zero edges are no-ops
+    blossom.add_edge(e.u + 1, e.v + 1, e.weight);
+  }
+  return blossom.solve();
+}
+
+}  // namespace busytime

@@ -1,0 +1,27 @@
+// Maximum-weight matching in general graphs.
+//
+// Substrate for Lemma 3.1: on clique instances with g = 2, MinBusy reduces
+// to maximum-weight matching on the overlap graph G_m (saving = matching
+// weight).  Interval overlap graphs are not bipartite, so we need the full
+// blossom machinery.
+//
+// Implementation: the classic O(n^3) primal-dual algorithm with blossom
+// shrinking and half-integral duals (Galil's exposition; the shrunken
+// blossoms are kept as "flowers" with explicit vertex cycles).  Weights are
+// doubled internally so all dual values stay integral.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "matching/matching_types.hpp"
+
+namespace busytime {
+
+/// Computes a maximum-weight matching (not necessarily perfect nor maximum
+/// cardinality) of the graph with `n` vertices and the given non-negative
+/// weighted edges.  Vertices are 0-based.  Parallel edges keep the heaviest.
+/// O(n^3) time, O(n^2) memory.
+MatchingResult max_weight_matching(int n, const std::vector<WeightedEdge>& edges);
+
+}  // namespace busytime

@@ -1,0 +1,17 @@
+// Exact maximum-weight matching by bitmask dynamic programming.
+//
+// O(2^n * n) time — the reference oracle used by the tests to validate the
+// blossom implementation, and a fallback for tiny graphs.
+#pragma once
+
+#include <vector>
+
+#include "matching/matching_types.hpp"
+
+namespace busytime {
+
+/// Exact maximum-weight matching for n <= 24 vertices.  Weights must be
+/// non-negative.  Returns mate[] and total weight.
+MatchingResult max_weight_matching_dp(int n, const std::vector<WeightedEdge>& edges);
+
+}  // namespace busytime

@@ -1,0 +1,31 @@
+#include "matching/greedy_matching.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace busytime {
+
+MatchingResult greedy_matching(int n, const std::vector<WeightedEdge>& edges) {
+  assert(n >= 0);
+  std::vector<WeightedEdge> sorted = edges;
+  std::sort(sorted.begin(), sorted.end(), [](const WeightedEdge& a, const WeightedEdge& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  });
+
+  MatchingResult result;
+  result.mate.assign(static_cast<std::size_t>(n), -1);
+  for (const auto& e : sorted) {
+    assert(e.u >= 0 && e.u < n && e.v >= 0 && e.v < n && e.weight >= 0);
+    if (e.u == e.v || e.weight == 0) continue;
+    if (result.mate[static_cast<std::size_t>(e.u)] != -1) continue;
+    if (result.mate[static_cast<std::size_t>(e.v)] != -1) continue;
+    result.mate[static_cast<std::size_t>(e.u)] = e.v;
+    result.mate[static_cast<std::size_t>(e.v)] = e.u;
+    result.weight += e.weight;
+  }
+  return result;
+}
+
+}  // namespace busytime

@@ -1,0 +1,17 @@
+// Greedy maximum-weight matching baseline.
+//
+// Sort edges by non-increasing weight and take any edge whose endpoints are
+// both free: a classic 1/2-approximation.  Used as an ablation baseline to
+// show how much of Lemma 3.1's optimality the exact matcher buys.
+#pragma once
+
+#include <vector>
+
+#include "matching/matching_types.hpp"
+
+namespace busytime {
+
+/// Greedy matching; weight >= OPT/2.  O(m log m).
+MatchingResult greedy_matching(int n, const std::vector<WeightedEdge>& edges);
+
+}  // namespace busytime

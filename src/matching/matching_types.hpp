@@ -1,0 +1,30 @@
+// Shared types for the matching substrate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace busytime {
+
+/// Undirected weighted edge for matching problems.  Weights must be
+/// non-negative; zero-weight edges are treated as absent.
+struct WeightedEdge {
+  int u = 0;
+  int v = 0;
+  std::int64_t weight = 0;
+};
+
+/// A matching: mate[v] is the matched partner of v, or -1 if v is exposed.
+struct MatchingResult {
+  std::vector<int> mate;
+  std::int64_t weight = 0;
+
+  int matched_pairs() const noexcept {
+    int count = 0;
+    for (std::size_t v = 0; v < mate.size(); ++v)
+      if (mate[v] >= 0 && static_cast<std::size_t>(mate[v]) > v) ++count;
+    return count;
+  }
+};
+
+}  // namespace busytime

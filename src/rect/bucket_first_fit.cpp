@@ -1,0 +1,72 @@
+#include "rect/bucket_first_fit.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "rect/rect_first_fit.hpp"
+
+namespace busytime {
+
+BucketFirstFitResult solve_bucket_first_fit(const RectInstance& inst, double beta) {
+  assert(beta > 1.0);
+  BucketFirstFitResult result;
+  result.schedule = RectSchedule(inst.size());
+  if (inst.empty()) return result;
+
+  // Bucket along the dimension with smaller gamma (swap if needed).
+  const GammaStats gs = inst.gamma();
+  result.swapped_dims = gs.gamma2() < gs.gamma1();
+  auto len_bucket = [&](const Rect& r) { return result.swapped_dims ? r.len2() : r.len1(); };
+
+  Time min_len = len_bucket(inst.jobs().front());
+  for (const auto& r : inst.jobs()) min_len = std::min(min_len, len_bucket(r));
+
+  // bucket b holds jobs with len in [min_len * beta^(b-1), min_len * beta^b].
+  // Compute thresholds multiplicatively; ties at a boundary go to the lower
+  // bucket (any consistent rule keeps per-bucket gamma <= beta).
+  auto bucket_of = [&](Time len) {
+    int b = 0;
+    double upper = static_cast<double>(min_len) * beta;
+    while (static_cast<double>(len) > upper) {
+      upper *= beta;
+      ++b;
+    }
+    return b;
+  };
+
+  std::vector<std::vector<RectJobId>> buckets;
+  for (std::size_t j = 0; j < inst.size(); ++j) {
+    const int b = bucket_of(len_bucket(inst.jobs()[j]));
+    if (static_cast<std::size_t>(b) >= buckets.size())
+      buckets.resize(static_cast<std::size_t>(b) + 1);
+    buckets[static_cast<std::size_t>(b)].push_back(static_cast<RectJobId>(j));
+  }
+
+  std::int32_t machine_base = 0;
+  for (const auto& bucket : buckets) {
+    if (bucket.empty()) continue;
+    ++result.buckets_used;
+    // Sub-instance for this bucket (FirstFit sorts by the non-bucketed
+    // dimension's length, matching Algorithm 3's len2 ordering).
+    std::vector<Rect> sub_jobs;
+    sub_jobs.reserve(bucket.size());
+    for (const RectJobId j : bucket) {
+      const Rect& r = inst.job(j);
+      sub_jobs.push_back(result.swapped_dims ? Rect(r.dim2, r.dim1) : r);
+    }
+    const RectInstance sub(std::move(sub_jobs), inst.g());
+    const RectSchedule part = solve_rect_first_fit(sub);
+    std::int32_t max_machine = -1;
+    for (std::size_t k = 0; k < bucket.size(); ++k) {
+      const auto id = static_cast<RectJobId>(k);
+      result.schedule.assign(bucket[k], machine_base + part.machine_of(id),
+                             part.thread_of(id));
+      max_machine = std::max(max_machine, part.machine_of(id));
+    }
+    machine_base += max_machine + 1;
+  }
+  return result;
+}
+
+}  // namespace busytime

@@ -1,0 +1,31 @@
+// BucketFirstFit (Algorithm 4, Theorem 3.3): a
+// min(g, 13.82 * log min(gamma1, gamma2) + O(1))-approximation for MinBusy
+// on rectangular jobs.
+//
+// Jobs are bucketed by their dimension-1 length into geometric buckets of
+// ratio beta; FirstFit runs on each bucket with fresh machines.  Within a
+// bucket gamma1 <= beta, so FirstFit is a (6*beta + 4)-approximation there;
+// summing over the <= log_beta(gamma1) + 1 buckets gives the theorem, with
+// beta = 3.3 minimizing (6*beta + 4) / log2(beta) ~= 13.82.
+#pragma once
+
+#include "rect/rect_instance.hpp"
+#include "rect/rect_schedule.hpp"
+
+namespace busytime {
+
+/// The paper's bucket base.
+inline constexpr double kPaperBeta = 3.3;
+
+struct BucketFirstFitResult {
+  RectSchedule schedule;
+  int buckets_used = 0;
+  bool swapped_dims = false;  ///< bucketed dimension 2 (gamma2 < gamma1)
+};
+
+/// BucketFirstFit with base `beta` >= 1.  Buckets along the dimension with
+/// the smaller gamma (the paper's WLOG gamma1 <= gamma2).
+BucketFirstFitResult solve_bucket_first_fit(const RectInstance& inst,
+                                            double beta = kPaperBeta);
+
+}  // namespace busytime

@@ -1,0 +1,84 @@
+#include "rect/lower_bound_instance.hpp"
+
+#include <cassert>
+
+#include "rect/union_area.hpp"
+
+namespace busytime {
+
+Fig3Instance make_fig3_instance(const Fig3Params& params) {
+  const int g = params.g;
+  const Time gamma = params.gamma1;
+  const Time k = params.inv_eps;  // eps' = 1/k
+  assert(g >= 4 && gamma >= 1 && k >= 2);
+
+  // Equations (6), all coordinates scaled by K (so 1 -> K, eps' -> 1):
+  const Rect a(k - 1, k * (1 + 2 * gamma) - 1, k - 1, 3 * k - 1);
+  const Rect b(k - 1, k * (1 + 2 * gamma) - 1, -k, k);
+  const Rect c(k - 1, k * (1 + 2 * gamma) - 1, -3 * k + 1, -k + 1);
+  const Rect d(-k, k, k - 1, 3 * k - 1);
+  const Rect e(-k, k, -3 * k + 1, -k + 1);
+  const Rect x(-k, k, -k, k);
+  const Rect na = a.negate_dim1();
+  const Rect nb = b.negate_dim1();
+  const Rect nc = c.negate_dim1();
+
+  // Sanity: the proof's structural facts.
+#ifndef NDEBUG
+  assert(!a.overlaps(c) && !a.overlaps(na) && !a.overlaps(nc));
+  assert(!d.overlaps(e) && !b.overlaps(nb));
+  for (const Rect& r : {a, b, c, d, e, na, nb, nc}) assert(x.overlaps(r));
+  assert(a.overlaps(b) && a.overlaps(d) && b.overlaps(d));
+  assert(c.overlaps(b) && c.overlaps(e) && b.overlaps(e));
+#endif
+
+  Fig3Instance out;
+  std::vector<Rect> jobs;
+  RectPriorities priorities;
+  std::vector<std::int32_t> good_machine;  // shape-grouped schedule target
+
+  // The proof's FirstFit order, round by round: (g-3) X's, then
+  // A, C, -A, -C, B, -B, D, E.  Good schedule: X's fill machines
+  // 0..g-4 (g copies each); shape i gets machine g-4+1+i.
+  int priority = 0;
+  for (int round = 0; round < g; ++round) {
+    for (int i = 0; i < g - 3; ++i) {
+      jobs.push_back(x);
+      priorities.push_back(priority++);
+      // X copy number (round * (g-3) + i) -> machine (copy / g).
+      good_machine.push_back(static_cast<std::int32_t>((round * (g - 3) + i) / g));
+    }
+    const Rect round_shapes[] = {a, c, na, nc, b, nb, d, e};
+    for (int sh = 0; sh < 8; ++sh) {
+      jobs.push_back(round_shapes[sh]);
+      priorities.push_back(priority++);
+      good_machine.push_back(static_cast<std::int32_t>(g - 3 + sh));
+    }
+  }
+
+  out.instance = RectInstance(std::move(jobs), g);
+  out.priorities = std::move(priorities);
+
+  // Good schedule: equal shapes share a machine (g copies, g threads —
+  // identical rectangles need one thread each).
+  out.good_schedule = RectSchedule(out.instance.size());
+  {
+    std::vector<int> next_thread(static_cast<std::size_t>(g - 3 + 8), 0);
+    for (std::size_t j = 0; j < out.instance.size(); ++j) {
+      const std::int32_t m = good_machine[j];
+      out.good_schedule.assign(static_cast<RectJobId>(j), m,
+                               next_thread[static_cast<std::size_t>(m)]++ % g);
+    }
+  }
+  out.good_cost = out.good_schedule.cost(out.instance);
+
+  // span(Y) = area of the union of one copy of every shape.
+  out.span_y = union_area({a, b, c, d, e, x, na, nb, nc});
+  // Closed forms from the proof (scaled by K^2):
+  assert(out.good_cost ==
+         4 * k * k * (g - 3) + 24 * gamma * k * k + 8 * k * k);
+  assert(out.span_y == 4 * (k * (1 + 2 * gamma) - 1) * (3 * k - 1));
+  return out;
+}
+
+}  // namespace busytime

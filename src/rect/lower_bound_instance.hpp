@@ -1,0 +1,40 @@
+// The Figure 3 adversarial instance (lower-bound proof of Lemma 3.5):
+// FirstFit's ratio on it approaches 6*gamma1 + 3 as g grows and eps' -> 0.
+//
+// The construction uses nine rectangle shapes A, B, C, D, E, X, -A, -B, -C
+// (equations (6)); the input has g(g-3) copies of X and g copies of each
+// other shape.  FirstFit (with the tie-break order the proof's footnote
+// forces by perturbation, here forced via explicit priorities) fills g
+// machines whose busy area is span(Y) each, while grouping equal shapes
+// yields the cheap schedule the proof compares against.
+//
+// The paper's real-valued eps' is realized exactly by scaling every
+// coordinate by K = 1/eps' (integer), so the instance is integral.
+#pragma once
+
+#include <cstdint>
+
+#include "rect/rect_first_fit.hpp"
+#include "rect/rect_instance.hpp"
+#include "rect/rect_schedule.hpp"
+
+namespace busytime {
+
+struct Fig3Params {
+  int g = 8;           ///< capacity; must be >= 4
+  Time gamma1 = 2;     ///< target gamma1 (integer >= 1)
+  Time inv_eps = 100;  ///< K = 1/eps'; larger -> tighter lower bound
+};
+
+struct Fig3Instance {
+  RectInstance instance;
+  RectPriorities priorities;   ///< forces the proof's FirstFit order
+  RectSchedule good_schedule;  ///< the grouping-by-shape schedule
+  Time good_cost = 0;          ///< its cost = 4K^2(g-3) + 24*gamma1*K^2 + 8K^2
+  Time span_y = 0;             ///< span(Y): one FirstFit machine's busy area
+};
+
+/// Builds the Figure 3 instance.  Asserts g >= 4, gamma1 >= 1, inv_eps >= 2.
+Fig3Instance make_fig3_instance(const Fig3Params& params);
+
+}  // namespace busytime

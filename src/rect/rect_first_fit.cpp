@@ -1,0 +1,58 @@
+#include "rect/rect_first_fit.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace busytime {
+
+RectSchedule solve_rect_first_fit(const RectInstance& inst,
+                                  const RectPriorities& priorities) {
+  assert(priorities.empty() || priorities.size() == inst.size());
+  const int n = static_cast<int>(inst.size());
+  const int g = inst.g();
+
+  std::vector<RectJobId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](RectJobId a, RectJobId b) {
+    const Time la = inst.job(a).len2();
+    const Time lb = inst.job(b).len2();
+    if (la != lb) return la > lb;  // non-increasing len2
+    if (!priorities.empty()) {
+      const int pa = priorities[static_cast<std::size_t>(a)];
+      const int pb = priorities[static_cast<std::size_t>(b)];
+      if (pa != pb) return pa < pb;
+    }
+    return a < b;
+  });
+
+  // threads[m][tau] = job ids assigned to thread tau of machine m.
+  std::vector<std::vector<std::vector<RectJobId>>> threads;
+  RectSchedule s(inst.size());
+
+  for (const RectJobId j : order) {
+    const Rect& rect = inst.job(j);
+    bool placed = false;
+    for (std::size_t m = 0; m < threads.size() && !placed; ++m) {
+      for (int tau = 0; tau < g && !placed; ++tau) {
+        auto& lane = threads[m][static_cast<std::size_t>(tau)];
+        const bool conflict = std::any_of(lane.begin(), lane.end(), [&](RectJobId other) {
+          return rect.overlaps(inst.job(other));
+        });
+        if (!conflict) {
+          lane.push_back(j);
+          s.assign(j, static_cast<std::int32_t>(m), tau);
+          placed = true;
+        }
+      }
+    }
+    if (!placed) {
+      threads.emplace_back(static_cast<std::size_t>(g));
+      threads.back()[0].push_back(j);
+      s.assign(j, static_cast<std::int32_t>(threads.size() - 1), 0);
+    }
+  }
+  return s;
+}
+
+}  // namespace busytime

@@ -1,0 +1,26 @@
+// FirstFit for rectangular jobs (Algorithm 3, Section 3.4).
+//
+// Jobs are considered in non-increasing len2 order; each is placed on the
+// first free thread over (machine 1 threads 1..g, machine 2 threads 1..g,
+// ...).  Lemma 3.5: the approximation ratio is between 6*gamma1 + 3 and
+// 6*gamma1 + 4.
+#pragma once
+
+#include <vector>
+
+#include "rect/rect_instance.hpp"
+#include "rect/rect_schedule.hpp"
+
+namespace busytime {
+
+/// Tie-break priorities for equal len2 values (lower = earlier).  The
+/// footnote in the lower-bound proof perturbs equal lengths to force an
+/// order; an explicit priority achieves the same deterministically.
+using RectPriorities = std::vector<int>;
+
+/// FirstFit schedule.  If `priorities` is non-empty it must have one entry
+/// per job and orders jobs with equal len2.  O(n^2 g) worst case.
+RectSchedule solve_rect_first_fit(const RectInstance& inst,
+                                  const RectPriorities& priorities = {});
+
+}  // namespace busytime

@@ -1,0 +1,56 @@
+#include "rect/rect_instance.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "rect/union_area.hpp"
+
+namespace busytime {
+
+RectInstance::RectInstance(std::vector<Rect> jobs, int g) : jobs_(std::move(jobs)), g_(g) {
+  assert(g_ >= 1);
+#ifndef NDEBUG
+  for (const auto& r : jobs_)
+    assert(r.len1() > 0 && r.len2() > 0 && "rect jobs must have positive area");
+#endif
+}
+
+Time RectInstance::total_area() const noexcept {
+  Time sum = 0;
+  for (const auto& r : jobs_) sum += r.area();
+  return sum;
+}
+
+Time RectInstance::span() const { return union_area(jobs_); }
+
+GammaStats RectInstance::gamma() const {
+  GammaStats s;
+  if (jobs_.empty()) return s;
+  s.min_len1 = s.max_len1 = jobs_.front().len1();
+  s.min_len2 = s.max_len2 = jobs_.front().len2();
+  for (const auto& r : jobs_) {
+    s.min_len1 = std::min(s.min_len1, r.len1());
+    s.max_len1 = std::max(s.max_len1, r.len1());
+    s.min_len2 = std::min(s.min_len2, r.len2());
+    s.max_len2 = std::max(s.max_len2, r.len2());
+  }
+  return s;
+}
+
+RectInstance RectInstance::swapped_dims() const {
+  std::vector<Rect> swapped;
+  swapped.reserve(jobs_.size());
+  for (const auto& r : jobs_) swapped.emplace_back(r.dim2, r.dim1);
+  return RectInstance(std::move(swapped), g_);
+}
+
+std::string RectInstance::summary() const {
+  std::ostringstream os;
+  const GammaStats s = gamma();
+  os << "RectInstance{n=" << jobs_.size() << ", g=" << g_ << ", area=" << total_area()
+     << ", gamma1=" << s.gamma1() << ", gamma2=" << s.gamma2() << "}";
+  return os.str();
+}
+
+}  // namespace busytime

@@ -1,0 +1,56 @@
+// 2-D problem instance (Section 3.4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rect/rect_types.hpp"
+
+namespace busytime {
+
+using RectJobId = std::int32_t;
+
+/// Aspect statistics: gamma_k = max len_k / min len_k (Section 3.4).
+/// Kept as exact integer ratios' endpoints; gamma() returns the double view.
+struct GammaStats {
+  Time min_len1 = 0, max_len1 = 0;
+  Time min_len2 = 0, max_len2 = 0;
+  double gamma1() const noexcept {
+    return min_len1 ? static_cast<double>(max_len1) / static_cast<double>(min_len1) : 0.0;
+  }
+  double gamma2() const noexcept {
+    return min_len2 ? static_cast<double>(max_len2) / static_cast<double>(min_len2) : 0.0;
+  }
+};
+
+class RectInstance {
+ public:
+  RectInstance() = default;
+  RectInstance(std::vector<Rect> jobs, int g);
+
+  const std::vector<Rect>& jobs() const noexcept { return jobs_; }
+  const Rect& job(RectJobId id) const { return jobs_.at(static_cast<std::size_t>(id)); }
+  std::size_t size() const noexcept { return jobs_.size(); }
+  bool empty() const noexcept { return jobs_.empty(); }
+  int g() const noexcept { return g_; }
+
+  /// len(J) = Σ area — the parallelism bound numerator.
+  Time total_area() const noexcept;
+
+  /// span(J) = area of the union of all jobs — the span bound.
+  Time span() const;
+
+  GammaStats gamma() const;
+
+  /// Instance with dimensions swapped (the paper's WLOG gamma1 <= gamma2).
+  RectInstance swapped_dims() const;
+
+  std::string summary() const;
+
+ private:
+  std::vector<Rect> jobs_;
+  int g_ = 1;
+};
+
+}  // namespace busytime

@@ -1,0 +1,75 @@
+#include "rect/rect_schedule.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "rect/union_area.hpp"
+
+namespace busytime {
+
+std::int32_t RectSchedule::machine_count() const noexcept {
+  std::int32_t max_id = kUnscheduled;
+  for (const auto m : machine_) max_id = std::max(max_id, m);
+  return max_id + 1;
+}
+
+std::vector<std::vector<RectJobId>> RectSchedule::jobs_per_machine() const {
+  std::vector<std::vector<RectJobId>> per(static_cast<std::size_t>(machine_count()));
+  for (std::size_t j = 0; j < machine_.size(); ++j)
+    if (machine_[j] != kUnscheduled)
+      per[static_cast<std::size_t>(machine_[j])].push_back(static_cast<RectJobId>(j));
+  return per;
+}
+
+Time RectSchedule::machine_busy_area(const RectInstance& inst, std::int32_t m) const {
+  std::vector<Rect> rects;
+  for (std::size_t j = 0; j < machine_.size(); ++j)
+    if (machine_[j] == m) rects.push_back(inst.jobs()[j]);
+  return union_area(rects);
+}
+
+Time RectSchedule::cost(const RectInstance& inst) const {
+  assert(inst.size() == machine_.size());
+  Time total = 0;
+  for (const auto& group : jobs_per_machine()) {
+    if (group.empty()) continue;
+    std::vector<Rect> rects;
+    rects.reserve(group.size());
+    for (const RectJobId j : group) rects.push_back(inst.job(j));
+    total += union_area(rects);
+  }
+  return total;
+}
+
+std::optional<RectViolation> find_rect_violation(const RectInstance& inst,
+                                                 const RectSchedule& s) {
+  assert(inst.size() == s.size());
+  // Group jobs by (machine, thread) and check pairwise overlap within each
+  // group (groups are small: a thread holds pairwise-disjoint rects).
+  std::map<std::pair<std::int32_t, std::int32_t>, std::vector<RectJobId>> lanes;
+  for (std::size_t j = 0; j < inst.size(); ++j) {
+    const auto id = static_cast<RectJobId>(j);
+    if (!s.is_scheduled(id)) {
+      if (s.thread_of(id) != RectSchedule::kUnscheduled)
+        return RectViolation{id, id, s.machine_of(id), s.thread_of(id)};
+      continue;
+    }
+    if (s.thread_of(id) < 0 || s.thread_of(id) >= inst.g())
+      return RectViolation{id, id, s.machine_of(id), s.thread_of(id)};
+    lanes[{s.machine_of(id), s.thread_of(id)}].push_back(id);
+  }
+  for (const auto& [lane, ids] : lanes) {
+    for (std::size_t a = 0; a < ids.size(); ++a)
+      for (std::size_t b = a + 1; b < ids.size(); ++b)
+        if (inst.job(ids[a]).overlaps(inst.job(ids[b])))
+          return RectViolation{ids[a], ids[b], lane.first, lane.second};
+  }
+  return std::nullopt;
+}
+
+bool is_valid(const RectInstance& inst, const RectSchedule& s) {
+  return !find_rect_violation(inst, s).has_value();
+}
+
+}  // namespace busytime

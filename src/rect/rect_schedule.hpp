@@ -1,0 +1,63 @@
+// Schedule representation for rectangular jobs.
+//
+// Rectangle graphs are not perfect, so "at most g concurrently" and
+// "assignable to g threads" differ; the paper's Algorithm 3 explicitly keeps
+// g threads of execution per machine.  We therefore store *both* the machine
+// and the thread of every job, and validity means no two jobs on the same
+// (machine, thread) overlap.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rect/rect_instance.hpp"
+
+namespace busytime {
+
+class RectSchedule {
+ public:
+  static constexpr std::int32_t kUnscheduled = -1;
+
+  RectSchedule() = default;
+  explicit RectSchedule(std::size_t n)
+      : machine_(n, kUnscheduled), thread_(n, kUnscheduled) {}
+
+  std::size_t size() const noexcept { return machine_.size(); }
+
+  void assign(RectJobId j, std::int32_t machine, std::int32_t thread) {
+    machine_.at(static_cast<std::size_t>(j)) = machine;
+    thread_.at(static_cast<std::size_t>(j)) = thread;
+  }
+
+  std::int32_t machine_of(RectJobId j) const { return machine_.at(static_cast<std::size_t>(j)); }
+  std::int32_t thread_of(RectJobId j) const { return thread_.at(static_cast<std::size_t>(j)); }
+  bool is_scheduled(RectJobId j) const { return machine_of(j) != kUnscheduled; }
+
+  std::int32_t machine_count() const noexcept;
+
+  /// Job ids per machine.
+  std::vector<std::vector<RectJobId>> jobs_per_machine() const;
+
+  /// busy_i = span(J_i): union area of the jobs on machine m.
+  Time machine_busy_area(const RectInstance& inst, std::int32_t m) const;
+
+  /// cost(s) = Σ_i busy_i.
+  Time cost(const RectInstance& inst) const;
+
+ private:
+  std::vector<std::int32_t> machine_;
+  std::vector<std::int32_t> thread_;
+};
+
+/// First violation: two overlapping jobs sharing a (machine, thread), a
+/// thread id outside [0, g), or a half-assigned job.  nullopt = valid.
+struct RectViolation {
+  RectJobId a = 0, b = 0;  ///< offending pair (a == b for range errors)
+  std::int32_t machine = 0, thread = 0;
+};
+std::optional<RectViolation> find_rect_violation(const RectInstance& inst,
+                                                 const RectSchedule& s);
+bool is_valid(const RectInstance& inst, const RectSchedule& s);
+
+}  // namespace busytime

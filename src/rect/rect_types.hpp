@@ -1,0 +1,56 @@
+// 2-D rectangular job types (Section 3.4).
+//
+// A rectangular job occupies [s1, c1) x [s2, c2) — e.g. a daily time window
+// (dimension 2) across a date range (dimension 1), or a wavelength segment
+// on a path-topology optical network over a time interval.  Rectangles
+// overlap iff their intersection has positive *area*; "span" of a set is the
+// area of its union (Definition 3.2).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+#include "core/time_types.hpp"
+
+namespace busytime {
+
+struct Rect {
+  Interval dim1;  ///< projection pi_1: [s_{I,1}, c_{I,1})
+  Interval dim2;  ///< projection pi_2: [s_{I,2}, c_{I,2})
+
+  constexpr Rect() = default;
+  constexpr Rect(Interval d1, Interval d2) : dim1(d1), dim2(d2) {}
+  constexpr Rect(Time s1, Time c1, Time s2, Time c2) : dim1(s1, c1), dim2(s2, c2) {}
+
+  constexpr Time len1() const noexcept { return dim1.length(); }
+  constexpr Time len2() const noexcept { return dim2.length(); }
+  /// len(I) = len1 * len2 (Definition 3.1) — the rectangle's area.
+  constexpr Time area() const noexcept { return len1() * len2(); }
+
+  /// Positive-area intersection (Definition 2.2 lifted to 2-D).
+  constexpr bool overlaps(const Rect& other) const noexcept {
+    return dim1.overlaps(other.dim1) && dim2.overlaps(other.dim2);
+  }
+
+  constexpr Time overlap_area(const Rect& other) const noexcept {
+    return dim1.overlap_length(other.dim1) * dim2.overlap_length(other.dim2);
+  }
+
+  constexpr bool contains(const Rect& other) const noexcept {
+    return dim1.contains(other.dim1) && dim2.contains(other.dim2);
+  }
+
+  /// Reflection through the y-axis in dimension 1: the paper's "-A" notation
+  /// (Figure 3 construction).
+  constexpr Rect negate_dim1() const noexcept {
+    return Rect(Interval(-dim1.completion, -dim1.start), dim2);
+  }
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << r.dim1 << "x" << r.dim2;
+}
+
+}  // namespace busytime

@@ -1,0 +1,110 @@
+#include "rect/union_area.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace busytime {
+
+namespace {
+
+/// Coverage segment tree over compressed y-intervals: supports range
+/// add +/-1 and querying the total covered y-length.  Nodes never push down:
+/// covered length is recomputed from (cover count, children) on the way up —
+/// the standard union-area trick.
+class CoverageTree {
+ public:
+  explicit CoverageTree(std::vector<Time> ys) : ys_(std::move(ys)) {
+    const std::size_t leaves = ys_.size() > 1 ? ys_.size() - 1 : 0;
+    cover_.assign(4 * std::max<std::size_t>(leaves, 1), 0);
+    covered_.assign(4 * std::max<std::size_t>(leaves, 1), 0);
+  }
+
+  /// Adds delta to coverage of y-range [lo, hi) (values, not indices).
+  void add(Time lo, Time hi, int delta) {
+    if (ys_.size() < 2 || lo >= hi) return;
+    const int l = index_of(lo);
+    const int r = index_of(hi);
+    add_rec(1, 0, static_cast<int>(ys_.size()) - 1, l, r, delta);
+  }
+
+  Time covered() const { return covered_[1]; }
+
+ private:
+  int index_of(Time y) const {
+    return static_cast<int>(std::lower_bound(ys_.begin(), ys_.end(), y) - ys_.begin());
+  }
+
+  // Node covers elementary intervals [lo, hi) (leaf indices into ys_).
+  void add_rec(std::size_t node, int lo, int hi, int l, int r, int delta) {
+    if (r <= lo || hi <= l) return;
+    if (l <= lo && hi <= r) {
+      cover_[node] += delta;
+    } else {
+      const int mid = lo + (hi - lo) / 2;
+      add_rec(2 * node, lo, mid, l, r, delta);
+      add_rec(2 * node + 1, mid, hi, l, r, delta);
+    }
+    pull(node, lo, hi);
+  }
+
+  void pull(std::size_t node, int lo, int hi) {
+    if (cover_[node] > 0) {
+      covered_[node] = ys_[static_cast<std::size_t>(hi)] - ys_[static_cast<std::size_t>(lo)];
+    } else if (hi - lo == 1) {
+      covered_[node] = 0;
+    } else {
+      covered_[node] = covered_[2 * node] + covered_[2 * node + 1];
+    }
+  }
+
+  std::vector<Time> ys_;
+  std::vector<int> cover_;
+  std::vector<Time> covered_;
+};
+
+struct Event {
+  Time x;
+  Time y_lo, y_hi;
+  int delta;
+};
+
+}  // namespace
+
+Time union_area(const std::vector<Rect>& rects) {
+  std::vector<Event> events;
+  std::vector<Time> ys;
+  events.reserve(rects.size() * 2);
+  ys.reserve(rects.size() * 2);
+  for (const auto& r : rects) {
+    if (r.len1() <= 0 || r.len2() <= 0) continue;
+    events.push_back({r.dim1.start, r.dim2.start, r.dim2.completion, +1});
+    events.push_back({r.dim1.completion, r.dim2.start, r.dim2.completion, -1});
+    ys.push_back(r.dim2.start);
+    ys.push_back(r.dim2.completion);
+  }
+  if (events.empty()) return 0;
+
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    return a.x < b.x;
+  });
+
+  CoverageTree tree(ys);
+  Time area = 0;
+  Time prev_x = events.front().x;
+  std::size_t i = 0;
+  while (i < events.size()) {
+    const Time x = events[i].x;
+    area += (x - prev_x) * tree.covered();
+    while (i < events.size() && events[i].x == x) {
+      tree.add(events[i].y_lo, events[i].y_hi, events[i].delta);
+      ++i;
+    }
+    prev_x = x;
+  }
+  assert(tree.covered() == 0);
+  return area;
+}
+
+}  // namespace busytime

@@ -1,0 +1,18 @@
+// Exact area of a union of axis-parallel rectangles.
+//
+// Classic sweepline over dimension-1 events with a coverage segment tree on
+// compressed dimension-2 coordinates: O(k log k).  This is the 2-D analogue
+// of union_length and prices span(I) in Definition 3.2 exactly (integer
+// arithmetic throughout).
+#pragma once
+
+#include <vector>
+
+#include "rect/rect_types.hpp"
+
+namespace busytime {
+
+/// Area of the union of `rects`.  Empty rectangles contribute nothing.
+Time union_area(const std::vector<Rect>& rects);
+
+}  // namespace busytime

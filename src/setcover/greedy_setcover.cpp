@@ -1,0 +1,56 @@
+#include "setcover/greedy_setcover.hpp"
+
+#include <cassert>
+
+namespace busytime {
+
+SetCoverResult greedy_set_cover(int universe_size, const std::vector<CoverSet>& family) {
+  assert(universe_size >= 0);
+  SetCoverResult result;
+  std::vector<char> covered(static_cast<std::size_t>(universe_size), 0);
+  int remaining = universe_size;
+
+  auto new_elements = [&](const CoverSet& s) {
+    std::int64_t count = 0;
+    for (const int e : s.elements) {
+      assert(e >= 0 && e < universe_size);
+      count += !covered[static_cast<std::size_t>(e)];
+    }
+    return count;
+  };
+
+  while (remaining > 0) {
+    int best = -1;
+    std::int64_t best_new = 0;
+    for (std::size_t i = 0; i < family.size(); ++i) {
+      const std::int64_t gain = new_elements(family[i]);
+      if (gain == 0) continue;
+      if (best == -1) {
+        best = static_cast<int>(i);
+        best_new = gain;
+        continue;
+      }
+      // Compare weight_i / gain_i < weight_best / gain_best exactly.
+      const std::int64_t lhs = family[i].weight * best_new;
+      const std::int64_t rhs = family[static_cast<std::size_t>(best)].weight * gain;
+      if (lhs < rhs || (lhs == rhs && gain > best_new)) {
+        best = static_cast<int>(i);
+        best_new = gain;
+      }
+    }
+    if (best == -1) break;  // nothing can cover the rest
+
+    result.chosen.push_back(best);
+    result.total_weight += family[static_cast<std::size_t>(best)].weight;
+    for (const int e : family[static_cast<std::size_t>(best)].elements) {
+      if (!covered[static_cast<std::size_t>(e)]) {
+        covered[static_cast<std::size_t>(e)] = 1;
+        --remaining;
+      }
+    }
+  }
+  result.covered_all = (remaining == 0);
+  return result;
+}
+
+}  // namespace busytime

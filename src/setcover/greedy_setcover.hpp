@@ -1,0 +1,36 @@
+// Weighted greedy set cover.
+//
+// Substrate for Lemma 3.2: MinBusy on clique instances is a minimum-weight
+// set cover with sets = job groups of size <= g.  Greedy achieves an
+// H_s-approximation where s is the largest set size; with s <= g this gives
+// the H_g factor the paper's analysis combines with the parallelism bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace busytime {
+
+/// One candidate set of a set-cover instance.
+struct CoverSet {
+  std::vector<int> elements;  ///< element ids in [0, universe_size)
+  std::int64_t weight = 0;    ///< non-negative
+};
+
+/// Result: indices into the input family, in pick order.
+struct SetCoverResult {
+  std::vector<int> chosen;
+  std::int64_t total_weight = 0;
+  bool covered_all = false;
+};
+
+/// Greedy weighted set cover over `universe_size` elements.
+///
+/// Repeatedly picks the set minimizing weight / (newly covered elements),
+/// with exact integer cross-multiplication comparisons (no floating point).
+/// Ties break toward more new elements, then lower index.  Sets that cover
+/// nothing new are never picked.  If the family cannot cover the universe,
+/// covered_all = false and the partial cover is returned.
+SetCoverResult greedy_set_cover(int universe_size, const std::vector<CoverSet>& family);
+
+}  // namespace busytime

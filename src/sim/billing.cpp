@@ -1,0 +1,24 @@
+#include "sim/billing.hpp"
+
+#include <cassert>
+
+namespace busytime {
+
+Invoice price_schedule(const Instance& inst, const Schedule& s, const BillingRate& rate) {
+  Invoice invoice;
+  invoice.busy_time = s.cost(inst);
+  // Count only machines that actually run something.
+  for (const auto& group : s.jobs_per_machine())
+    if (!group.empty()) ++invoice.machines;
+  invoice.machine_time_charge = rate.price_per_time_unit * invoice.busy_time;
+  invoice.activation_charge = rate.price_per_machine * invoice.machines;
+  return invoice;
+}
+
+Time budget_from_money(std::int64_t money, const BillingRate& rate) {
+  assert(rate.price_per_time_unit > 0);
+  if (money <= 0) return 0;
+  return money / rate.price_per_time_unit;
+}
+
+}  // namespace busytime

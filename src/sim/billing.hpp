@@ -1,0 +1,36 @@
+// Cloud-billing mapping (Section 1, cloud computing application).
+//
+// Commercial clouds charge in proportion to machine time; MinBusy minimizes
+// the bill for a fixed task set, MaxThroughput maximizes completed tasks
+// under a money budget.  This adapter converts between money and busy-time
+// budgets and prices schedules.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace busytime {
+
+struct BillingRate {
+  std::int64_t price_per_time_unit = 3;  ///< e.g. cents per busy minute
+  std::int64_t price_per_machine = 0;    ///< optional flat activation fee
+};
+
+struct Invoice {
+  std::int64_t machine_time_charge = 0;
+  std::int64_t activation_charge = 0;
+  std::int64_t total() const noexcept { return machine_time_charge + activation_charge; }
+  Time busy_time = 0;
+  std::int32_t machines = 0;
+};
+
+/// Prices a schedule under the given rate.
+Invoice price_schedule(const Instance& inst, const Schedule& s, const BillingRate& rate);
+
+/// Largest busy-time budget T affordable with `money` (ignores activation
+/// fees, which are priced after the fact): T = floor(money / unit price).
+Time budget_from_money(std::int64_t money, const BillingRate& rate);
+
+}  // namespace busytime

@@ -1,0 +1,100 @@
+#include "sim/machine_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace busytime {
+
+namespace {
+
+struct Event {
+  Time time;
+  int delta;  // +1 job start, -1 job completion
+};
+
+MachineStats simulate_machine(MachineId m, std::vector<Event> events, int g,
+                              const EnergyModel& model) {
+  MachineStats stats;
+  stats.machine = m;
+  if (events.empty()) return stats;
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.delta < b.delta;  // departures first (half-open intervals)
+  });
+
+  int active = 0;
+  bool on = false;
+  Time busy_since = 0;
+  Time idle_since = 0;
+  std::size_t i = 0;
+  while (i < events.size()) {
+    const Time t = events[i].time;
+    const int before = active;
+    while (i < events.size() && events[i].time == t) {
+      active += events[i].delta;
+      ++i;
+    }
+    stats.peak_concurrency = std::max(stats.peak_concurrency, active);
+    (void)g;
+
+    if (before == 0 && active > 0) {
+      // Going busy.  Decide how the preceding gap was spent.
+      if (!on) {
+        ++stats.activations;
+        stats.energy += model.wake_energy;
+        on = true;
+      } else {
+        // Was idling through the gap [idle_since, t).
+        const Time gap = t - idle_since;
+        stats.idle_time += gap;
+        stats.energy += model.idle_power * gap;
+      }
+      busy_since = t;
+    } else if (before > 0 && active == 0) {
+      // Going idle.  Busy stretch [busy_since, t).
+      const Time stretch = t - busy_since;
+      stats.busy_time += stretch;
+      stats.energy += model.busy_power * stretch;
+      // Peek at the next event to decide idle vs sleep.
+      if (i < events.size()) {
+        const Time gap = events[i].time - t;
+        if (gap >= model.sleep_gap_threshold) {
+          on = false;  // sleep; wake_energy charged on next activation
+        } else {
+          idle_since = t;  // idle through
+        }
+      } else {
+        on = false;  // no more jobs: power down for good
+      }
+    }
+  }
+  assert(active == 0);
+  return stats;
+}
+
+}  // namespace
+
+SimulationResult simulate(const Instance& inst, const Schedule& schedule,
+                          const EnergyModel& model) {
+  assert(inst.size() == schedule.size());
+  SimulationResult result;
+  const auto per_machine = schedule.jobs_per_machine();
+  for (std::size_t m = 0; m < per_machine.size(); ++m) {
+    std::vector<Event> events;
+    events.reserve(per_machine[m].size() * 2);
+    for (const JobId j : per_machine[m]) {
+      events.push_back({inst.job(j).start(), +1});
+      events.push_back({inst.job(j).completion(), -1});
+      ++result.jobs_executed;
+    }
+    MachineStats stats =
+        simulate_machine(static_cast<MachineId>(m), std::move(events), inst.g(), model);
+    if (stats.peak_concurrency > inst.g()) ++result.capacity_violations;
+    result.total_busy_time += stats.busy_time;
+    result.total_energy += stats.energy;
+    result.machines.push_back(std::move(stats));
+  }
+  return result;
+}
+
+}  // namespace busytime

@@ -1,0 +1,33 @@
+#include "sim/regenerator.hpp"
+
+#include <cassert>
+
+namespace busytime {
+
+Instance lightpaths_to_instance(const std::vector<Lightpath>& paths, int grooming) {
+  std::vector<Job> jobs;
+  jobs.reserve(paths.size());
+  for (const auto& p : paths) {
+    assert(p.left_node < p.right_node);
+    jobs.emplace_back(static_cast<Time>(p.left_node), static_cast<Time>(p.right_node));
+  }
+  return Instance(std::move(jobs), grooming);
+}
+
+RegeneratorReport count_regenerators(const Instance& inst, const Schedule& s) {
+  RegeneratorReport report;
+  for (const auto& group : s.jobs_per_machine()) {
+    if (group.empty()) continue;
+    ++report.colors_used;
+    std::vector<Interval> ivs;
+    ivs.reserve(group.size());
+    for (const JobId j : group) ivs.push_back(inst.job(j).interval);
+    for (const Interval& segment : union_intervals(std::move(ivs))) {
+      report.total_span += segment.length();
+      report.regenerators += segment.length() - 1;  // interior nodes only
+    }
+  }
+  return report;
+}
+
+}  // namespace busytime

@@ -1,0 +1,44 @@
+// Optical-network regenerator placement on a line topology (Section 1 and
+// Section 5, optical network application).
+//
+// Lightpaths on a line of nodes 0..L are intervals over edge indices; with
+// traffic grooming, up to g lightpaths of one color share the regenerators
+// along their union.  Regenerator cost of a color = number of interior
+// nodes its busy span crosses, which for a union of intervals is
+// Σ (segment_length - 1) + ... — in the paper's analogy, busy time <->
+// regenerator count (up to the unit of measurement), so MinBusy/
+// MaxThroughput solve regenerator minimization / path admission directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace busytime {
+
+/// A lightpath demand between two nodes of the line (left < right).
+struct Lightpath {
+  std::int32_t left_node = 0;
+  std::int32_t right_node = 0;
+};
+
+/// Builds the scheduling instance equivalent to a grooming-g regenerator
+/// problem: each lightpath becomes the job [left_node, right_node).
+Instance lightpaths_to_instance(const std::vector<Lightpath>& paths, int grooming);
+
+struct RegeneratorReport {
+  std::int32_t colors_used = 0;       ///< machines = colors
+  std::int64_t regenerators = 0;      ///< total interior nodes with a regenerator
+  Time total_span = 0;                ///< busy-time view of the same schedule
+};
+
+/// Counts regenerators for a coloring (= schedule): a color with busy
+/// segments [a_i, b_i) needs a regenerator at every interior node
+/// a_i+1 .. b_i-1 of each segment, plus one at each segment *end* that is
+/// not the line's end? — We use the simplest standard model: regenerators
+/// sit at every internal node of every busy segment (b - a - 1 per segment).
+RegeneratorReport count_regenerators(const Instance& inst, const Schedule& s);
+
+}  // namespace busytime

@@ -1,0 +1,152 @@
+#include "throughput/clique_tput.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "core/classify.hpp"
+#include "core/validate.hpp"
+
+namespace busytime {
+
+namespace {
+
+/// One side's jobs sorted by ascending head length, with prefix reduced
+/// costs (heads form a one-sided instance at the common time t).
+struct Side {
+  std::vector<JobId> ids_by_head;  // ascending head length
+  std::vector<Time> head_lengths;  // aligned with ids_by_head
+  std::vector<Time> prefix_cost;   // prefix_cost[j] = reduced cost of j shortest heads
+};
+
+Side build_side(const Instance& inst, const std::vector<JobId>& ids,
+                const std::vector<Time>& head_of) {
+  Side side;
+  side.ids_by_head = ids;
+  std::sort(side.ids_by_head.begin(), side.ids_by_head.end(), [&](JobId a, JobId b) {
+    const Time ha = head_of[static_cast<std::size_t>(a)];
+    const Time hb = head_of[static_cast<std::size_t>(b)];
+    return ha != hb ? ha < hb : a < b;
+  });
+  for (const JobId j : side.ids_by_head)
+    side.head_lengths.push_back(head_of[static_cast<std::size_t>(j)]);
+  side.prefix_cost = shortest_prefix_costs(side.head_lengths, inst.g());
+  return side;
+}
+
+/// Schedules the first `count` jobs of `side` reduced-optimally (descending
+/// head length, g per machine) starting at machine id `base`; returns the
+/// number of machines used.
+MachineId schedule_prefix(const Instance& inst, const Side& side, std::size_t count,
+                          MachineId base, Schedule& out) {
+  for (std::size_t rank = 0; rank < count; ++rank) {
+    const JobId job = side.ids_by_head[count - 1 - rank];  // descending head
+    out.assign(job, base + static_cast<MachineId>(rank / static_cast<std::size_t>(inst.g())));
+  }
+  return static_cast<MachineId>((count + static_cast<std::size_t>(inst.g()) - 1) /
+                                static_cast<std::size_t>(inst.g()));
+}
+
+}  // namespace
+
+TputResult clique_tput_alg1(const Instance& inst, Time budget) {
+  const auto t_opt = clique_time(inst);
+  assert(t_opt.has_value());
+  const Time t = *t_opt;
+
+  // Split into left-heavy / right-heavy with head lengths.
+  std::vector<Time> head_of(inst.size(), 0);
+  std::vector<JobId> left_ids, right_ids;
+  for (std::size_t j = 0; j < inst.size(); ++j) {
+    const Time left = t - inst.jobs()[j].start();
+    const Time right = inst.jobs()[j].completion() - t;
+    if (left >= right) {  // ties -> left (the paper's convention)
+      head_of[j] = left;
+      left_ids.push_back(static_cast<JobId>(j));
+    } else {
+      head_of[j] = right;
+      right_ids.push_back(static_cast<JobId>(j));
+    }
+  }
+  const Side left = build_side(inst, left_ids, head_of);
+  const Side right = build_side(inst, right_ids, head_of);
+
+  // Choose prefix sizes (j, k) maximizing j + k subject to
+  // reduced_cost(L,j) + reduced_cost(R,k) <= T/2, i.e. 2*(...) <= T.
+  // Prefix costs are non-decreasing, so a two-pointer scan suffices.
+  std::size_t best_j = 0, best_k = 0;
+  {
+    std::size_t k = right.prefix_cost.size() - 1;
+    for (std::size_t j = 0; j < left.prefix_cost.size(); ++j) {
+      while (k > 0 && 2 * (left.prefix_cost[j] + right.prefix_cost[k]) > budget) --k;
+      if (2 * (left.prefix_cost[j] + right.prefix_cost[k]) > budget) {
+        if (j == 0) continue;  // even k = 0 infeasible for this j
+        break;                 // larger j only gets worse
+      }
+      if (j + k > best_j + best_k) {
+        best_j = j;
+        best_k = k;
+      }
+    }
+  }
+
+  TputResult result{Schedule(inst.size()),
+                    static_cast<std::int64_t>(best_j + best_k), 0};
+  const MachineId used = schedule_prefix(inst, left, best_j, 0, result.schedule);
+  schedule_prefix(inst, right, best_k, used, result.schedule);
+  result.cost = result.schedule.cost(inst);
+  assert(result.cost <= budget);
+  return result;
+}
+
+TputResult clique_tput_alg2(const Instance& inst, Time budget) {
+  const int n = static_cast<int>(inst.size());
+  // Any candidate window shrinks to the hull of its covered set, so sweeping
+  // windows [s_i, s_i + T] over all starts finds the max-coverage span pair.
+  int best_count = 0;
+  Time best_lo = 0, best_hi = 0;
+  for (int i = 0; i < n; ++i) {
+    const Time lo = inst.job(i).start();
+    const Time hi = lo + budget;
+    int count = 0;
+    for (int k = 0; k < n; ++k)
+      count += (inst.job(k).start() >= lo && inst.job(k).completion() <= hi);
+    if (count > best_count) {
+      best_count = count;
+      best_lo = lo;
+      best_hi = hi;
+    }
+  }
+
+  TputResult result{Schedule(inst.size()), 0, 0};
+  if (best_count == 0) return result;
+
+  // Schedule min(count, g) covered jobs on one machine; prefer jobs with the
+  // smallest hull growth (shortest first is a fine deterministic choice).
+  std::vector<JobId> covered;
+  for (int k = 0; k < n; ++k)
+    if (inst.job(k).start() >= best_lo && inst.job(k).completion() <= best_hi)
+      covered.push_back(k);
+  std::sort(covered.begin(), covered.end(), [&](JobId a, JobId b) {
+    const Time la = inst.job(a).length();
+    const Time lb = inst.job(b).length();
+    return la != lb ? la < lb : a < b;
+  });
+  const std::size_t take = std::min(covered.size(), static_cast<std::size_t>(inst.g()));
+  for (std::size_t k = 0; k < take; ++k) result.schedule.assign(covered[k], 0);
+  result.throughput = static_cast<std::int64_t>(take);
+  result.cost = result.schedule.cost(inst);
+  assert(result.cost <= budget);
+  return result;
+}
+
+TputResult solve_clique_tput(const Instance& inst, Time budget) {
+  assert(is_clique(inst));
+  assert(budget >= 0);
+  if (inst.empty()) return TputResult{Schedule(0), 0, 0};
+  TputResult a1 = clique_tput_alg1(inst, budget);
+  TputResult a2 = clique_tput_alg2(inst, budget);
+  return a1.throughput >= a2.throughput ? std::move(a1) : std::move(a2);
+}
+
+}  // namespace busytime

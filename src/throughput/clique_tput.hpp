@@ -1,0 +1,31 @@
+// The 4-approximation for clique instances of MaxThroughput (Theorem 4.1):
+// Alg1 handles the high-throughput regime (tput* > 4g), Alg2 the
+// low-throughput regime (tput* <= 4g); the combined algorithm returns the
+// better of the two and is a 4-approximation unconditionally.
+//
+// Terminology (Section 4.1): fix a common time t.  A job's left part is
+// [s, t], right part [t, c]; the longer one is its *head* (ties -> left).
+// In the reduced cost model only heads consume machine time; reduced cost
+// underestimates real cost by at most a factor 2.
+#pragma once
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "throughput/one_sided_tput.hpp"
+
+namespace busytime {
+
+/// Alg1: schedules prefix pairs of shortest-head left-heavy / right-heavy
+/// jobs with total reduced cost <= T/2, maximizing the job count.
+/// 4-approximation whenever tput* > 4g (Lemma 4.1).
+TputResult clique_tput_alg1(const Instance& inst, Time budget);
+
+/// Alg2: best single machine — the hull window [a, a+T] covering the most
+/// jobs, scheduling min(count, g) of them on one machine.
+/// 4-approximation whenever tput* <= 4g (Lemma 4.2).
+TputResult clique_tput_alg2(const Instance& inst, Time budget);
+
+/// Combined Theorem 4.1 algorithm: better of Alg1 and Alg2.
+TputResult solve_clique_tput(const Instance& inst, Time budget);
+
+}  // namespace busytime

@@ -1,0 +1,129 @@
+#include "throughput/exact_tput.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "algo/exact_minbusy.hpp"
+#include "core/classify.hpp"
+
+namespace busytime {
+
+namespace {
+
+constexpr Time kInf = std::numeric_limits<Time>::max() / 4;
+
+}  // namespace
+
+TputResult exact_tput_clique(const Instance& inst, Time budget) {
+  assert(is_clique(inst));
+  assert(inst.size() <= kExactTputCliqueMaxJobs);
+  assert(budget >= 0);
+  const int n = static_cast<int>(inst.size());
+  if (n == 0) return TputResult{Schedule(0), 0, 0};
+  const std::size_t full = std::size_t{1} << n;
+  const int g = inst.g();
+
+  // Clique group span = max completion - min start.
+  std::vector<Time> min_start(full, kInf), max_completion(full, 0);
+  for (std::size_t mask = 1; mask < full; ++mask) {
+    const int v = std::countr_zero(mask);
+    const std::size_t rest = mask & (mask - 1);
+    min_start[mask] = std::min(rest ? min_start[rest] : kInf, inst.job(v).start());
+    max_completion[mask] =
+        std::max(rest ? max_completion[rest] : Time{0}, inst.job(v).completion());
+  }
+
+  // cost[mask] = exact MinBusy cost of the subset `mask`; group_of[mask]
+  // remembers one optimal group for reconstruction.
+  std::vector<Time> cost(full, kInf);
+  std::vector<std::size_t> group_of(full, 0);
+  cost[0] = 0;
+  for (std::size_t mask = 1; mask < full; ++mask) {
+    const std::size_t low = mask & (~mask + 1);
+    const std::size_t rest = mask ^ low;
+    for (std::size_t sub = rest;; sub = (sub - 1) & rest) {
+      const std::size_t group = sub | low;
+      if (std::popcount(group) <= g) {
+        const Time cand = cost[mask ^ group] + (max_completion[group] - min_start[group]);
+        if (cand < cost[mask]) {
+          cost[mask] = cand;
+          group_of[mask] = group;
+        }
+      }
+      if (sub == 0) break;
+    }
+  }
+
+  // Best subset: max popcount within budget; ties -> min cost.
+  std::size_t best_mask = 0;
+  int best_pop = 0;
+  for (std::size_t mask = 0; mask < full; ++mask) {
+    if (cost[mask] > budget) continue;
+    const int pop = std::popcount(mask);
+    if (pop > best_pop || (pop == best_pop && cost[mask] < cost[best_mask])) {
+      best_pop = pop;
+      best_mask = mask;
+    }
+  }
+
+  TputResult result{Schedule(inst.size()), best_pop, cost[best_mask]};
+  std::size_t mask = best_mask;
+  MachineId machine = 0;
+  while (mask) {
+    const std::size_t group = group_of[mask];
+    for (std::size_t rem = group; rem; rem &= rem - 1)
+      result.schedule.assign(std::countr_zero(rem), machine);
+    ++machine;
+    mask ^= group;
+  }
+  return result;
+}
+
+TputResult exact_tput_general(const Instance& inst, Time budget) {
+  assert(inst.size() <= kExactTputGeneralMaxJobs);
+  assert(budget >= 0);
+  const int n = static_cast<int>(inst.size());
+  const std::size_t full = std::size_t{1} << n;
+
+  // Enumerate subsets grouped by size, largest first; the first size with a
+  // feasible subset is optimal.
+  std::vector<std::vector<std::size_t>> by_size(static_cast<std::size_t>(n) + 1);
+  for (std::size_t mask = 0; mask < full; ++mask)
+    by_size[static_cast<std::size_t>(std::popcount(mask))].push_back(mask);
+
+  for (int size = n; size >= 1; --size) {
+    Time best_cost = kInf;
+    Schedule best_schedule(inst.size());
+    for (const std::size_t mask : by_size[static_cast<std::size_t>(size)]) {
+      std::vector<JobId> ids;
+      for (std::size_t rem = mask; rem; rem &= rem - 1)
+        ids.push_back(std::countr_zero(rem));
+      const Instance sub = inst.restricted_to(ids);
+      const Schedule s = exact_minbusy_branch_bound(sub);
+      const Time c = s.cost(sub);
+      if (c <= budget && c < best_cost) {
+        best_cost = c;
+        // Map the sub-schedule back to original job ids.
+        best_schedule = Schedule(inst.size());
+        for (std::size_t k = 0; k < ids.size(); ++k)
+          best_schedule.assign(ids[k], s.machine_of(static_cast<JobId>(k)));
+      }
+    }
+    if (best_cost < kInf)
+      return TputResult{std::move(best_schedule), size, best_cost};
+  }
+  return TputResult{Schedule(inst.size()), 0, 0};
+}
+
+std::optional<TputResult> exact_tput(const Instance& inst, Time budget) {
+  if (is_clique(inst) && inst.size() <= kExactTputCliqueMaxJobs)
+    return exact_tput_clique(inst, budget);
+  if (inst.size() <= kExactTputGeneralMaxJobs)
+    return exact_tput_general(inst, budget);
+  return std::nullopt;
+}
+
+}  // namespace busytime

@@ -1,0 +1,30 @@
+// Exact MaxThroughput reference solvers (exponential, small instances).
+//
+//  * clique engine: the O(3^n) partition DP prices every job subset at once
+//    (cost*[mask]); the answer is the largest subset within budget.
+//  * general engine: enumerate candidate subsets in decreasing size and ask
+//    the exact MinBusy branch-and-bound whether they fit the budget.
+#pragma once
+
+#include <optional>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "throughput/one_sided_tput.hpp"
+
+namespace busytime {
+
+inline constexpr std::size_t kExactTputCliqueMaxJobs = 18;
+inline constexpr std::size_t kExactTputGeneralMaxJobs = 12;
+
+/// Exact MaxThroughput for a clique instance (asserts is_clique,
+/// n <= kExactTputCliqueMaxJobs).
+TputResult exact_tput_clique(const Instance& inst, Time budget);
+
+/// Exact MaxThroughput for any instance (n <= kExactTputGeneralMaxJobs).
+TputResult exact_tput_general(const Instance& inst, Time budget);
+
+/// Dispatcher; nullopt if the instance is too large.
+std::optional<TputResult> exact_tput(const Instance& inst, Time budget);
+
+}  // namespace busytime

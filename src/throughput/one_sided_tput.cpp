@@ -1,0 +1,63 @@
+#include "throughput/one_sided_tput.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "core/classify.hpp"
+
+namespace busytime {
+
+std::vector<Time> shortest_prefix_costs(std::vector<Time> lengths, int g) {
+  assert(g >= 1);
+  std::sort(lengths.begin(), lengths.end());  // ascending
+  std::vector<Time> costs(lengths.size() + 1, 0);
+  for (std::size_t j = 1; j <= lengths.size(); ++j) {
+    // Prefix of j shortest, grouped from the longest down in groups of g:
+    // cost = Σ lengths[idx] over idx = j-1, j-1-g, j-1-2g, ... (0-based).
+    Time cost = 0;
+    for (std::size_t idx = j - 1;; idx -= static_cast<std::size_t>(g)) {
+      cost += lengths[idx];
+      if (idx < static_cast<std::size_t>(g)) break;
+    }
+    costs[j] = cost;
+  }
+  return costs;
+}
+
+TputResult solve_one_sided_tput(const Instance& inst, Time budget) {
+  assert(is_one_sided(inst));
+  assert(budget >= 0);
+
+  // Job ids sorted by ascending length.
+  std::vector<JobId> ids(inst.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::sort(ids.begin(), ids.end(), [&](JobId a, JobId b) {
+    const Time la = inst.job(a).length();
+    const Time lb = inst.job(b).length();
+    return la != lb ? la < lb : a < b;
+  });
+
+  std::vector<Time> lengths;
+  lengths.reserve(inst.size());
+  for (const JobId j : ids) lengths.push_back(inst.job(j).length());
+  const std::vector<Time> costs = shortest_prefix_costs(lengths, inst.g());
+
+  // Prefix costs are non-decreasing (adding the new longest job shifts every
+  // group head to an equal-or-longer job), so take the largest feasible j.
+  std::size_t best_j = 0;
+  for (std::size_t j = 0; j < costs.size(); ++j)
+    if (costs[j] <= budget) best_j = j;
+
+  TputResult result{Schedule(inst.size()), static_cast<std::int64_t>(best_j),
+                    costs[best_j]};
+  // Group the chosen prefix by descending length, g per machine
+  // (Observation 3.1 layout).
+  for (std::size_t rank = 0; rank < best_j; ++rank) {
+    const JobId job = ids[best_j - 1 - rank];  // descending length
+    result.schedule.assign(job, static_cast<MachineId>(rank / static_cast<std::size_t>(inst.g())));
+  }
+  return result;
+}
+
+}  // namespace busytime

@@ -1,0 +1,29 @@
+// Optimal MaxThroughput for one-sided clique instances (Proposition 4.1).
+//
+// If any schedule of throughput k fits budget T, so does the schedule of the
+// k *shortest* jobs (replacing any job by a shorter one never raises the
+// one-sided cost), and Observation 3.1 prices that schedule exactly.  So the
+// optimum schedules the j shortest jobs for the largest feasible j.
+#pragma once
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace busytime {
+
+struct TputResult {
+  Schedule schedule;
+  std::int64_t throughput = 0;
+  Time cost = 0;
+};
+
+/// Optimal MaxThroughput schedule for a one-sided clique instance under
+/// budget T (asserts is_one_sided).  O(n^2 / g) after sorting.
+TputResult solve_one_sided_tput(const Instance& inst, Time budget);
+
+/// Optimal one-sided costs of every shortest-prefix: costs[j] = cost of
+/// scheduling the j shortest of `lengths` (grouped g at a time by length).
+/// costs[0] = 0.  Shared with the Section 4.1 reduced-cost machinery.
+std::vector<Time> shortest_prefix_costs(std::vector<Time> lengths, int g);
+
+}  // namespace busytime

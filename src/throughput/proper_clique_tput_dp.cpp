@@ -1,0 +1,228 @@
+#include "throughput/proper_clique_tput_dp.hpp"
+
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "core/classify.hpp"
+
+namespace busytime {
+
+namespace {
+
+constexpr Time kInf = std::numeric_limits<Time>::max() / 4;
+
+struct DpInput {
+  std::vector<JobId> order;    // proper order
+  std::vector<Time> len;       // len[i] = length of order[i] (0-based)
+  std::vector<Time> overlap;   // overlap[i] = |I_i| between order[i], order[i+1]
+};
+
+DpInput prepare(const Instance& inst) {
+  DpInput in;
+  in.order = inst.ids_by_start();
+  const int n = static_cast<int>(in.order.size());
+  in.len.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    in.len[static_cast<std::size_t>(i)] = inst.job(in.order[static_cast<std::size_t>(i)]).length();
+  in.overlap.assign(static_cast<std::size_t>(std::max(0, n - 1)), 0);
+  for (int i = 0; i + 1 < n; ++i)
+    in.overlap[static_cast<std::size_t>(i)] =
+        inst.job(in.order[static_cast<std::size_t>(i)])
+            .interval.overlap_length(inst.job(in.order[static_cast<std::size_t>(i + 1)]).interval);
+  return in;
+}
+
+}  // namespace
+
+std::pair<std::int64_t, Time> proper_clique_tput_value(const Instance& inst, Time budget) {
+  assert(is_proper(inst) && is_clique(inst));
+  assert(budget >= 0);
+  const int n = static_cast<int>(inst.size());
+  if (n == 0) return {0, 0};
+  const int g = inst.g();
+  const DpInput in = prepare(inst);
+
+  // Rolling slices over i.  A[j][t]: job i scheduled as the j-th job of the
+  // last machine block; B[t]: job i unscheduled.  best_a[t] = min_j A[j][t].
+  const std::size_t tdim = static_cast<std::size_t>(n) + 1;
+  std::vector<std::vector<Time>> a_prev(static_cast<std::size_t>(g) + 1,
+                                        std::vector<Time>(tdim, kInf));
+  std::vector<std::vector<Time>> a_cur = a_prev;
+  std::vector<Time> b_prev(tdim, kInf), b_cur(tdim, kInf);
+  std::vector<Time> best_a_prev(tdim, kInf), best_a_cur(tdim, kInf);
+
+  // i = 1 (first job): scheduled alone, or unscheduled.
+  a_prev[1][0] = in.len[0];
+  best_a_prev[0] = in.len[0];
+  b_prev[1] = 0;
+
+  for (int i = 2; i <= n; ++i) {
+    const Time len_i = in.len[static_cast<std::size_t>(i - 1)];
+    const Time ov = in.overlap[static_cast<std::size_t>(i - 2)];
+    for (auto& row : a_cur) std::fill(row.begin(), row.end(), kInf);
+    std::fill(b_cur.begin(), b_cur.end(), kInf);
+    std::fill(best_a_cur.begin(), best_a_cur.end(), kInf);
+
+    for (int t = 0; t <= i; ++t) {
+      const std::size_t ts = static_cast<std::size_t>(t);
+      // Job i unscheduled: extend t by one from any i-1 state.
+      if (t >= 1) {
+        const std::size_t tp = ts - 1;
+        b_cur[ts] = std::min(b_prev[tp], best_a_prev[tp]);
+      }
+      // Job i opens a new machine.
+      {
+        const Time prev = std::min(b_prev[ts], best_a_prev[ts]);
+        if (prev < kInf) a_cur[1][ts] = prev + len_i;
+      }
+      // Job i extends the last block (requires job i-1 scheduled).
+      for (int j = 2; j <= g; ++j) {
+        const Time prev = a_prev[static_cast<std::size_t>(j - 1)][ts];
+        if (prev < kInf)
+          a_cur[static_cast<std::size_t>(j)][ts] = prev + len_i - ov;
+      }
+      for (int j = 1; j <= g; ++j)
+        best_a_cur[ts] = std::min(best_a_cur[ts], a_cur[static_cast<std::size_t>(j)][ts]);
+    }
+    std::swap(a_prev, a_cur);
+    std::swap(b_prev, b_cur);
+    std::swap(best_a_prev, best_a_cur);
+  }
+
+  for (int t = 0; t <= n; ++t) {
+    const Time cost = std::min(best_a_prev[static_cast<std::size_t>(t)],
+                               b_prev[static_cast<std::size_t>(t)]);
+    if (cost <= budget) return {n - t, cost};
+  }
+  return {0, 0};  // unreachable: t = n has cost 0 <= budget
+}
+
+TputResult solve_proper_clique_tput(const Instance& inst, Time budget) {
+  assert(is_proper(inst) && is_clique(inst));
+  assert(budget >= 0);
+  const int n = static_cast<int>(inst.size());
+  if (n == 0) return TputResult{Schedule(0), 0, 0};
+  const int g = inst.g();
+  const DpInput in = prepare(inst);
+
+  // Full tables for reconstruction: a[i][j][t], b[i][t] (i in [1, n]).
+  const std::size_t tdim = static_cast<std::size_t>(n) + 1;
+  auto a = std::vector<std::vector<std::vector<Time>>>(
+      static_cast<std::size_t>(n) + 1,
+      std::vector<std::vector<Time>>(static_cast<std::size_t>(g) + 1,
+                                     std::vector<Time>(tdim, kInf)));
+  auto b = std::vector<std::vector<Time>>(static_cast<std::size_t>(n) + 1,
+                                          std::vector<Time>(tdim, kInf));
+
+  a[1][1][0] = in.len[0];
+  b[1][1] = 0;
+  for (int i = 2; i <= n; ++i) {
+    const std::size_t is = static_cast<std::size_t>(i);
+    const Time len_i = in.len[is - 1];
+    const Time ov = in.overlap[is - 2];
+    for (int t = 0; t <= i; ++t) {
+      const std::size_t ts = static_cast<std::size_t>(t);
+      Time best_a_prev = kInf;
+      for (int j = 1; j <= g; ++j)
+        best_a_prev = std::min(best_a_prev, a[is - 1][static_cast<std::size_t>(j)][ts]);
+      if (t >= 1) {
+        Time best_a_prev_t1 = kInf;
+        for (int j = 1; j <= g; ++j)
+          best_a_prev_t1 = std::min(best_a_prev_t1, a[is - 1][static_cast<std::size_t>(j)][ts - 1]);
+        b[is][ts] = std::min(b[is - 1][ts - 1], best_a_prev_t1);
+      }
+      const Time prev_any = std::min(b[is - 1][ts], best_a_prev);
+      if (prev_any < kInf) a[is][1][ts] = prev_any + len_i;
+      for (int j = 2; j <= g; ++j) {
+        const Time prev = a[is - 1][static_cast<std::size_t>(j - 1)][ts];
+        if (prev < kInf) a[is][static_cast<std::size_t>(j)][ts] = prev + len_i - ov;
+      }
+    }
+  }
+
+  // Pick the smallest t whose best cost fits the budget.
+  int best_t = n;
+  Time best_cost = 0;
+  for (int t = 0; t <= n; ++t) {
+    Time cost = b[static_cast<std::size_t>(n)][static_cast<std::size_t>(t)];
+    for (int j = 1; j <= g; ++j)
+      cost = std::min(cost, a[static_cast<std::size_t>(n)][static_cast<std::size_t>(j)][static_cast<std::size_t>(t)]);
+    if (cost <= budget) {
+      best_t = t;
+      best_cost = cost;
+      break;
+    }
+  }
+
+  // Reconstruct backwards.
+  TputResult result{Schedule(inst.size()), n - best_t, best_cost};
+  int i = n, t = best_t;
+  // Current state: scheduled-with-block-size-j (j >= 1) or unscheduled (j = 0).
+  int j = 0;
+  {
+    Time cost = b[static_cast<std::size_t>(n)][static_cast<std::size_t>(t)];
+    for (int jj = 1; jj <= g; ++jj) {
+      const Time c = a[static_cast<std::size_t>(n)][static_cast<std::size_t>(jj)][static_cast<std::size_t>(t)];
+      if (c < cost) {
+        cost = c;
+        j = jj;
+      }
+    }
+  }
+  MachineId machine = 0;
+  while (i >= 1) {
+    const std::size_t is = static_cast<std::size_t>(i);
+    const std::size_t ts = static_cast<std::size_t>(t);
+    if (j == 0) {
+      // Job i unscheduled; predecessor had t-1 unscheduled.
+      if (i == 1) break;
+      const Time target = b[is][ts];
+      assert(t >= 1);
+      if (b[is - 1][ts - 1] == target) {
+        j = 0;
+      } else {
+        j = -1;
+        for (int jj = 1; jj <= g; ++jj)
+          if (a[is - 1][static_cast<std::size_t>(jj)][ts - 1] == target) {
+            j = jj;
+            break;
+          }
+        assert(j > 0);
+      }
+      --i;
+      --t;
+      continue;
+    }
+    // Job i scheduled in a block whose j-th (from the left, 1-based) element
+    // it is; assign jobs i, i-1, ..., i-j+1 to one machine.
+    for (int k = i - j + 1; k <= i; ++k)
+      result.schedule.assign(in.order[static_cast<std::size_t>(k - 1)], machine);
+    ++machine;
+    const Time target = a[is][static_cast<std::size_t>(j)][ts];
+    (void)target;
+    const int block_start = i - j + 1;
+    i = block_start - 1;
+    if (i == 0) break;
+    // Predecessor of the block's first job (which opened a machine via
+    // A[block_start][1][t] = min(B[i], best_a[i]) + len): match the value.
+    const Time open_cost = a[static_cast<std::size_t>(block_start)][1][ts];
+    const Time need = open_cost - in.len[static_cast<std::size_t>(block_start - 1)];
+    if (b[static_cast<std::size_t>(i)][ts] == need) {
+      j = 0;
+    } else {
+      j = -1;
+      for (int jj = 1; jj <= g; ++jj)
+        if (a[static_cast<std::size_t>(i)][static_cast<std::size_t>(jj)][ts] == need) {
+          j = jj;
+          break;
+        }
+      assert(j > 0);
+    }
+  }
+  result.schedule.compact();
+  assert(result.schedule.throughput() == result.throughput);
+  return result;
+}
+
+}  // namespace busytime

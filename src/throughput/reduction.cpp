@@ -1,0 +1,31 @@
+#include "throughput/reduction.hpp"
+
+#include <cassert>
+
+namespace busytime {
+
+ReductionResult minbusy_via_tput_oracle(const Instance& inst, const TputOracle& oracle) {
+  ReductionResult result;
+  const auto n = static_cast<std::int64_t>(inst.size());
+  if (n == 0) return result;
+
+  // Bounds from Observation 2.1: ceil(len/g) <= OPT <= len.
+  const Time len = inst.total_length();
+  Time lo = (len + inst.g() - 1) / inst.g();
+  Time hi = len;
+
+  // Invariant: tput(hi) == n (len always suffices); lo <= OPT.
+  while (lo < hi) {
+    const Time mid = lo + (hi - lo) / 2;
+    ++result.oracle_calls;
+    if (oracle(inst, mid) >= n) {
+      hi = mid;  // all jobs fit: OPT <= mid
+    } else {
+      lo = mid + 1;  // infeasible: OPT > mid
+    }
+  }
+  result.optimal_cost = lo;
+  return result;
+}
+
+}  // namespace busytime

@@ -1,0 +1,29 @@
+// The MinBusy -> MaxThroughput reduction (Proposition 2.2).
+//
+// With integer times the optimal MinBusy cost is an integer in
+// [ceil(len/g), len]; binary search on the budget T, asking a MaxThroughput
+// oracle whether all n jobs fit, recovers it in O(log len) oracle calls.
+// (The paper states the reduction for rationals by clearing denominators —
+// our integer time model is exactly that normal form.)
+#pragma once
+
+#include <functional>
+
+#include "core/instance.hpp"
+
+namespace busytime {
+
+/// A MaxThroughput oracle: returns the maximum number of jobs schedulable
+/// within the given busy-time budget.
+using TputOracle = std::function<std::int64_t(const Instance&, Time budget)>;
+
+struct ReductionResult {
+  Time optimal_cost = 0;  ///< MinBusy optimum recovered via the oracle
+  int oracle_calls = 0;   ///< number of MaxThroughput invocations
+};
+
+/// Recovers the exact MinBusy optimum of `inst` using only `oracle`.
+/// The oracle must be exact for the reduction to be exact.
+ReductionResult minbusy_via_tput_oracle(const Instance& inst, const TputOracle& oracle);
+
+}  // namespace busytime

@@ -1,0 +1,67 @@
+#include "util/table.hpp"
+
+#include <cassert>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace busytime {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  assert(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string Table::fmt(long long value) { return std::to_string(value); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << " " << std::setw(static_cast<int>(width[c])) << row[c] << " |";
+    os << "\n";
+  };
+  auto print_rule = [&] {
+    os << "+";
+    for (std::size_t c = 0; c < width.size(); ++c)
+      os << std::string(width[c] + 2, '-') << "+";
+    os << "\n";
+  };
+
+  os << std::right;
+  print_rule();
+  print_row(header_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ",";
+      os << row[c];
+    }
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace busytime

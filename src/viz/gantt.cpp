@@ -1,0 +1,81 @@
+#include "viz/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace busytime {
+
+namespace {
+
+char glyph_for(JobId j) {
+  static constexpr char kGlyphs[] =
+      "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  return kGlyphs[static_cast<std::size_t>(j) % (sizeof(kGlyphs) - 1)];
+}
+
+}  // namespace
+
+std::string render_gantt(const Instance& inst, const Schedule& s,
+                         const GanttOptions& options) {
+  std::ostringstream out;
+  const auto per_machine = s.jobs_per_machine();
+  if (per_machine.empty()) return "(empty schedule)\n";
+
+  // Global time range of scheduled jobs.
+  Time lo = 0, hi = 0;
+  bool any = false;
+  for (std::size_t j = 0; j < inst.size(); ++j) {
+    if (!s.is_scheduled(static_cast<JobId>(j))) continue;
+    const auto& iv = inst.job(static_cast<JobId>(j)).interval;
+    lo = any ? std::min(lo, iv.start) : iv.start;
+    hi = any ? std::max(hi, iv.completion) : iv.completion;
+    any = true;
+  }
+  if (!any) return "(empty schedule)\n";
+
+  const int columns = std::max(options.width - 12, 10);
+  const double scale = static_cast<double>(columns) / static_cast<double>(hi - lo);
+  auto column_of = [&](Time t) {
+    const int c = static_cast<int>(static_cast<double>(t - lo) * scale);
+    return std::clamp(c, 0, columns - 1);
+  };
+
+  out << "time " << lo << " .. " << hi << "  (" << columns << " cols, "
+      << per_machine.size() << " machines)\n";
+  for (std::size_t m = 0; m < per_machine.size(); ++m) {
+    std::string row(static_cast<std::size_t>(columns), ' ');
+    // Mark span (busy or between jobs of this machine) lightly first.
+    for (const JobId j : per_machine[m]) {
+      const auto& iv = inst.job(j).interval;
+      const int from = column_of(iv.start);
+      const int to = std::max(column_of(iv.completion - 1), from);
+      for (int c = from; c <= to; ++c) {
+        auto& cell = row[static_cast<std::size_t>(c)];
+        cell = (cell == ' ') ? glyph_for(j) : '*';  // '*' = stacked jobs
+      }
+    }
+    out << "M" << m;
+    for (std::size_t pad = std::to_string(m).size(); pad < 4; ++pad) out << ' ';
+    out << "|" << row << "|\n";
+  }
+
+  std::vector<JobId> unscheduled;
+  for (std::size_t j = 0; j < inst.size(); ++j)
+    if (!s.is_scheduled(static_cast<JobId>(j)))
+      unscheduled.push_back(static_cast<JobId>(j));
+  if (!unscheduled.empty()) {
+    out << "unscheduled:";
+    for (const JobId j : unscheduled) out << " " << j;
+    out << "\n";
+  }
+
+  if (options.show_legend && inst.size() <= 36) {
+    out << "legend:";
+    for (std::size_t j = 0; j < inst.size(); ++j)
+      out << " " << j << "=" << glyph_for(static_cast<JobId>(j));
+    out << "  (*=overlap)\n";
+  }
+  return out.str();
+}
+
+}  // namespace busytime

@@ -1,0 +1,25 @@
+// ASCII Gantt-chart rendering of schedules.
+//
+// One row per machine, time flowing right; each job is a run of its id's
+// glyph, '.' marks idle-but-within-span time.  Used by the examples and the
+// CLI to make schedules inspectable without plotting tools.
+#pragma once
+
+#include <string>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace busytime {
+
+struct GanttOptions {
+  int width = 78;          ///< total chart columns (time axis is scaled to fit)
+  bool show_legend = true; ///< append "job -> glyph" legend for small n
+};
+
+/// Renders the scheduled jobs of `s`.  Unscheduled jobs are listed below the
+/// chart.  Empty schedules render a stub line.
+std::string render_gantt(const Instance& inst, const Schedule& s,
+                         const GanttOptions& options = {});
+
+}  // namespace busytime

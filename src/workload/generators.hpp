@@ -1,0 +1,48 @@
+// Synthetic 1-D instance generators.
+//
+// The paper evaluates analytically, so there is no public dataset to replay;
+// these seeded generators produce each special instance family (general,
+// clique, proper, proper clique, one-sided) plus heavy-tailed variants that
+// mimic cluster-trace job-length distributions.  Every generator is
+// deterministic in (params, seed).
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+#include "util/prng.hpp"
+
+namespace busytime {
+
+/// Common knobs for the random families.
+struct GenParams {
+  int n = 50;               ///< number of jobs
+  int g = 4;                ///< machine capacity
+  Time horizon = 1000;      ///< start times drawn from [0, horizon]
+  Time min_len = 10;        ///< minimum job length
+  Time max_len = 200;       ///< maximum job length
+  double pareto_alpha = 0;  ///< if > 0, lengths are bounded-Pareto(alpha)
+  std::uint64_t seed = 1;
+};
+
+/// Arbitrary interval instance (no structural guarantee).
+Instance gen_general(const GenParams& p);
+
+/// Clique instance: all jobs contain a common time point.
+Instance gen_clique(const GenParams& p);
+
+/// Proper instance: staircase of jobs, no proper containment.
+Instance gen_proper(const GenParams& p);
+
+/// Proper clique instance: strictly increasing starts and completions with
+/// every completion after every start.
+Instance gen_proper_clique(const GenParams& p);
+
+/// One-sided clique: all jobs share their start time.
+Instance gen_one_sided(const GenParams& p);
+
+/// Random job weights in [1, max_weight] for the weighted-throughput
+/// extension (base generators leave weight = 1).
+Instance with_random_weights(Instance inst, std::int64_t max_weight, std::uint64_t seed);
+
+}  // namespace busytime

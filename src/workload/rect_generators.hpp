@@ -1,0 +1,29 @@
+// Synthetic 2-D (rectangular) instance generators.
+#pragma once
+
+#include <cstdint>
+
+#include "rect/rect_instance.hpp"
+#include "util/prng.hpp"
+
+namespace busytime {
+
+struct RectGenParams {
+  int n = 50;
+  int g = 4;
+  Time horizon1 = 1000;  ///< dimension-1 positions drawn from [0, horizon1]
+  Time horizon2 = 1000;
+  Time min_len1 = 10, max_len1 = 100;  ///< controls gamma1 = max/min
+  Time min_len2 = 10, max_len2 = 100;
+  std::uint64_t seed = 1;
+};
+
+/// Uniformly random rectangles.
+RectInstance gen_rects(const RectGenParams& p);
+
+/// "Periodic jobs" flavor: dimension 1 = day range, dimension 2 = daily time
+/// window (the paper's motivating 2-D example); same distribution but with
+/// day-granular dimension-1 coordinates.
+RectInstance gen_periodic_jobs(const RectGenParams& p, Time day_quantum = 10);
+
+}  // namespace busytime

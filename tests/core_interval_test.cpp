@@ -1,0 +1,108 @@
+// Unit and property tests for the interval kernel (core/time_types.hpp).
+#include "core/time_types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace busytime {
+namespace {
+
+TEST(Interval, LengthAndEmpty) {
+  EXPECT_EQ(Interval(2, 7).length(), 5);
+  EXPECT_TRUE(Interval(3, 3).empty());
+  EXPECT_FALSE(Interval(3, 4).empty());
+}
+
+TEST(Interval, HalfOpenOverlapSemantics) {
+  // [1,2) and [2,3) touch at a single point: NOT overlapping (Def 2.2).
+  EXPECT_FALSE(Interval(1, 2).overlaps(Interval(2, 3)));
+  EXPECT_FALSE(Interval(2, 3).overlaps(Interval(1, 2)));
+  // [1,3) and [2,4) share [2,3): overlapping.
+  EXPECT_TRUE(Interval(1, 3).overlaps(Interval(2, 4)));
+  EXPECT_EQ(Interval(1, 3).overlap_length(Interval(2, 4)), 1);
+  EXPECT_EQ(Interval(1, 2).overlap_length(Interval(2, 3)), 0);
+  // Disjoint.
+  EXPECT_FALSE(Interval(0, 1).overlaps(Interval(5, 6)));
+  EXPECT_EQ(Interval(0, 1).overlap_length(Interval(5, 6)), 0);
+}
+
+TEST(Interval, PaperExampleMachineProcessingTwoJobsAtTime2) {
+  // Section 2: a machine processing [1,2), [2,3), [1,3) runs at most two
+  // jobs concurrently (at time 2, [1,2) has completed).
+  const Interval a(1, 2), b(2, 3), c(1, 3);
+  EXPECT_FALSE(a.overlaps(b));
+  EXPECT_TRUE(a.overlaps(c));
+  EXPECT_TRUE(b.overlaps(c));
+}
+
+TEST(Interval, Containment) {
+  EXPECT_TRUE(Interval(1, 10).contains(Interval(3, 5)));
+  EXPECT_TRUE(Interval(1, 10).properly_contains(Interval(3, 5)));
+  EXPECT_TRUE(Interval(1, 10).contains(Interval(1, 10)));
+  EXPECT_FALSE(Interval(1, 10).properly_contains(Interval(1, 10)));
+  EXPECT_FALSE(Interval(3, 5).contains(Interval(1, 10)));
+  EXPECT_TRUE(Interval(1, 10).properly_contains(Interval(1, 9)));
+}
+
+TEST(Interval, ContainsTimeIsHalfOpen) {
+  const Interval iv(3, 7);
+  EXPECT_TRUE(iv.contains_time(3));
+  EXPECT_TRUE(iv.contains_time(6));
+  EXPECT_FALSE(iv.contains_time(7));  // not processed at completion time
+  EXPECT_FALSE(iv.contains_time(2));
+}
+
+TEST(Interval, Hull) {
+  EXPECT_EQ(Interval(1, 4).hull(Interval(3, 9)), Interval(1, 9));
+  EXPECT_EQ(Interval(5, 6).hull(Interval(0, 2)), Interval(0, 6));
+}
+
+TEST(UnionLength, Basics) {
+  EXPECT_EQ(union_length({}), 0);
+  EXPECT_EQ(union_length({{0, 5}}), 5);
+  // Overlapping.
+  EXPECT_EQ(union_length({{0, 5}, {3, 8}}), 8);
+  // Disjoint.
+  EXPECT_EQ(union_length({{0, 2}, {5, 9}}), 6);
+  // Touching merges seamlessly.
+  EXPECT_EQ(union_length({{0, 2}, {2, 4}}), 4);
+  // Nested.
+  EXPECT_EQ(union_length({{0, 10}, {2, 3}, {4, 6}}), 10);
+}
+
+TEST(UnionIntervals, MergesAndSorts) {
+  const auto merged = union_intervals({{5, 9}, {0, 2}, {1, 3}});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0], Interval(0, 3));
+  EXPECT_EQ(merged[1], Interval(5, 9));
+}
+
+TEST(TotalLength, Sums) {
+  EXPECT_EQ(total_length({{0, 5}, {3, 8}, {10, 11}}), 11);
+}
+
+// Property: union length computed by the sweep equals a brute-force count of
+// covered unit cells, on random small-coordinate instances.
+TEST(UnionLength, MatchesBruteForceOnRandomInstances) {
+  Rng rng(20120526);
+  for (int rep = 0; rep < 200; ++rep) {
+    const int k = static_cast<int>(rng.uniform_int(1, 12));
+    std::vector<Interval> ivs;
+    std::vector<char> covered(64, 0);
+    for (int i = 0; i < k; ++i) {
+      const Time s = rng.uniform_int(0, 50);
+      const Time c = s + rng.uniform_int(1, 12);
+      ivs.push_back({s, c});
+      for (Time t = s; t < c && t < 64; ++t) covered[static_cast<std::size_t>(t)] = 1;
+    }
+    Time brute = 0;
+    for (const char b : covered) brute += b;
+    EXPECT_EQ(union_length(ivs), brute);
+  }
+}
+
+}  // namespace
+}  // namespace busytime

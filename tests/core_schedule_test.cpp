@@ -1,0 +1,150 @@
+// Tests for Schedule cost/throughput/saving accounting and validity checks.
+#include "core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/validate.hpp"
+#include "util/prng.hpp"
+
+namespace busytime {
+namespace {
+
+Instance three_job_instance(int g = 2) {
+  // Jobs: [0,4), [2,6), [8,10).
+  return Instance({Job(0, 4), Job(2, 6), Job(8, 10)}, g);
+}
+
+TEST(Schedule, OneJobPerMachineCostEqualsTotalLength) {
+  const Instance inst = three_job_instance();
+  const Schedule s = one_job_per_machine(inst);
+  EXPECT_EQ(s.cost(inst), inst.total_length());
+  EXPECT_EQ(s.saving(inst), 0);
+  EXPECT_EQ(s.throughput(), 3);
+  EXPECT_TRUE(is_valid(inst, s));
+}
+
+TEST(Schedule, GroupedCostIsUnionLengthPerMachine) {
+  const Instance inst = three_job_instance();
+  // Jobs 0 and 1 overlap on [2,4): together span [0,6) = 6; job 2 alone = 2.
+  const Schedule s = schedule_from_groups(inst.size(), {{0, 1}, {2}});
+  EXPECT_EQ(s.cost(inst), 6 + 2);
+  EXPECT_EQ(s.saving(inst), inst.total_length() - 8);  // = 2 (the overlap)
+  EXPECT_TRUE(is_valid(inst, s));
+}
+
+TEST(Schedule, MachineWithDisjointJobsCostsUnionNotHull) {
+  // Jobs [0,2) and [8,10) on one machine: busy time 4, not 10.  This matches
+  // the paper's WLOG that a machine with a disconnected busy period can be
+  // split into several machines without changing the total busy time.
+  const Instance inst({Job(0, 2), Job(8, 10)}, 2);
+  const Schedule s = schedule_from_groups(inst.size(), {{0, 1}});
+  EXPECT_EQ(s.cost(inst), 4);
+  EXPECT_EQ(s.machine_busy_time(inst, 0), 4);
+}
+
+TEST(Schedule, PartialScheduleAccounting) {
+  const Instance inst = three_job_instance();
+  Schedule s(inst.size());
+  EXPECT_EQ(s.throughput(), 0);
+  EXPECT_EQ(s.cost(inst), 0);
+  s.assign(1, 0);
+  EXPECT_EQ(s.throughput(), 1);
+  EXPECT_EQ(s.cost(inst), 4);
+  EXPECT_FALSE(s.is_scheduled(0));
+  EXPECT_TRUE(s.is_scheduled(1));
+  s.unschedule(1);
+  EXPECT_EQ(s.throughput(), 0);
+}
+
+TEST(Schedule, CompactRenumbersDensely) {
+  Schedule s(std::vector<MachineId>{7, Schedule::kUnscheduled, 3, 7});
+  s.compact();
+  EXPECT_EQ(s.machine_of(0), 0);
+  EXPECT_EQ(s.machine_of(1), Schedule::kUnscheduled);
+  EXPECT_EQ(s.machine_of(2), 1);
+  EXPECT_EQ(s.machine_of(3), 0);
+  EXPECT_EQ(s.machine_count(), 2);
+}
+
+TEST(Validate, DetectsCapacityViolation) {
+  // Three pairwise-overlapping jobs on one machine with g = 2.
+  const Instance inst({Job(0, 10), Job(1, 9), Job(2, 8)}, 2);
+  const Schedule bad = schedule_from_groups(inst.size(), {{0, 1, 2}});
+  const auto violation = find_violation(inst, bad);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->machine, 0);
+  EXPECT_EQ(violation->concurrency, 3);
+  EXPECT_FALSE(is_valid(inst, bad));
+  // Splitting any one job off fixes it.
+  const Schedule good = schedule_from_groups(inst.size(), {{0, 1}, {2}});
+  EXPECT_TRUE(is_valid(inst, good));
+}
+
+TEST(Validate, TouchingJobsShareAThread) {
+  // g = 1 machine can run [0,5) then [5,9): no time has two jobs.
+  const Instance inst({Job(0, 5), Job(5, 9)}, 1);
+  const Schedule s = schedule_from_groups(inst.size(), {{0, 1}});
+  EXPECT_TRUE(is_valid(inst, s));
+  EXPECT_EQ(s.cost(inst), 9);
+}
+
+TEST(Validate, MoreThanGJobsOkIfNotConcurrent) {
+  // g = 2 machine running 4 jobs in two lanes.
+  const Instance inst({Job(0, 4), Job(0, 4), Job(4, 8), Job(4, 8)}, 2);
+  const Schedule s = schedule_from_groups(inst.size(), {{0, 1, 2, 3}});
+  EXPECT_TRUE(is_valid(inst, s));
+  EXPECT_EQ(max_concurrency(inst), 2);
+}
+
+TEST(Bounds, Observation21) {
+  const Instance inst = three_job_instance(2);
+  const CostBounds b = compute_bounds(inst);
+  EXPECT_EQ(b.length, 10);
+  EXPECT_EQ(b.span, 8);  // [0,6) u [8,10)
+  // Lower bound: max(span, len/g) = max(8, 5) = 8.
+  EXPECT_DOUBLE_EQ(b.lower_bound(), 8.0);
+  EXPECT_TRUE(b.admissible(8));
+  EXPECT_TRUE(b.admissible(10));
+  EXPECT_FALSE(b.admissible(7));   // below span bound
+  EXPECT_FALSE(b.admissible(11));  // above length bound
+}
+
+TEST(Bounds, ParallelismBoundDominatesWhenJobsStack) {
+  // 4 identical jobs, g = 2: span = 10 but len/g = 20.
+  const Instance inst({Job(0, 10), Job(0, 10), Job(0, 10), Job(0, 10)}, 2);
+  const CostBounds b = compute_bounds(inst);
+  EXPECT_DOUBLE_EQ(b.lower_bound(), 20.0);
+  EXPECT_EQ(ratio_to_lower_bound(inst, 20), 1.0);
+}
+
+// Property: any valid full schedule on random instances respects all
+// Observation 2.1 bounds (Proposition 2.1's g-approximation argument).
+TEST(Bounds, RandomFullSchedulesAreAdmissible) {
+  Rng rng(424242);
+  for (int rep = 0; rep < 100; ++rep) {
+    const int n = static_cast<int>(rng.uniform_int(1, 14));
+    const int g = static_cast<int>(rng.uniform_int(1, 4));
+    std::vector<Job> jobs;
+    for (int i = 0; i < n; ++i) {
+      const Time s = rng.uniform_int(0, 40);
+      jobs.emplace_back(s, s + rng.uniform_int(1, 15));
+    }
+    const Instance inst(std::move(jobs), g);
+
+    // Random valid schedule: first-fit into random order of machines.
+    Schedule s(inst.size());
+    for (int j = 0; j < n; ++j) {
+      for (MachineId m = 0;; ++m) {
+        s.assign(j, m);
+        if (is_valid(inst, s)) break;
+      }
+    }
+    ASSERT_TRUE(is_valid(inst, s));
+    const CostBounds b = compute_bounds(inst);
+    EXPECT_TRUE(b.admissible(s.cost(inst))) << inst.summary();
+  }
+}
+
+}  // namespace
+}  // namespace busytime

@@ -1,0 +1,113 @@
+// Tests for the exact MinBusy reference solvers: the two engines must agree
+// with each other and respect the Observation 2.1 bounds.
+#include "algo/exact_minbusy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/validate.hpp"
+#include "workload/generators.hpp"
+
+namespace busytime {
+namespace {
+
+TEST(ExactMinBusy, TinyHandComputedCases) {
+  // Two overlapping jobs, g = 2: one machine, cost = span.
+  {
+    const Instance inst({Job(0, 10), Job(5, 15)}, 2);
+    const auto s = exact_minbusy(inst);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->cost(inst), 15);
+  }
+  // Same with g = 1: cannot share, cost = 20.
+  {
+    const Instance inst({Job(0, 10), Job(5, 15)}, 1);
+    const auto s = exact_minbusy(inst);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->cost(inst), 20);
+  }
+  // Three nested jobs, g = 2: best pairs the two longest (saving max
+  // overlap), third alone.
+  {
+    const Instance inst({Job(0, 10), Job(1, 9), Job(2, 8)}, 2);
+    // Pair [0,10) and [1,9): cost 10; plus [2,8): 6 -> 16.
+    const auto cost = exact_minbusy_cost(inst);
+    ASSERT_TRUE(cost.has_value());
+    EXPECT_EQ(*cost, 16);
+  }
+  // g = 3 puts all three together: cost = 10.
+  {
+    const Instance inst({Job(0, 10), Job(1, 9), Job(2, 8)}, 3);
+    EXPECT_EQ(exact_minbusy_cost(inst).value(), 10);
+  }
+}
+
+TEST(ExactMinBusy, EmptyInstance) {
+  const Instance inst(std::vector<Job>{}, 2);
+  const auto s = exact_minbusy(inst);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->cost(inst), 0);
+}
+
+TEST(ExactMinBusy, EnginesAgreeOnRandomCliques) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    GenParams p;
+    p.n = 9;
+    p.g = static_cast<int>(1 + seed % 4);
+    p.horizon = 100;
+    p.min_len = 5;
+    p.max_len = 60;
+    p.seed = seed;
+    const Instance inst = gen_clique(p);
+    const Schedule dp = exact_minbusy_clique_dp(inst);
+    const Schedule bb = exact_minbusy_branch_bound(inst);
+    EXPECT_TRUE(is_valid(inst, dp));
+    EXPECT_TRUE(is_valid(inst, bb));
+    EXPECT_EQ(dp.cost(inst), bb.cost(inst)) << inst.summary() << " seed=" << seed;
+  }
+}
+
+TEST(ExactMinBusy, RespectsBoundsAndBeatsHeuristicsOnRandomInstances) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    GenParams p;
+    p.n = 10;
+    p.g = static_cast<int>(1 + seed % 3);
+    p.horizon = 60;
+    p.min_len = 3;
+    p.max_len = 25;
+    p.seed = seed * 31;
+    const Instance inst = gen_general(p);
+    const auto opt = exact_minbusy(inst);
+    ASSERT_TRUE(opt.has_value());
+    EXPECT_TRUE(is_valid(inst, *opt));
+    EXPECT_EQ(opt->throughput(), static_cast<std::int64_t>(inst.size()));
+    const CostBounds b = compute_bounds(inst);
+    EXPECT_TRUE(b.admissible(opt->cost(inst))) << inst.summary();
+  }
+}
+
+TEST(ExactMinBusy, CliqueDpIsNoWorseThanAnyPartitionSample) {
+  // Exhaustive sanity on a fixed 6-job clique with g = 3: enumerate all
+  // schedules by brute force over machine assignments (machine ids 0..5).
+  const Instance inst({Job(0, 12), Job(2, 14), Job(4, 10), Job(5, 16), Job(6, 13), Job(1, 8)},
+                      3);
+  const Time opt = exact_minbusy_cost(inst).value();
+  // Brute force: assignments of 6 jobs to <= 6 machines.
+  Time brute = inst.total_length();
+  std::vector<MachineId> a(inst.size(), 0);
+  const int n = static_cast<int>(inst.size());
+  for (int code = 0; code < 6 * 6 * 6 * 6 * 6 * 6; ++code) {
+    int x = code;
+    for (int j = 0; j < n; ++j) {
+      a[static_cast<std::size_t>(j)] = static_cast<MachineId>(x % 6);
+      x /= 6;
+    }
+    const Schedule s(a);
+    if (!is_valid(inst, s)) continue;
+    brute = std::min(brute, s.cost(inst));
+  }
+  EXPECT_EQ(opt, brute);
+}
+
+}  // namespace
+}  // namespace busytime

@@ -1,0 +1,276 @@
+// Tests for the Section 5 extensions: weighted throughput, capacity
+// demands, ring topology, tree one-sided.
+#include <gtest/gtest.h>
+
+#include "algo/one_sided.hpp"
+#include "core/classify.hpp"
+#include "core/validate.hpp"
+#include "extensions/capacity_demands.hpp"
+#include "extensions/ring.hpp"
+#include "extensions/tree_one_sided.hpp"
+#include "extensions/weighted_tput.hpp"
+#include "throughput/exact_tput.hpp"
+#include "throughput/proper_clique_tput_dp.hpp"
+#include "util/prng.hpp"
+#include "workload/generators.hpp"
+
+namespace busytime {
+namespace {
+
+// ------------------------------------------------------- weighted throughput
+
+TEST(WeightedTput, UnitWeightsReduceToUnweightedDp) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    GenParams p;
+    p.n = 10;
+    p.g = static_cast<int>(1 + seed % 4);
+    p.seed = seed * 3;
+    const Instance inst = gen_proper_clique(p);
+    const Time span = inst.span();
+    for (const Time budget : {span / 2, span, 2 * span}) {
+      const WeightedTputResult w = solve_proper_clique_weighted_tput(inst, budget);
+      const TputResult u = solve_proper_clique_tput(inst, budget);
+      EXPECT_EQ(w.weight, u.throughput) << "seed=" << seed << " T=" << budget;
+      EXPECT_TRUE(is_valid(inst, w.schedule));
+      EXPECT_LE(w.schedule.cost(inst), budget);
+    }
+  }
+}
+
+TEST(WeightedTput, MatchesExactOnRandomWeightedInstances) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    GenParams p;
+    p.n = 9;
+    p.g = static_cast<int>(1 + seed % 3);
+    p.seed = seed * 7;
+    const Instance inst = with_random_weights(gen_proper_clique(p), 10, seed * 31);
+    const Time span = inst.span();
+    for (const Time budget : {span / 2, span, inst.total_length()}) {
+      const WeightedTputResult mine = solve_proper_clique_weighted_tput(inst, budget);
+      const WeightedTputResult oracle = exact_weighted_tput_clique(inst, budget);
+      EXPECT_EQ(mine.weight, oracle.weight)
+          << "weighted DP suboptimal, seed=" << seed << " T=" << budget;
+      EXPECT_LE(mine.cost, budget);
+      EXPECT_EQ(mine.schedule.weighted_throughput(inst), mine.weight);
+    }
+  }
+}
+
+TEST(WeightedTput, PrefersHeavyJobOverManyLight) {
+  // One heavy job vs two light ones; budget only fits one machine block.
+  // Jobs (proper clique): [0,10) w=10, [1,11) w=1, [2,12) w=1; g=1.
+  // Budget 10: scheduling the single heavy job (cost 10, weight 10) beats
+  // any single light job.
+  Instance inst({Job(0, 10, 10), Job(1, 11, 1), Job(2, 12, 1)}, 1);
+  const WeightedTputResult r = solve_proper_clique_weighted_tput(inst, 10);
+  EXPECT_EQ(r.weight, 10);
+  EXPECT_TRUE(r.schedule.is_scheduled(0));
+}
+
+// ------------------------------------------------------------ demand model
+
+TEST(Demands, UnitDemandsMatchBaseModel) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    GenParams p;
+    p.n = 20;
+    p.g = 3;
+    p.seed = seed;
+    const Instance inst = gen_general(p);  // all demands = 1
+    const Schedule s = solve_first_fit_demands(inst);
+    EXPECT_TRUE(is_valid_demands(inst, s));
+    EXPECT_TRUE(is_valid(inst, s));  // coincides with the count model
+  }
+}
+
+TEST(Demands, ViolationDetection) {
+  std::vector<Job> jobs{Job(0, 10), Job(0, 10)};
+  jobs[0].demand = 3;
+  jobs[1].demand = 2;
+  const Instance inst(std::move(jobs), 4);
+  const Schedule together = schedule_from_groups(inst.size(), {{0, 1}});
+  const auto v = find_demand_violation(inst, together);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->demand, 5);
+  const Schedule apart = schedule_from_groups(inst.size(), {{0}, {1}});
+  EXPECT_TRUE(is_valid_demands(inst, apart));
+}
+
+TEST(Demands, FirstFitRespectsDemandsOnRandomInstances) {
+  Rng rng(91);
+  for (int rep = 0; rep < 20; ++rep) {
+    const int g = static_cast<int>(rng.uniform_int(2, 6));
+    std::vector<Job> jobs;
+    for (int i = 0; i < 25; ++i) {
+      const Time s = rng.uniform_int(0, 200);
+      Job j(s, s + rng.uniform_int(5, 60));
+      j.demand = rng.uniform_int(1, g);
+      jobs.push_back(j);
+    }
+    const Instance inst(std::move(jobs), g);
+    const Schedule s = solve_first_fit_demands(inst);
+    EXPECT_TRUE(is_valid_demands(inst, s));
+    EXPECT_EQ(s.throughput(), static_cast<std::int64_t>(inst.size()));
+  }
+}
+
+TEST(Demands, ExactBeatsOrMatchesFirstFit) {
+  Rng rng(47);
+  for (int rep = 0; rep < 10; ++rep) {
+    const int g = static_cast<int>(rng.uniform_int(2, 4));
+    std::vector<Job> jobs;
+    for (int i = 0; i < 9; ++i) {
+      const Time s = rng.uniform_int(0, 50);
+      Job j(s, s + rng.uniform_int(5, 25));
+      j.demand = rng.uniform_int(1, g);
+      jobs.push_back(j);
+    }
+    const Instance inst(std::move(jobs), g);
+    const Schedule exact = exact_minbusy_demands(inst);
+    const Schedule greedy = solve_first_fit_demands(inst);
+    EXPECT_TRUE(is_valid_demands(inst, exact));
+    EXPECT_LE(exact.cost(inst), greedy.cost(inst));
+    // Observation 2.1 bounds still hold in the demand model.
+    EXPECT_GE(exact.cost(inst), inst.span());
+  }
+}
+
+// ------------------------------------------------------------------- rings
+
+TEST(Ring, ArcGeometry) {
+  const Time c = 100;
+  const Arc a{90, 20};  // wraps: covers [90,100) u [0,10)
+  EXPECT_TRUE(a.covers(95, c));
+  EXPECT_TRUE(a.covers(5, c));
+  EXPECT_FALSE(a.covers(10, c));
+  EXPECT_FALSE(a.covers(89, c));
+
+  const Arc b{5, 10};
+  EXPECT_TRUE(a.overlaps(b, c));
+  const Arc d{10, 20};
+  EXPECT_FALSE(a.overlaps(d, c));  // touches at 10 only
+  EXPECT_TRUE(b.overlaps(d, c));
+}
+
+TEST(Ring, ArcUnionLength) {
+  const Time c = 100;
+  EXPECT_EQ(arc_union_length({}, c), 0);
+  EXPECT_EQ(arc_union_length({{0, 30}}, c), 30);
+  EXPECT_EQ(arc_union_length({{0, 30}, {20, 30}}, c), 50);
+  EXPECT_EQ(arc_union_length({{90, 20}, {5, 10}}, c), 25);   // wrap merge
+  EXPECT_EQ(arc_union_length({{0, 100}}, c), 100);           // full circle
+  EXPECT_EQ(arc_union_length({{50, 60}, {0, 20}}, c), 70);   // wrap + overlap
+}
+
+TEST(Ring, FirstFitValidAndBounded) {
+  Rng rng(7);
+  for (int rep = 0; rep < 15; ++rep) {
+    const Time c = 1000;
+    const int g = static_cast<int>(rng.uniform_int(1, 4));
+    std::vector<Arc> arcs;
+    for (int i = 0; i < 40; ++i)
+      arcs.push_back({rng.uniform_int(0, c - 1), rng.uniform_int(10, 300)});
+    const RingInstance inst(std::move(arcs), c, g);
+    for (const RingSchedule& s :
+         {solve_ring_first_fit(inst), solve_ring_bucket_first_fit(inst)}) {
+      EXPECT_TRUE(is_valid(inst, s));
+      const Time cost = s.cost(inst);
+      EXPECT_LE(cost, inst.total_length());  // length bound
+      // Parallelism bound: cost >= total/g.
+      EXPECT_GE(cost * g, inst.total_length());
+    }
+  }
+}
+
+TEST(Ring, GroomingSharesArcSpans) {
+  // Four identical arcs, g = 4: one machine, cost = one arc length.
+  const RingInstance inst({{10, 50}, {10, 50}, {10, 50}, {10, 50}}, 100, 4);
+  const RingSchedule s = solve_ring_first_fit(inst);
+  EXPECT_EQ(s.machine_count(), 1);
+  EXPECT_EQ(s.cost(inst), 50);
+}
+
+// -------------------------------------------------------------------- trees
+
+Tree star_tree() {
+  // Root 0 with 4 children (1..4), edge weights 10, 20, 30, 40.
+  return Tree({-1, 0, 0, 0, 0}, {0, 10, 20, 30, 40});
+}
+
+TEST(TreeSubstrate, LcaAndDist) {
+  // Path tree 0 - 1 - 2 - 3 with unit weights... build as caterpillar:
+  // parents: 0:-1, 1:0, 2:1, 3:2; weights 0,5,7,9.
+  const Tree t({-1, 0, 1, 2}, {0, 5, 7, 9});
+  EXPECT_EQ(t.lca(3, 0), 0);
+  EXPECT_EQ(t.lca(2, 3), 2);
+  EXPECT_EQ(t.dist(0, 3), 21);
+  EXPECT_EQ(t.dist(1, 3), 16);
+  EXPECT_TRUE(t.on_path(1, 0, 3));
+  EXPECT_TRUE(t.path_contains(0, 3, 1, 2));
+  EXPECT_FALSE(t.path_contains(1, 2, 0, 3));
+
+  const Tree star = star_tree();
+  EXPECT_EQ(star.lca(1, 2), 0);
+  EXPECT_EQ(star.dist(1, 2), 30);
+  EXPECT_FALSE(star.on_path(3, 1, 2));
+  EXPECT_TRUE(star.on_path(0, 1, 2));
+}
+
+TEST(TreeOneSided, DegeneratePathTreeMatchesObservation31) {
+  // A path graph with all jobs starting at node 0 is exactly a one-sided
+  // 1-D instance; greedy must group descending lengths g at a time.
+  // Path 0-1-2-3-4 with unit-ish weights.
+  const Tree t({-1, 0, 1, 2, 3}, {0, 2, 2, 2, 2});
+  // Paths from node 0: to 4 (len 8), to 3 (6), to 2 (4), to 1 (2).
+  const std::vector<TreePath> paths{{0, 4}, {0, 3}, {0, 2}, {0, 1}};
+  const TreeSchedule s = solve_tree_one_sided(t, paths, 2);
+  // Groups: {0->4, 0->3} cost 8; {0->2, 0->1} cost 4. Total 12.
+  EXPECT_EQ(s.cost, 12);
+  EXPECT_EQ(s.machines_used, 2);
+  // Matches the 1-D one-sided optimum.
+  EXPECT_EQ(s.cost, one_sided_cost({8, 6, 4, 2}, 2));
+}
+
+TEST(TreeOneSided, StarPathsCannotShareAcrossBranches) {
+  const Tree star = star_tree();
+  // Paths 1->2 and 3->4 are not contained in each other: separate machines.
+  const std::vector<TreePath> paths{{1, 2}, {3, 4}};
+  const TreeSchedule s = solve_tree_one_sided(star, paths, 4);
+  EXPECT_EQ(s.machines_used, 2);
+  EXPECT_EQ(s.cost, 30 + 70);
+}
+
+TEST(TreeOneSided, ContainedPathsShare) {
+  const Tree t({-1, 0, 1, 2, 3}, {0, 1, 1, 1, 1});
+  // Long path 0->4 contains 1->3 and 2->4.
+  const std::vector<TreePath> paths{{0, 4}, {1, 3}, {2, 4}};
+  const TreeSchedule s = solve_tree_one_sided(t, paths, 3);
+  EXPECT_EQ(s.machines_used, 1);
+  EXPECT_EQ(s.cost, 4);  // union = the whole opening path
+}
+
+TEST(TreeOneSided, NeverWorseThanOnePathPerMachine) {
+  Rng rng(1234);
+  // Random tree with 30 nodes.
+  std::vector<int> parent{-1};
+  std::vector<Time> weight{0};
+  for (int v = 1; v < 30; ++v) {
+    parent.push_back(static_cast<int>(rng.uniform_int(0, v - 1)));
+    weight.push_back(rng.uniform_int(1, 10));
+  }
+  const Tree t(parent, weight);
+  for (int rep = 0; rep < 10; ++rep) {
+    std::vector<TreePath> paths;
+    for (int i = 0; i < 20; ++i) {
+      const int u = static_cast<int>(rng.uniform_int(0, 29));
+      int v = static_cast<int>(rng.uniform_int(0, 29));
+      if (u == v) v = (v + 1) % 30;
+      paths.push_back({u, v});
+    }
+    const TreeSchedule s = solve_tree_one_sided(t, paths, 3);
+    EXPECT_LE(s.cost, tree_paths_total_length(t, paths));
+    EXPECT_GE(s.cost * 3, tree_paths_total_length(t, paths));  // parallelism bound
+  }
+}
+
+}  // namespace
+}  // namespace busytime

@@ -1,0 +1,140 @@
+// End-to-end integration tests chaining modules the way the examples and
+// CLI do: generate -> solve -> improve -> serialize -> reload -> validate ->
+// simulate -> price, asserting every hand-off preserves semantics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "algo/dispatch.hpp"
+#include "algo/local_search.hpp"
+#include "core/bounds.hpp"
+#include "core/validate.hpp"
+#include "io/serialize.hpp"
+#include "sim/billing.hpp"
+#include "sim/machine_sim.hpp"
+#include "sim/regenerator.hpp"
+#include "throughput/clique_tput.hpp"
+#include "throughput/proper_clique_tput_dp.hpp"
+#include "viz/gantt.hpp"
+#include "workload/generators.hpp"
+#include "workload/trace.hpp"
+
+namespace busytime {
+namespace {
+
+TEST(Pipeline, SolveSerializeReloadSimulatePrice) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    TraceParams p;
+    p.n = 60;
+    p.g = 4;
+    p.seed = seed;
+    const Instance inst = gen_trace(p);
+
+    // Solve + improve.
+    Schedule schedule = solve_minbusy_auto(inst).schedule;
+    improve_schedule(inst, schedule, /*max_rounds=*/3);
+    ASSERT_TRUE(is_valid(inst, schedule));
+
+    // Serialize both and reload.
+    std::stringstream inst_buf, sched_buf;
+    write_instance(inst_buf, inst);
+    write_schedule(sched_buf, schedule);
+    const Instance inst2 = read_instance(inst_buf);
+    const Schedule schedule2 = read_schedule(sched_buf, inst2.size());
+
+    // Semantics preserved across the round trip.
+    ASSERT_EQ(inst2.size(), inst.size());
+    EXPECT_EQ(schedule2.cost(inst2), schedule.cost(inst));
+    EXPECT_TRUE(is_valid(inst2, schedule2));
+
+    // Simulator agrees with the analytic cost on the reloaded pair.
+    const SimulationResult sim = simulate(inst2, schedule2);
+    EXPECT_TRUE(sim.ok());
+    EXPECT_EQ(sim.total_busy_time, schedule2.cost(inst2));
+
+    // Billing is linear in busy time when activation fees are zero.
+    const BillingRate rate{5, 0};
+    EXPECT_EQ(price_schedule(inst2, schedule2, rate).total(),
+              5 * schedule2.cost(inst2));
+  }
+}
+
+TEST(Pipeline, GanttRendersEveryDispatcherResult) {
+  GenParams p;
+  p.n = 20;
+  for (const int g : {1, 3, 7}) {
+    p.g = g;
+    p.seed = static_cast<std::uint64_t>(g) * 13;
+    for (const Instance& inst :
+         {gen_general(p), gen_clique(p), gen_proper_clique(p)}) {
+      const Schedule s = solve_minbusy_auto(inst).schedule;
+      const std::string chart = render_gantt(inst, s);
+      EXPECT_NE(chart.find("machines)"), std::string::npos);
+      // Every machine row appears.
+      for (std::int32_t m = 0; m < s.machine_count(); ++m)
+        EXPECT_NE(chart.find("M" + std::to_string(m)), std::string::npos);
+    }
+  }
+}
+
+TEST(Pipeline, BudgetedAdmissionMatchesMinBusyAtFullBudget) {
+  // MaxThroughput with budget = MinBusy optimum must schedule all jobs —
+  // the two problems agree at the boundary (this is Prop 2.2's invariant).
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    GenParams p;
+    p.n = 30;
+    p.g = 3;
+    p.seed = seed * 7;
+    const Instance inst = gen_proper_clique(p);
+    const Time opt = solve_minbusy_auto(inst).schedule.cost(inst);  // exact here
+    const TputResult all = solve_proper_clique_tput(inst, opt);
+    EXPECT_EQ(all.throughput, static_cast<std::int64_t>(inst.size()));
+    EXPECT_EQ(all.cost, opt);
+    const TputResult miss = solve_proper_clique_tput(inst, opt - 1);
+    EXPECT_LT(miss.throughput, static_cast<std::int64_t>(inst.size()));
+  }
+}
+
+TEST(Pipeline, RegeneratorGroomingSweep) {
+  // Grooming factor sweep on a fixed lightpath demand set: regenerator
+  // count must be non-increasing in g.
+  std::vector<Lightpath> demands;
+  Rng rng(31);
+  for (int i = 0; i < 40; ++i) {
+    const auto a = static_cast<std::int32_t>(rng.uniform_int(0, 30));
+    const auto b = static_cast<std::int32_t>(rng.uniform_int(a + 1, 32));
+    demands.push_back({a, b});
+  }
+  std::int64_t prev = std::numeric_limits<std::int64_t>::max();
+  for (const int g : {1, 2, 4, 8}) {
+    const Instance inst = lightpaths_to_instance(demands, g);
+    const Schedule s = solve_minbusy_auto(inst).schedule;
+    ASSERT_TRUE(is_valid(inst, s));
+    const auto report = count_regenerators(inst, s);
+    EXPECT_LE(report.regenerators, prev)
+        << "more grooming must not need more regenerators";
+    prev = report.regenerators;
+  }
+}
+
+TEST(Pipeline, BoundsSandwichSurvivesEveryStage) {
+  GenParams p;
+  p.n = 50;
+  p.g = 5;
+  p.seed = 4242;
+  const Instance inst = gen_general(p);
+  const CostBounds bounds = compute_bounds(inst);
+
+  Schedule s = solve_minbusy_auto(inst).schedule;
+  EXPECT_TRUE(bounds.admissible(s.cost(inst)));
+  improve_schedule(inst, s);
+  EXPECT_TRUE(bounds.admissible(s.cost(inst)));
+  std::stringstream buf;
+  write_schedule(buf, s);
+  const Schedule reloaded = read_schedule(buf, inst.size());
+  EXPECT_TRUE(bounds.admissible(reloaded.cost(inst)));
+  EXPECT_EQ(simulate(inst, reloaded).total_busy_time, reloaded.cost(inst));
+}
+
+}  // namespace
+}  // namespace busytime

@@ -1,0 +1,196 @@
+// Cross-cutting property sweeps (parameterized): every MinBusy algorithm on
+// every applicable family must produce valid, complete, bound-respecting
+// schedules whose cost matches the independent event simulator; exactness
+// and approximation guarantees are re-checked against the exact solvers on
+// the small sizes of the sweep.
+#include <gtest/gtest.h>
+
+#include "algo/dispatch.hpp"
+#include "algo/exact_minbusy.hpp"
+#include "algo/first_fit.hpp"
+#include "algo/local_search.hpp"
+#include "core/bounds.hpp"
+#include "core/classify.hpp"
+#include "core/components.hpp"
+#include "core/validate.hpp"
+#include "sim/machine_sim.hpp"
+#include "throughput/exact_tput.hpp"
+#include "workload/generators.hpp"
+#include "workload/trace.hpp"
+
+namespace busytime {
+namespace {
+
+enum class FamilyKind { kGeneral, kClique, kProper, kProperClique, kOneSided, kTrace };
+
+struct SweepParams {
+  FamilyKind family;
+  int n;
+  int g;
+};
+
+std::string family_name(FamilyKind kind) {
+  switch (kind) {
+    case FamilyKind::kGeneral: return "general";
+    case FamilyKind::kClique: return "clique";
+    case FamilyKind::kProper: return "proper";
+    case FamilyKind::kProperClique: return "proper_clique";
+    case FamilyKind::kOneSided: return "one_sided";
+    case FamilyKind::kTrace: return "trace";
+  }
+  return "?";
+}
+
+Instance make_instance(const SweepParams& sp, std::uint64_t seed) {
+  GenParams p;
+  p.n = sp.n;
+  p.g = sp.g;
+  p.seed = seed;
+  switch (sp.family) {
+    case FamilyKind::kGeneral: return gen_general(p);
+    case FamilyKind::kClique: return gen_clique(p);
+    case FamilyKind::kProper: return gen_proper(p);
+    case FamilyKind::kProperClique: return gen_proper_clique(p);
+    case FamilyKind::kOneSided: return gen_one_sided(p);
+    case FamilyKind::kTrace: {
+      TraceParams t;
+      t.n = sp.n;
+      t.g = sp.g;
+      t.seed = seed;
+      return gen_trace(t);
+    }
+  }
+  return Instance({}, 1);
+}
+
+class MinBusySweep : public ::testing::TestWithParam<SweepParams> {};
+
+TEST_P(MinBusySweep, GeneratorProducesDeclaredFamily) {
+  const auto sp = GetParam();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Instance inst = make_instance(sp, seed * 41);
+    const InstanceClass cls = classify(inst);
+    switch (sp.family) {
+      case FamilyKind::kClique: EXPECT_TRUE(cls.clique); break;
+      case FamilyKind::kProper: EXPECT_TRUE(cls.proper); break;
+      case FamilyKind::kProperClique: EXPECT_TRUE(cls.proper_clique()); break;
+      case FamilyKind::kOneSided: EXPECT_TRUE(cls.one_sided && cls.clique); break;
+      default: break;  // general/trace promise nothing
+    }
+    EXPECT_EQ(inst.size(), static_cast<std::size_t>(sp.n));
+    EXPECT_EQ(inst.g(), sp.g);
+  }
+}
+
+TEST_P(MinBusySweep, DispatcherInvariants) {
+  const auto sp = GetParam();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Instance inst = make_instance(sp, seed * 97);
+    const DispatchResult result = solve_minbusy_auto(inst);
+    const Schedule& s = result.schedule;
+
+    // Valid, complete, bound-respecting.
+    EXPECT_TRUE(is_valid(inst, s)) << inst.summary();
+    EXPECT_EQ(s.throughput(), static_cast<std::int64_t>(inst.size()));
+    const CostBounds bounds = compute_bounds(inst);
+    const Time cost = s.cost(inst);
+    EXPECT_TRUE(bounds.admissible(cost)) << inst.summary() << " cost=" << cost;
+
+    // The event simulator independently reproduces the analytic cost.
+    const SimulationResult sim = simulate(inst, s);
+    EXPECT_TRUE(sim.ok());
+    EXPECT_EQ(sim.total_busy_time, cost);
+
+    // Never worse than the trivial schedule or FirstFit by more than the
+    // documented factors; never better than the exact optimum.
+    EXPECT_LE(cost, inst.total_length());
+    if (inst.size() <= 12) {
+      if (const auto opt = exact_minbusy_cost(inst)) {
+        EXPECT_GE(cost, *opt) << "cost below optimum — accounting bug";
+        EXPECT_LE(cost, static_cast<Time>(inst.g()) * *opt) << "Prop 2.1 violated";
+      }
+    }
+  }
+}
+
+TEST_P(MinBusySweep, ComponentDecompositionIsLossless) {
+  const auto sp = GetParam();
+  const Instance inst = make_instance(sp, 12345);
+  // Solving per component must cost the same as the dispatcher's answer on
+  // each component separately (machines never mix components profitably).
+  const auto comps = connected_components(inst);
+  Time sum = 0;
+  for (const auto& comp : comps) {
+    const Instance sub = inst.restricted_to(comp);
+    sum += solve_minbusy_auto(sub).schedule.cost(sub);
+  }
+  EXPECT_EQ(solve_minbusy_auto(inst).schedule.cost(inst), sum);
+}
+
+TEST_P(MinBusySweep, LocalSearchPreservesInvariants) {
+  const auto sp = GetParam();
+  const Instance inst = make_instance(sp, 777);
+  Schedule s = solve_first_fit(inst);
+  const Time before = s.cost(inst);
+  improve_schedule(inst, s, /*max_rounds=*/5);
+  EXPECT_TRUE(is_valid(inst, s));
+  EXPECT_LE(s.cost(inst), before);
+  EXPECT_EQ(s.throughput(), static_cast<std::int64_t>(inst.size()));
+  if (inst.size() <= 12) {
+    if (const auto opt = exact_minbusy_cost(inst)) {
+      EXPECT_GE(s.cost(inst), *opt);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, MinBusySweep,
+    ::testing::Values(
+        SweepParams{FamilyKind::kGeneral, 10, 2}, SweepParams{FamilyKind::kGeneral, 30, 4},
+        SweepParams{FamilyKind::kGeneral, 60, 8}, SweepParams{FamilyKind::kClique, 10, 2},
+        SweepParams{FamilyKind::kClique, 30, 5}, SweepParams{FamilyKind::kProper, 10, 3},
+        SweepParams{FamilyKind::kProper, 50, 6},
+        SweepParams{FamilyKind::kProperClique, 12, 2},
+        SweepParams{FamilyKind::kProperClique, 40, 5},
+        SweepParams{FamilyKind::kOneSided, 12, 4},
+        SweepParams{FamilyKind::kTrace, 40, 4}, SweepParams{FamilyKind::kTrace, 80, 8}),
+    [](const ::testing::TestParamInfo<SweepParams>& info) {
+      return family_name(info.param.family) + "_n" + std::to_string(info.param.n) +
+             "_g" + std::to_string(info.param.g);
+    });
+
+// MaxThroughput sweep: budget monotonicity and budget-respect across
+// families, against the exact engines on small n.
+class TputSweep : public ::testing::TestWithParam<SweepParams> {};
+
+TEST_P(TputSweep, ExactEnginesMonotoneAndBudgetRespecting) {
+  const auto sp = GetParam();
+  const Instance inst = make_instance(sp, 31415);
+  std::int64_t prev = -1;
+  const Time len = inst.total_length();
+  for (const Time budget : {len / 8, len / 4, len / 2, (3 * len) / 4, len}) {
+    const auto r = exact_tput(inst, budget);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(is_valid(inst, r->schedule));
+    EXPECT_LE(r->schedule.cost(inst), budget);
+    EXPECT_EQ(r->schedule.throughput(), r->throughput);
+    EXPECT_GE(r->throughput, prev) << "throughput not monotone in budget";
+    prev = r->throughput;
+  }
+  EXPECT_EQ(prev, static_cast<std::int64_t>(inst.size()))
+      << "budget = len must schedule everything";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, TputSweep,
+    ::testing::Values(SweepParams{FamilyKind::kGeneral, 9, 2},
+                      SweepParams{FamilyKind::kClique, 11, 3},
+                      SweepParams{FamilyKind::kProperClique, 11, 4},
+                      SweepParams{FamilyKind::kOneSided, 10, 3}),
+    [](const ::testing::TestParamInfo<SweepParams>& info) {
+      return family_name(info.param.family) + "_n" + std::to_string(info.param.n) +
+             "_g" + std::to_string(info.param.g);
+    });
+
+}  // namespace
+}  // namespace busytime

@@ -1,0 +1,273 @@
+// Tests for the 2-D module: union area, FirstFit threads, BucketFirstFit,
+// and the Figure 3 construction.
+#include <gtest/gtest.h>
+
+#include "rect/bucket_first_fit.hpp"
+#include "rect/lower_bound_instance.hpp"
+#include "rect/rect_first_fit.hpp"
+#include "rect/rect_instance.hpp"
+#include "rect/rect_schedule.hpp"
+#include "rect/union_area.hpp"
+#include "util/prng.hpp"
+#include "workload/rect_generators.hpp"
+
+namespace busytime {
+namespace {
+
+TEST(RectTypes, OverlapNeedsPositiveArea) {
+  const Rect a(0, 10, 0, 10);
+  EXPECT_TRUE(a.overlaps(Rect(5, 15, 5, 15)));
+  EXPECT_EQ(a.overlap_area(Rect(5, 15, 5, 15)), 25);
+  // Edge contact in one dimension -> no overlap.
+  EXPECT_FALSE(a.overlaps(Rect(10, 20, 0, 10)));
+  EXPECT_FALSE(a.overlaps(Rect(0, 10, 10, 20)));
+  // Corner contact -> no overlap.
+  EXPECT_FALSE(a.overlaps(Rect(10, 20, 10, 20)));
+  EXPECT_EQ(a.area(), 100);
+}
+
+TEST(RectTypes, NegateDim1) {
+  const Rect a(2, 5, 1, 4);
+  const Rect na = a.negate_dim1();
+  EXPECT_EQ(na, Rect(-5, -2, 1, 4));
+  EXPECT_EQ(na.area(), a.area());
+}
+
+TEST(UnionArea, Basics) {
+  EXPECT_EQ(union_area({}), 0);
+  EXPECT_EQ(union_area({Rect(0, 4, 0, 5)}), 20);
+  // Disjoint.
+  EXPECT_EQ(union_area({Rect(0, 2, 0, 2), Rect(10, 12, 0, 2)}), 8);
+  // Overlapping: 2x2 squares offset by 1 -> 4 + 4 - 1.
+  EXPECT_EQ(union_area({Rect(0, 2, 0, 2), Rect(1, 3, 1, 3)}), 7);
+  // Nested.
+  EXPECT_EQ(union_area({Rect(0, 10, 0, 10), Rect(2, 4, 2, 4)}), 100);
+  // Touching edges merge without double count.
+  EXPECT_EQ(union_area({Rect(0, 2, 0, 2), Rect(2, 4, 0, 2)}), 8);
+}
+
+TEST(UnionArea, MatchesBruteForceGridOnRandomInstances) {
+  Rng rng(0xA12EA);
+  for (int rep = 0; rep < 100; ++rep) {
+    const int k = static_cast<int>(rng.uniform_int(1, 10));
+    std::vector<Rect> rects;
+    std::vector<std::vector<char>> grid(24, std::vector<char>(24, 0));
+    for (int i = 0; i < k; ++i) {
+      const Time s1 = rng.uniform_int(0, 20);
+      const Time s2 = rng.uniform_int(0, 20);
+      const Rect r(s1, s1 + rng.uniform_int(1, 4), s2, s2 + rng.uniform_int(1, 4));
+      rects.push_back(r);
+      for (Time x = r.dim1.start; x < r.dim1.completion; ++x)
+        for (Time y = r.dim2.start; y < r.dim2.completion; ++y)
+          grid[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)] = 1;
+    }
+    Time brute = 0;
+    for (const auto& row : grid)
+      for (const char cell : row) brute += cell;
+    EXPECT_EQ(union_area(rects), brute);
+  }
+}
+
+TEST(RectSchedule, CostAndValidity) {
+  const RectInstance inst({Rect(0, 4, 0, 4), Rect(2, 6, 2, 6), Rect(10, 12, 0, 2)}, 2);
+  RectSchedule s(inst.size());
+  s.assign(0, 0, 0);
+  s.assign(1, 0, 1);  // overlaps job 0 but different thread: OK
+  s.assign(2, 1, 0);
+  EXPECT_TRUE(is_valid(inst, s));
+  // Machine 0 busy area: two 4x4 squares overlapping in 2x2 -> 28.
+  EXPECT_EQ(s.machine_busy_area(inst, 0), 28);
+  EXPECT_EQ(s.cost(inst), 28 + 4);
+
+  // Same thread for overlapping rects -> violation.
+  RectSchedule bad(inst.size());
+  bad.assign(0, 0, 0);
+  bad.assign(1, 0, 0);
+  const auto v = find_rect_violation(inst, bad);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->machine, 0);
+  EXPECT_EQ(v->thread, 0);
+
+  // Thread id out of range -> violation.
+  RectSchedule oob(inst.size());
+  oob.assign(0, 0, 5);
+  EXPECT_FALSE(is_valid(inst, oob));
+}
+
+TEST(RectFirstFit, ValidAndCompleteOnRandomInstances) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    RectGenParams p;
+    p.n = 60;
+    p.g = static_cast<int>(1 + seed % 4);
+    p.seed = seed;
+    const RectInstance inst = gen_rects(p);
+    const RectSchedule s = solve_rect_first_fit(inst);
+    EXPECT_TRUE(is_valid(inst, s)) << inst.summary();
+    for (std::size_t j = 0; j < inst.size(); ++j)
+      EXPECT_TRUE(s.is_scheduled(static_cast<RectJobId>(j)));
+    // Cost sanity: between span (lower) and total area (upper).
+    const Time cost = s.cost(inst);
+    EXPECT_GE(cost, inst.span());
+    EXPECT_LE(cost, inst.total_area());
+  }
+}
+
+TEST(RectFirstFit, UsesThreadsBeforeNewMachines) {
+  // Two disjoint rects, g = 1: same machine (thread 0 twice is invalid, so
+  // FirstFit uses thread 0 for both only if disjoint — they are).
+  const RectInstance inst({Rect(0, 2, 0, 2), Rect(5, 7, 5, 7)}, 1);
+  const RectSchedule s = solve_rect_first_fit(inst);
+  EXPECT_EQ(s.machine_of(0), s.machine_of(1));
+  EXPECT_EQ(s.machine_count(), 1);
+}
+
+TEST(RectFirstFit, Lemma34SpanInequalityHolds) {
+  // Lemma 3.4: span(J_{i+1}) <= (6*gamma1 + 3)/g * len(J_i) for consecutive
+  // FirstFit machines.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    RectGenParams p;
+    p.n = 80;
+    p.g = 3;
+    p.min_len1 = 10;
+    p.max_len1 = 40;  // gamma1 <= 4
+    p.seed = seed * 5;
+    const RectInstance inst = gen_rects(p);
+    const double gamma1 = inst.gamma().gamma1();
+    const RectSchedule s = solve_rect_first_fit(inst);
+    const auto per_machine = s.jobs_per_machine();
+    for (std::size_t m = 0; m + 1 < per_machine.size(); ++m) {
+      Time len_m = 0;
+      for (const RectJobId j : per_machine[m]) len_m += inst.job(j).area();
+      std::vector<Rect> next;
+      for (const RectJobId j : per_machine[m + 1]) next.push_back(inst.job(j));
+      const double lhs = static_cast<double>(union_area(next));
+      const double rhs = (6.0 * gamma1 + 3.0) / p.g * static_cast<double>(len_m);
+      EXPECT_LE(lhs, rhs + 1e-6) << "machine " << m << " seed " << seed;
+    }
+  }
+}
+
+TEST(BucketFirstFit, ValidAndBucketCountLogarithmic) {
+  RectGenParams p;
+  p.n = 120;
+  p.g = 4;
+  p.min_len1 = 1;
+  p.max_len1 = 1000;  // gamma1 = 1000
+  p.min_len2 = 10;
+  p.max_len2 = 20;
+  p.seed = 3;
+  const RectInstance inst = gen_rects(p);
+  const auto r = solve_bucket_first_fit(inst, kPaperBeta);
+  EXPECT_TRUE(is_valid(inst, r.schedule));
+  // Note: bucketing runs along the dimension with SMALLER gamma; here
+  // gamma2 = 2 < gamma1, so dims are swapped and buckets are few.
+  EXPECT_TRUE(r.swapped_dims);
+  EXPECT_LE(r.buckets_used, 2);
+
+  // Force bucketing along dimension 1 with an explicit instance:
+  // gamma1 = 100 < gamma2 = 10000.
+  std::vector<Rect> jobs;
+  for (int i = 0; i < 30; ++i) {
+    const Time len1 = (i % 3 == 0) ? 10 : (i % 3 == 1 ? 100 : 1000);
+    const Time len2 = (i % 2 == 0) ? 10 : 100000;
+    jobs.emplace_back(i * 50, i * 50 + len1, i * 37, i * 37 + len2);
+  }
+  const RectInstance inst2(std::move(jobs), 4);
+  const auto r2 = solve_bucket_first_fit(inst2, kPaperBeta);
+  EXPECT_FALSE(r2.swapped_dims);
+  const double gamma1 = inst2.gamma().gamma1();  // = 100
+  EXPECT_LE(r2.buckets_used,
+            static_cast<int>(std::log(gamma1) / std::log(kPaperBeta)) + 2);
+  EXPECT_GE(r2.buckets_used, 2);  // lengths span two decades
+  EXPECT_TRUE(is_valid(inst2, r2.schedule));
+}
+
+TEST(BucketFirstFit, WithinTheoremEnvelopeOnRandomInstances) {
+  // Measured ratio vs the certified lower bound max(span, area/g) must stay
+  // below min(g, 13.82 log2(min gamma) + C).  The additive constant is loose
+  // in the paper; C = 20 is a conservative test envelope.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    RectGenParams p;
+    p.n = 100;
+    p.g = 5;
+    p.min_len1 = 5;
+    p.max_len1 = 50;
+    p.min_len2 = 5;
+    p.max_len2 = 50;
+    p.seed = seed * 9;
+    const RectInstance inst = gen_rects(p);
+    const auto r = solve_bucket_first_fit(inst, kPaperBeta);
+    ASSERT_TRUE(is_valid(inst, r.schedule));
+    const double lower = std::max(static_cast<double>(inst.span()),
+                                  static_cast<double>(inst.total_area()) / p.g);
+    const double ratio = static_cast<double>(r.schedule.cost(inst)) / lower;
+    const double gamma = std::min(inst.gamma().gamma1(), inst.gamma().gamma2());
+    const double envelope =
+        std::min(static_cast<double>(p.g), 13.82 * std::log2(gamma) + 20.0);
+    EXPECT_LE(ratio, envelope) << inst.summary();
+  }
+}
+
+TEST(Fig3, ConstructionInvariants) {
+  const Fig3Instance fig = make_fig3_instance({.g = 6, .gamma1 = 2, .inv_eps = 10});
+  // n = g(g-3) + 8g jobs.
+  EXPECT_EQ(fig.instance.size(), 6u * 3u + 8u * 6u);
+  EXPECT_TRUE(is_valid(fig.instance, fig.good_schedule));
+  // gamma1 of the instance equals the requested gamma1 (len1 ratio 2K*gamma / 2K).
+  EXPECT_DOUBLE_EQ(fig.instance.gamma().gamma1(), 2.0);
+  // The good schedule costs exactly the closed form.
+  EXPECT_EQ(fig.good_cost, fig.good_schedule.cost(fig.instance));
+}
+
+TEST(Fig3, FirstFitHitsTheLowerBoundShape) {
+  // With the forced order, FirstFit fills exactly g machines each of busy
+  // area span(Y).
+  const Fig3Instance fig = make_fig3_instance({.g = 7, .gamma1 = 3, .inv_eps = 50});
+  const RectSchedule ff = solve_rect_first_fit(fig.instance, fig.priorities);
+  ASSERT_TRUE(is_valid(fig.instance, ff));
+  EXPECT_EQ(ff.machine_count(), 7);
+  const Time cost = ff.cost(fig.instance);
+  EXPECT_EQ(cost, 7 * fig.span_y);
+
+  // The exact ratio of the construction is
+  //   (1 + 2*gamma1 - eps')(3 - eps') / (1 + (6*gamma1 - 1)/g),
+  // ~ 6.07 at g = 7, gamma1 = 3; it approaches 6*gamma1 + 3 = 21 only as
+  // g -> infinity.  Check the deterministic value and the Lemma 3.5 cap.
+  const double ratio = static_cast<double>(cost) / static_cast<double>(fig.good_cost);
+  const double eps = 1.0 / 50;
+  const double expected =
+      (1 + 2.0 * 3 - eps) * (3 - eps) / (1 + (6.0 * 3 - 1) / 7);
+  EXPECT_NEAR(ratio, expected, 1e-9);
+  EXPECT_LT(ratio, 6.0 * 3 + 4);  // upper bound of Lemma 3.5
+}
+
+TEST(Fig3, RatioApproachesSixGammaPlusThree) {
+  // Monotone improvement toward 6*gamma1+3 as g and K grow.
+  const double target = 6.0 * 2 + 3;  // gamma1 = 2 -> 15
+  double prev_gap = 1e9;
+  for (const int g : {5, 10, 20}) {
+    const Fig3Instance fig =
+        make_fig3_instance({.g = g, .gamma1 = 2, .inv_eps = 200});
+    const RectSchedule ff = solve_rect_first_fit(fig.instance, fig.priorities);
+    const double ratio = static_cast<double>(ff.cost(fig.instance)) /
+                         static_cast<double>(fig.good_cost);
+    const double gap = target - ratio;
+    EXPECT_GT(gap, 0.0);
+    EXPECT_LT(gap, prev_gap);
+    prev_gap = gap;
+  }
+}
+
+TEST(PeriodicJobsGenerator, DayQuantization) {
+  RectGenParams p;
+  p.n = 40;
+  p.seed = 2;
+  const RectInstance inst = gen_periodic_jobs(p, 10);
+  for (const auto& r : inst.jobs()) {
+    EXPECT_EQ(r.dim1.start % 10, 0);
+    EXPECT_EQ(r.len1() % 10, 0);
+  }
+}
+
+}  // namespace
+}  // namespace busytime

@@ -1,0 +1,123 @@
+// Tests for the weighted greedy set cover substrate.
+#include "setcover/greedy_setcover.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "util/prng.hpp"
+
+namespace busytime {
+namespace {
+
+std::int64_t exact_set_cover(int universe, const std::vector<CoverSet>& family) {
+  // Brute force over subsets of the family (family size <= ~20).
+  const std::size_t full = std::size_t{1} << family.size();
+  std::int64_t best = -1;
+  for (std::size_t pick = 0; pick < full; ++pick) {
+    std::int64_t weight = 0;
+    std::vector<char> covered(static_cast<std::size_t>(universe), 0);
+    for (std::size_t i = 0; i < family.size(); ++i)
+      if (pick >> i & 1) {
+        weight += family[i].weight;
+        for (const int e : family[i].elements) covered[static_cast<std::size_t>(e)] = 1;
+      }
+    bool all = true;
+    for (const char c : covered) all &= (c != 0);
+    if (all && (best == -1 || weight < best)) best = weight;
+  }
+  return best;
+}
+
+TEST(SetCover, TrivialCases) {
+  EXPECT_TRUE(greedy_set_cover(0, {}).covered_all);
+  const auto r = greedy_set_cover(2, {{{0, 1}, 5}});
+  EXPECT_TRUE(r.covered_all);
+  EXPECT_EQ(r.total_weight, 5);
+  ASSERT_EQ(r.chosen.size(), 1u);
+  EXPECT_EQ(r.chosen[0], 0);
+}
+
+TEST(SetCover, PicksByWeightPerNewElement) {
+  // Set 0 covers {0,1,2} at weight 3 (ratio 1); set 1 covers {0} at weight
+  // 0.5-like (weight 1, ratio 1)... make it clear-cut:
+  const std::vector<CoverSet> family{
+      {{0, 1, 2}, 3},  // ratio 1
+      {{0}, 2},        // ratio 2
+      {{1, 2}, 1},     // ratio 0.5 -> picked first
+  };
+  const auto r = greedy_set_cover(3, family);
+  EXPECT_TRUE(r.covered_all);
+  ASSERT_GE(r.chosen.size(), 1u);
+  EXPECT_EQ(r.chosen[0], 2);
+}
+
+TEST(SetCover, ReportsPartialCover) {
+  const auto r = greedy_set_cover(3, {{{0}, 1}});
+  EXPECT_FALSE(r.covered_all);
+  EXPECT_EQ(r.chosen.size(), 1u);
+}
+
+TEST(SetCover, SkipsUselessSets) {
+  const std::vector<CoverSet> family{{{0, 1}, 1}, {{0, 1}, 100}};
+  const auto r = greedy_set_cover(2, family);
+  EXPECT_TRUE(r.covered_all);
+  ASSERT_EQ(r.chosen.size(), 1u);
+  EXPECT_EQ(r.chosen[0], 0);
+}
+
+TEST(SetCover, ClassicGreedyTightExample) {
+  // Universe {0..5}; greedy can be H-factor away: singleton-ish traps.
+  const std::vector<CoverSet> family{
+      {{0, 1, 2, 3, 4, 5}, 7},      // OPT alone: weight 7
+      {{0, 1, 2}, 3},               // ratio 1
+      {{3, 4}, 2},                  // ratio 1
+      {{5}, 1},                     // ratio 1
+  };
+  const auto r = greedy_set_cover(6, family);
+  EXPECT_TRUE(r.covered_all);
+  // Greedy ratio comparisons: set1 ratio 3/3=1, set0 ratio 7/6; 1 < 7/6 so
+  // greedy starts with the traps and pays 6; OPT is 7?? Actually 6 < 7:
+  // greedy wins here. The point: result must be within H_6 * OPT.
+  const std::int64_t opt = exact_set_cover(6, family);
+  const double h6 = 1 + 0.5 + 1.0 / 3 + 0.25 + 0.2 + 1.0 / 6;
+  EXPECT_LE(static_cast<double>(r.total_weight),
+            h6 * static_cast<double>(opt) + 1e-9);
+}
+
+// Property: greedy weight <= H_s * OPT on random instances (s = max set
+// size), and greedy always covers when cover exists.
+TEST(SetCover, HarmonicGuaranteeOnRandomInstances) {
+  Rng rng(60217);
+  for (int rep = 0; rep < 200; ++rep) {
+    const int universe = static_cast<int>(rng.uniform_int(1, 10));
+    const int sets = static_cast<int>(rng.uniform_int(1, 12));
+    std::vector<CoverSet> family;
+    std::size_t max_size = 1;
+    for (int i = 0; i < sets; ++i) {
+      CoverSet s;
+      for (int e = 0; e < universe; ++e)
+        if (rng.bernoulli(0.4)) s.elements.push_back(e);
+      if (s.elements.empty()) s.elements.push_back(static_cast<int>(rng.uniform_int(0, universe - 1)));
+      s.weight = rng.uniform_int(1, 20);
+      max_size = std::max(max_size, s.elements.size());
+      family.push_back(std::move(s));
+    }
+    const auto greedy = greedy_set_cover(universe, family);
+    const std::int64_t opt = exact_set_cover(universe, family);
+    if (opt == -1) {
+      EXPECT_FALSE(greedy.covered_all);
+      continue;
+    }
+    ASSERT_TRUE(greedy.covered_all);
+    double h = 0;
+    for (std::size_t k = 1; k <= max_size; ++k) h += 1.0 / static_cast<double>(k);
+    EXPECT_LE(static_cast<double>(greedy.total_weight),
+              h * static_cast<double>(opt) + 1e-9)
+        << "universe=" << universe << " sets=" << sets << " rep=" << rep;
+  }
+}
+
+}  // namespace
+}  // namespace busytime

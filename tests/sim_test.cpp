@@ -1,0 +1,165 @@
+// Tests for the simulator and application mappings: the simulator must
+// agree with the analytic cost accounting, flag capacity violations, and
+// price energy per the power-down model.
+#include "sim/machine_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algo/dispatch.hpp"
+#include "core/validate.hpp"
+#include "sim/billing.hpp"
+#include "sim/regenerator.hpp"
+#include "workload/generators.hpp"
+#include "workload/trace.hpp"
+
+namespace busytime {
+namespace {
+
+TEST(Simulator, BusyTimeMatchesScheduleCost) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    GenParams p;
+    p.n = 30;
+    p.g = static_cast<int>(1 + seed % 4);
+    p.seed = seed;
+    const Instance inst = gen_general(p);
+    const Schedule s = solve_minbusy_auto(inst).schedule;
+    const SimulationResult sim = simulate(inst, s);
+    EXPECT_TRUE(sim.ok());
+    EXPECT_EQ(sim.total_busy_time, s.cost(inst));
+    EXPECT_EQ(sim.jobs_executed, static_cast<std::int64_t>(inst.size()));
+  }
+}
+
+TEST(Simulator, DetectsCapacityViolations) {
+  const Instance inst({Job(0, 10), Job(1, 9), Job(2, 8)}, 2);
+  const Schedule bad = schedule_from_groups(inst.size(), {{0, 1, 2}});
+  const SimulationResult sim = simulate(inst, bad);
+  EXPECT_FALSE(sim.ok());
+  EXPECT_EQ(sim.capacity_violations, 1);
+  EXPECT_EQ(sim.machines[0].peak_concurrency, 3);
+}
+
+TEST(Simulator, EnergyModelIdleVsSleep) {
+  // One machine, two jobs with a gap of 10 between them.
+  const Instance inst({Job(0, 10), Job(20, 30)}, 2);
+  const Schedule s = schedule_from_groups(inst.size(), {{0, 1}});
+
+  EnergyModel idle_through;
+  idle_through.busy_power = 10;
+  idle_through.idle_power = 2;
+  idle_through.wake_energy = 100;
+  idle_through.sleep_gap_threshold = 50;  // gap 10 < 50 -> idle through
+  const SimulationResult r1 = simulate(inst, s, idle_through);
+  // Energy: wake (100) + busy 20*10 + idle 10*2 = 320.
+  EXPECT_EQ(r1.total_energy, 100 + 200 + 20);
+  EXPECT_EQ(r1.machines[0].activations, 1);
+  EXPECT_EQ(r1.machines[0].idle_time, 10);
+  EXPECT_EQ(r1.machines[0].busy_time, 20);
+
+  EnergyModel sleeper = idle_through;
+  sleeper.sleep_gap_threshold = 5;  // gap 10 >= 5 -> sleep and re-wake
+  const SimulationResult r2 = simulate(inst, s, sleeper);
+  // Energy: wake + busy 10*10 + wake + busy 10*10 = 400.
+  EXPECT_EQ(r2.total_energy, 100 + 100 + 100 + 100);
+  EXPECT_EQ(r2.machines[0].activations, 2);
+  EXPECT_EQ(r2.machines[0].idle_time, 0);
+}
+
+TEST(Simulator, SleepDecisionDependsOnGap) {
+  // Gap exactly at the threshold sleeps (>=).
+  const Instance inst({Job(0, 5), Job(15, 20)}, 1);
+  const Schedule s = schedule_from_groups(inst.size(), {{0, 1}});
+  EnergyModel m;
+  m.sleep_gap_threshold = 10;
+  const SimulationResult r = simulate(inst, s, m);
+  EXPECT_EQ(r.machines[0].activations, 2);
+}
+
+TEST(Billing, PricesScheduleAndConvertsBudget) {
+  const Instance inst({Job(0, 10), Job(5, 15), Job(30, 40)}, 2);
+  const Schedule s = schedule_from_groups(inst.size(), {{0, 1}, {2}});
+  BillingRate rate{3, 7};
+  const Invoice invoice = price_schedule(inst, s, rate);
+  EXPECT_EQ(invoice.busy_time, 15 + 10);
+  EXPECT_EQ(invoice.machines, 2);
+  EXPECT_EQ(invoice.machine_time_charge, 75);
+  EXPECT_EQ(invoice.activation_charge, 14);
+  EXPECT_EQ(invoice.total(), 89);
+
+  EXPECT_EQ(budget_from_money(100, rate), 33);
+  EXPECT_EQ(budget_from_money(0, rate), 0);
+  EXPECT_EQ(budget_from_money(-5, rate), 0);
+}
+
+TEST(Regenerator, CountsInteriorNodes) {
+  // Lightpaths 0->4 and 2->6 on one color: union [0,6) -> 5 interior nodes
+  // (1..5); separate path 8->10 on another color -> 1 interior node (9).
+  const Instance inst = lightpaths_to_instance({{0, 4}, {2, 6}, {8, 10}}, 2);
+  const Schedule s = schedule_from_groups(inst.size(), {{0, 1}, {2}});
+  const RegeneratorReport report = count_regenerators(inst, s);
+  EXPECT_EQ(report.colors_used, 2);
+  EXPECT_EQ(report.total_span, 6 + 2);
+  EXPECT_EQ(report.regenerators, 5 + 1);
+}
+
+TEST(Regenerator, GroomingReducesRegenerators) {
+  // 4 identical paths 0->10; grooming 4 -> one color, 9 regenerators;
+  // grooming 1 -> four colors, 36.
+  const std::vector<Lightpath> paths{{0, 10}, {0, 10}, {0, 10}, {0, 10}};
+  const Instance groomed = lightpaths_to_instance(paths, 4);
+  const auto groomed_sched = solve_minbusy_auto(groomed).schedule;
+  EXPECT_EQ(count_regenerators(groomed, groomed_sched).regenerators, 9);
+
+  const Instance ungroomed = lightpaths_to_instance(paths, 1);
+  const auto ungroomed_sched = solve_minbusy_auto(ungroomed).schedule;
+  EXPECT_EQ(count_regenerators(ungroomed, ungroomed_sched).regenerators, 36);
+}
+
+TEST(TraceGenerator, SortedArrivalsAndBoundedDurations) {
+  TraceParams p;
+  p.n = 300;
+  p.seed = 11;
+  const Instance inst = gen_trace(p);
+  EXPECT_EQ(inst.size(), 300u);
+  Time prev = 0;
+  for (const auto& j : inst.jobs()) {
+    EXPECT_GE(j.start(), prev);
+    prev = j.start();
+    EXPECT_GE(j.length(), p.min_duration);
+    EXPECT_LE(j.length(), p.max_duration);
+  }
+}
+
+TEST(TraceGenerator, DeterministicAndDiurnalDiffers) {
+  TraceParams p;
+  p.n = 100;
+  p.seed = 5;
+  const Instance a = gen_trace(p);
+  const Instance b = gen_trace(p);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a.jobs()[i].interval, b.jobs()[i].interval);
+
+  p.diurnal = true;
+  const Instance c = gen_trace(p);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    differs |= !(a.jobs()[i].interval == c.jobs()[i].interval);
+  EXPECT_TRUE(differs);
+}
+
+TEST(Workload, GeneratorsProduceDeclaredFamilies) {
+  // Integration check across all 1-D generators and the dispatcher.
+  GenParams p;
+  p.n = 40;
+  p.g = 3;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    p.seed = seed;
+    const Instance trace = gen_trace({.n = 40, .g = 3, .seed = seed});
+    const auto r = solve_minbusy_auto(trace);
+    EXPECT_TRUE(is_valid(trace, r.schedule));
+  }
+}
+
+}  // namespace
+}  // namespace busytime

@@ -1,0 +1,271 @@
+// Tests for Section 4 (MaxThroughput): optimality of the one-sided and
+// proper-clique solvers, the Theorem 4.1 4-approximation, the exact
+// reference engines, and the Proposition 2.2 reduction.
+#include <gtest/gtest.h>
+
+#include "algo/exact_minbusy.hpp"
+#include "core/bounds.hpp"
+#include "core/classify.hpp"
+#include "core/validate.hpp"
+#include "throughput/clique_tput.hpp"
+#include "throughput/exact_tput.hpp"
+#include "throughput/one_sided_tput.hpp"
+#include "throughput/proper_clique_tput_dp.hpp"
+#include "throughput/reduction.hpp"
+#include "workload/generators.hpp"
+
+namespace busytime {
+namespace {
+
+// --------------------------------------------------------------- one-sided
+
+TEST(OneSidedTput, PrefixCosts) {
+  // lengths {3, 5, 8}, g = 2: costs 0, 3, 5, 8+3=11.
+  EXPECT_EQ(shortest_prefix_costs({8, 3, 5}, 2), (std::vector<Time>{0, 3, 5, 11}));
+  EXPECT_EQ(shortest_prefix_costs({8, 3, 5}, 1), (std::vector<Time>{0, 3, 8, 16}));
+  EXPECT_EQ(shortest_prefix_costs({}, 3), (std::vector<Time>{0}));
+}
+
+TEST(OneSidedTput, HandPicked) {
+  // Jobs of lengths 2,4,6,8 from time 0, g = 2, budget 8:
+  // prefixes: 0,2,4,10(=6+... wait 6 shortest {2,4,6}: groups {6,4},{2} =
+  // 6+2=8), so j=3 costs 8 <= 8 -> throughput 3.
+  const Instance inst({Job(0, 2), Job(0, 4), Job(0, 6), Job(0, 8)}, 2);
+  const TputResult r = solve_one_sided_tput(inst, 8);
+  EXPECT_EQ(r.throughput, 3);
+  EXPECT_EQ(r.cost, 8);
+  EXPECT_TRUE(is_valid(inst, r.schedule));
+  EXPECT_EQ(r.schedule.cost(inst), 8);
+  EXPECT_FALSE(r.schedule.is_scheduled(3));  // the longest is left out
+}
+
+TEST(OneSidedTput, ZeroBudgetAndFullBudget) {
+  const Instance inst({Job(0, 5), Job(0, 7)}, 2);
+  EXPECT_EQ(solve_one_sided_tput(inst, 0).throughput, 0);
+  const TputResult full = solve_one_sided_tput(inst, 100);
+  EXPECT_EQ(full.throughput, 2);
+  EXPECT_EQ(full.cost, 7);
+}
+
+TEST(OneSidedTput, MatchesExactOnRandomInstances) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    GenParams p;
+    p.n = 10;
+    p.g = static_cast<int>(1 + seed % 4);
+    p.min_len = 2;
+    p.max_len = 40;
+    p.seed = seed;
+    const Instance inst = gen_one_sided(p);
+    // Budget sweep across the interesting range.
+    const Time len = inst.total_length();
+    for (const Time budget : {len / 8, len / 4, len / 2, len}) {
+      const TputResult mine = solve_one_sided_tput(inst, budget);
+      const TputResult oracle = exact_tput_clique(inst, budget);
+      EXPECT_TRUE(is_valid(inst, mine.schedule));
+      EXPECT_LE(mine.schedule.cost(inst), budget);
+      EXPECT_EQ(mine.throughput, oracle.throughput)
+          << "Prop 4.1 optimality violated, seed=" << seed << " T=" << budget;
+    }
+  }
+}
+
+// ------------------------------------------------- clique 4-approx (Thm 4.1)
+
+TEST(CliqueTput, Alg2FindsBestWindow) {
+  // Jobs around time 10; budget fits only the tight cluster.
+  const Instance inst({Job(8, 12), Job(9, 12), Job(9, 13), Job(0, 30)}, 3);
+  const TputResult r = clique_tput_alg2(inst, 5);
+  EXPECT_EQ(r.throughput, 3);
+  EXPECT_TRUE(is_valid(inst, r.schedule));
+  EXPECT_LE(r.schedule.cost(inst), 5);
+}
+
+TEST(CliqueTput, Alg2RespectsCapacity) {
+  // 5 identical jobs, g = 2: one machine takes only 2.
+  const Instance inst({Job(0, 4), Job(0, 4), Job(0, 4), Job(0, 4), Job(0, 4)}, 2);
+  const TputResult r = clique_tput_alg2(inst, 4);
+  EXPECT_EQ(r.throughput, 2);
+}
+
+TEST(CliqueTput, CombinedWithinFourTimesOptimum) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    GenParams p;
+    p.n = 12;
+    p.g = static_cast<int>(1 + seed % 4);
+    p.horizon = 200;
+    p.min_len = 5;
+    p.max_len = 80;
+    p.seed = seed * 11;
+    const Instance inst = gen_clique(p);
+    const Time span = inst.span();
+    for (const Time budget : {span / 4, span / 2, span, 2 * span}) {
+      const TputResult approx = solve_clique_tput(inst, budget);
+      EXPECT_TRUE(is_valid(inst, approx.schedule));
+      EXPECT_LE(approx.schedule.cost(inst), budget);
+      const TputResult oracle = exact_tput_clique(inst, budget);
+      EXPECT_LE(oracle.throughput, 4 * std::max<std::int64_t>(approx.throughput, 0) +
+                                       (oracle.throughput > 0 && approx.throughput == 0 ? 4 : 0))
+          << "Theorem 4.1 factor violated, seed=" << seed << " T=" << budget
+          << " approx=" << approx.throughput << " opt=" << oracle.throughput;
+      // The cleaner assertion (allowing the degenerate tput*=0 case):
+      if (oracle.throughput > 0) {
+        EXPECT_GE(4 * approx.throughput, oracle.throughput);
+      }
+    }
+  }
+}
+
+TEST(CliqueTput, FullBudgetSchedulesEverything) {
+  GenParams p;
+  p.n = 15;
+  p.g = 3;
+  p.seed = 4;
+  const Instance inst = gen_clique(p);
+  // Budget = len(J) always suffices for all jobs (one job per machine).
+  const TputResult r = solve_clique_tput(inst, inst.total_length());
+  EXPECT_TRUE(is_valid(inst, r.schedule));
+  // Alg1 with T/2 reduced budget may not schedule everything; Theorem 4.1
+  // only promises a 4-approximation. But at least a quarter:
+  EXPECT_GE(4 * r.throughput, static_cast<std::int64_t>(inst.size()));
+}
+
+// --------------------------------------------- proper clique DP (Thm 4.2)
+
+TEST(ProperCliqueTput, HandPicked) {
+  // Proper clique staircase; g = 2.
+  const Instance inst({Job(0, 10), Job(2, 12), Job(4, 14), Job(6, 16)}, 2);
+  // Budget 28 = len of two pairs... full schedule: pairs {0,1},{2,3}:
+  // cost = 12 + 12 = 24.
+  const TputResult all = solve_proper_clique_tput(inst, 24);
+  EXPECT_EQ(all.throughput, 4);
+  EXPECT_EQ(all.cost, 24);
+  EXPECT_TRUE(is_valid(inst, all.schedule));
+  // Budget 23 cannot fit all 4: block sizes alternatives cost more.
+  const TputResult three = solve_proper_clique_tput(inst, 23);
+  EXPECT_LT(three.throughput, 4);
+  EXPECT_LE(three.cost, 23);
+}
+
+TEST(ProperCliqueTput, MatchesExactOnRandomInstances) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    GenParams p;
+    p.n = 11;
+    p.g = static_cast<int>(1 + seed % 5);
+    p.horizon = 120;
+    p.seed = seed * 29;
+    const Instance inst = gen_proper_clique(p);
+    ASSERT_TRUE(is_proper(inst) && is_clique(inst));
+    const Time span = inst.span();
+    const Time len = inst.total_length();
+    for (const Time budget : {span / 3, span, (span + len) / 2, len}) {
+      const TputResult dp = solve_proper_clique_tput(inst, budget);
+      const TputResult oracle = exact_tput_clique(inst, budget);
+      EXPECT_TRUE(is_valid(inst, dp.schedule));
+      EXPECT_LE(dp.schedule.cost(inst), budget);
+      EXPECT_EQ(dp.throughput, oracle.throughput)
+          << "Theorem 4.2 optimality violated, seed=" << seed << " T=" << budget;
+      EXPECT_EQ(dp.cost, dp.schedule.cost(inst));
+      // Value-only variant agrees.
+      const auto [vt, vc] = proper_clique_tput_value(inst, budget);
+      EXPECT_EQ(vt, dp.throughput);
+      EXPECT_EQ(vc, dp.cost);
+    }
+  }
+}
+
+TEST(ProperCliqueTput, MachineBlocksAreConsecutiveInJ) {
+  GenParams p;
+  p.n = 25;
+  p.g = 3;
+  p.seed = 10;
+  const Instance inst = gen_proper_clique(p);
+  const TputResult r = solve_proper_clique_tput(inst, inst.span() * 2);
+  const auto order = inst.ids_by_start();
+  std::vector<int> pos(inst.size());
+  for (std::size_t k = 0; k < order.size(); ++k)
+    pos[static_cast<std::size_t>(order[k])] = static_cast<int>(k);
+  for (const auto& group : r.schedule.jobs_per_machine()) {
+    if (group.empty()) continue;
+    int lo = static_cast<int>(inst.size()), hi = -1;
+    for (const JobId j : group) {
+      lo = std::min(lo, pos[static_cast<std::size_t>(j)]);
+      hi = std::max(hi, pos[static_cast<std::size_t>(j)]);
+    }
+    // Lemma 4.3: consecutive in J (gaps would mean an unscheduled job inside
+    // a machine's range, which the exchange argument rules out for the DP's
+    // block structure).
+    EXPECT_EQ(hi - lo + 1, static_cast<int>(group.size()));
+  }
+}
+
+// ----------------------------------------------------------- exact engines
+
+TEST(ExactTput, EnginesAgreeOnCliques) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    GenParams p;
+    p.n = 9;
+    p.g = static_cast<int>(1 + seed % 3);
+    p.seed = seed * 7;
+    const Instance inst = gen_clique(p);
+    const Time span = inst.span();
+    for (const Time budget : {span / 2, span}) {
+      const TputResult a = exact_tput_clique(inst, budget);
+      const TputResult b = exact_tput_general(inst, budget);
+      EXPECT_EQ(a.throughput, b.throughput) << "seed=" << seed << " T=" << budget;
+      EXPECT_TRUE(is_valid(inst, a.schedule));
+      EXPECT_TRUE(is_valid(inst, b.schedule));
+      EXPECT_LE(a.schedule.cost(inst), budget);
+      EXPECT_LE(b.schedule.cost(inst), budget);
+    }
+  }
+}
+
+TEST(ExactTput, MonotoneInBudget) {
+  GenParams p;
+  p.n = 10;
+  p.g = 2;
+  p.seed = 3;
+  const Instance inst = gen_clique(p);
+  std::int64_t prev = -1;
+  for (Time budget = 0; budget <= inst.total_length(); budget += 37) {
+    const auto r = exact_tput(inst, budget);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_GE(r->throughput, prev);
+    prev = r->throughput;
+  }
+}
+
+// --------------------------------------------------- reduction (Prop 2.2)
+
+TEST(Reduction, RecoversExactMinBusyFromTputOracle) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    GenParams p;
+    p.n = 9;
+    p.g = static_cast<int>(1 + seed % 3);
+    p.seed = seed * 13;
+    for (const Instance& inst : {gen_clique(p), gen_general(p)}) {
+      const TputOracle oracle = [](const Instance& sub, Time budget) {
+        return exact_tput(sub, budget).value().throughput;
+      };
+      const ReductionResult r = minbusy_via_tput_oracle(inst, oracle);
+      const Time direct = exact_minbusy_cost(inst).value();
+      EXPECT_EQ(r.optimal_cost, direct)
+          << "Prop 2.2 reduction mismatch, seed=" << seed << " " << inst.summary();
+      // When g = 1 the Observation 2.1 bounds pin OPT = len(J) and zero
+      // oracle calls are needed; otherwise binary search uses O(log len).
+      EXPECT_LE(r.oracle_calls, 2 + static_cast<int>(
+          std::ceil(std::log2(static_cast<double>(inst.total_length()) + 1))));
+    }
+  }
+}
+
+TEST(Reduction, EmptyInstance) {
+  const Instance inst(std::vector<Job>{}, 2);
+  const auto r = minbusy_via_tput_oracle(
+      inst, [](const Instance&, Time) { return std::int64_t{0}; });
+  EXPECT_EQ(r.optimal_cost, 0);
+  EXPECT_EQ(r.oracle_calls, 0);
+}
+
+}  // namespace
+}  // namespace busytime
