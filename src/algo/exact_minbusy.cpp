@@ -1,7 +1,6 @@
 #include "algo/exact_minbusy.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cassert>
 #include <limits>
 #include <vector>
@@ -10,6 +9,7 @@
 #include "core/components.hpp"
 #include "core/validate.hpp"
 #include "intervalgraph/sweepline.hpp"
+#include "util/bitops.hpp"
 
 namespace busytime {
 
@@ -28,7 +28,7 @@ Schedule clique_dp_impl(const Instance& inst) {
   std::vector<Time> min_start(full, kInf), max_completion(full, 0);
   min_start[0] = kInf;
   for (std::size_t mask = 1; mask < full; ++mask) {
-    const int v = std::countr_zero(mask);
+    const int v = countr_zero(mask);
     const std::size_t rest = mask & (mask - 1);
     min_start[mask] = std::min(rest ? min_start[rest] : kInf, inst.job(v).start());
     max_completion[mask] =
@@ -47,7 +47,7 @@ Schedule clique_dp_impl(const Instance& inst) {
     // Enumerate groups = {low} ∪ (submask of rest), |group| <= g.
     for (std::size_t sub = rest;; sub = (sub - 1) & rest) {
       const std::size_t group = sub | low;
-      if (std::popcount(group) <= g) {
+      if (popcount(group) <= g) {
         const Time span = max_completion[group] - min_start[group];
         const Time cand = dp[mask ^ group] + span;
         if (cand < dp[mask]) {
@@ -65,7 +65,7 @@ Schedule clique_dp_impl(const Instance& inst) {
   while (mask) {
     const std::size_t group = group_of[mask];
     for (std::size_t rem = group; rem; rem &= rem - 1)
-      s.assign(std::countr_zero(rem), machine);
+      s.assign(countr_zero(rem), machine);
     ++machine;
     mask ^= group;
   }

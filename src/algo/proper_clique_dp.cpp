@@ -67,14 +67,14 @@ DpTables run_dp(const Instance& inst, const std::vector<JobId>& order) {
 }  // namespace
 
 Time proper_clique_optimal_cost(const Instance& inst) {
-  assert(is_proper(inst) && is_clique(inst));
+  assert(inst.empty() || (is_proper(inst) && is_clique(inst)));
   if (inst.empty()) return 0;
   const auto order = inst.ids_by_start();
   return run_dp(inst, order).best[inst.size()];
 }
 
 Schedule solve_proper_clique_dp(const Instance& inst) {
-  assert(is_proper(inst) && is_clique(inst));
+  assert(inst.empty() || (is_proper(inst) && is_clique(inst)));
   Schedule s(inst.size());
   if (inst.empty()) return s;
   const auto order = inst.ids_by_start();

@@ -11,9 +11,11 @@
 //   algo/           MinBusy algorithms (Section 3) + exact reference solvers
 //   throughput/     MaxThroughput algorithms (Section 4) + reduction
 //   rect/           2-D rectangular jobs (Section 3.4)
+//   online/         streaming scheduler engine (arrival-order policies)
 //   workload/       seeded synthetic instance generators
 //   sim/            event-driven machine/energy simulator + app mappings
 //   extensions/     Section 5 extensions (weighted, demands, ring, tree)
+//   util/           flags, PRNG, statistics, tables, bit ops
 #pragma once
 
 #include "algo/best_cut.hpp"
@@ -22,6 +24,7 @@
 #include "algo/dispatch.hpp"
 #include "algo/exact_minbusy.hpp"
 #include "algo/first_fit.hpp"
+#include "algo/local_search.hpp"
 #include "algo/one_sided.hpp"
 #include "algo/proper_clique_dp.hpp"
 #include "core/bounds.hpp"
@@ -32,7 +35,6 @@
 #include "core/schedule.hpp"
 #include "core/time_types.hpp"
 #include "core/validate.hpp"
-#include "algo/local_search.hpp"
 #include "extensions/capacity_demands.hpp"
 #include "extensions/flexible_jobs.hpp"
 #include "extensions/ring.hpp"
@@ -44,6 +46,13 @@
 #include "matching/blossom.hpp"
 #include "matching/dp_matching.hpp"
 #include "matching/greedy_matching.hpp"
+#include "matching/matching_types.hpp"
+#include "online/engine_stats.hpp"
+#include "online/epoch_hybrid.hpp"
+#include "online/event.hpp"
+#include "online/machine_pool.hpp"
+#include "online/scheduler.hpp"
+#include "online/stream_driver.hpp"
 #include "rect/bucket_first_fit.hpp"
 #include "rect/lower_bound_instance.hpp"
 #include "rect/rect_first_fit.hpp"
@@ -60,6 +69,11 @@
 #include "throughput/one_sided_tput.hpp"
 #include "throughput/proper_clique_tput_dp.hpp"
 #include "throughput/reduction.hpp"
+#include "util/bitops.hpp"
+#include "util/flags.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
 #include "viz/gantt.hpp"
 #include "workload/generators.hpp"
 #include "workload/rect_generators.hpp"

@@ -33,7 +33,10 @@ struct Job {
   Time completion() const noexcept { return interval.completion; }
   Time length() const noexcept { return interval.length(); }
 
-  friend bool operator==(const Job&, const Job&) = default;
+  friend bool operator==(const Job& a, const Job& b) noexcept {
+    return a.interval == b.interval && a.weight == b.weight && a.demand == b.demand;
+  }
+  friend bool operator!=(const Job& a, const Job& b) noexcept { return !(a == b); }
 };
 
 inline std::ostream& operator<<(std::ostream& os, const Job& j) {

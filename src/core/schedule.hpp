@@ -36,6 +36,20 @@ class Schedule {
   void assign(JobId j, MachineId m) { assignment_.at(static_cast<std::size_t>(j)) = m; }
   void unschedule(JobId j) { assign(j, kUnscheduled); }
 
+  /// Grows the schedule to hold at least `n` jobs; new slots are
+  /// unscheduled.  Never shrinks.  Used by the streaming engine, where the
+  /// final job count is unknown while jobs arrive.
+  void ensure_size(std::size_t n) {
+    if (n > assignment_.size()) assignment_.resize(n, kUnscheduled);
+  }
+
+  /// Appends one job's assignment and returns its JobId, for callers that
+  /// number jobs in arrival order.
+  JobId append(MachineId m) {
+    assignment_.push_back(m);
+    return static_cast<JobId>(assignment_.size() - 1);
+  }
+
   const std::vector<MachineId>& assignment() const noexcept { return assignment_; }
 
   /// Number of scheduled jobs — tput(s) in Section 2.

@@ -69,7 +69,12 @@ struct Interval {
     return h;
   }
 
-  friend constexpr bool operator==(const Interval&, const Interval&) = default;
+  friend constexpr bool operator==(const Interval& a, const Interval& b) noexcept {
+    return a.start == b.start && a.completion == b.completion;
+  }
+  friend constexpr bool operator!=(const Interval& a, const Interval& b) noexcept {
+    return !(a == b);
+  }
 };
 
 inline std::ostream& operator<<(std::ostream& os, const Interval& iv) {

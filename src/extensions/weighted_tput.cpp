@@ -1,12 +1,12 @@
 #include "extensions/weighted_tput.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cassert>
 #include <limits>
 #include <queue>
 
 #include "core/classify.hpp"
+#include "util/bitops.hpp"
 
 namespace busytime {
 
@@ -188,7 +188,7 @@ WeightedTputResult exact_weighted_tput_clique(const Instance& inst, Time budget)
   std::vector<Time> min_start(full, kInf), max_completion(full, 0);
   std::vector<std::int64_t> mask_weight(full, 0);
   for (std::size_t mask = 1; mask < full; ++mask) {
-    const int v = std::countr_zero(mask);
+    const int v = countr_zero(mask);
     const std::size_t rest = mask & (mask - 1);
     min_start[mask] = std::min(rest ? min_start[rest] : kInf, inst.job(v).start());
     max_completion[mask] =
@@ -204,7 +204,7 @@ WeightedTputResult exact_weighted_tput_clique(const Instance& inst, Time budget)
     const std::size_t rest = mask ^ low;
     for (std::size_t sub = rest;; sub = (sub - 1) & rest) {
       const std::size_t group = sub | low;
-      if (std::popcount(group) <= g) {
+      if (popcount(group) <= g) {
         const Time cand = cost[mask ^ group] + (max_completion[group] - min_start[group]);
         if (cand < cost[mask]) {
           cost[mask] = cand;
@@ -230,7 +230,7 @@ WeightedTputResult exact_weighted_tput_clique(const Instance& inst, Time budget)
   while (mask) {
     const std::size_t group = group_of[mask];
     for (std::size_t rem = group; rem; rem &= rem - 1)
-      result.schedule.assign(std::countr_zero(rem), machine);
+      result.schedule.assign(countr_zero(rem), machine);
     ++machine;
     mask ^= group;
   }

@@ -1,9 +1,10 @@
 #include "matching/dp_matching.hpp"
 
-#include <bit>
 #include <cassert>
 #include <cstdint>
 #include <limits>
+
+#include "util/bitops.hpp"
 
 namespace busytime {
 
@@ -29,14 +30,14 @@ MatchingResult max_weight_matching_dp(int n, const std::vector<WeightedEdge>& ed
   std::vector<std::int64_t> dp(full, 0);
   std::vector<int> choice(full, -1);
   for (std::size_t mask = 1; mask < full; ++mask) {
-    const int v = std::countr_zero(mask);
+    const int v = countr_zero(mask);
     const std::size_t rest = mask & (mask - 1);  // mask without v
     // Option 1: leave v unmatched.
     dp[mask] = dp[rest];
     choice[mask] = -1;
     // Option 2: match v with some u in rest.
     for (std::size_t sub = rest; sub; sub &= sub - 1) {
-      const int u = std::countr_zero(sub);
+      const int u = countr_zero(sub);
       const std::int64_t weight_uv = w[static_cast<std::size_t>(v)][static_cast<std::size_t>(u)];
       if (weight_uv < 0) continue;
       const std::int64_t cand = dp[rest & ~(std::size_t{1} << u)] + weight_uv;
@@ -52,7 +53,7 @@ MatchingResult max_weight_matching_dp(int n, const std::vector<WeightedEdge>& ed
   result.weight = dp[full - 1];
   std::size_t mask = full - 1;
   while (mask) {
-    const int v = std::countr_zero(mask);
+    const int v = countr_zero(mask);
     const int u = choice[mask];
     if (u < 0) {
       mask &= mask - 1;

@@ -1,0 +1,17 @@
+#include "online/engine_stats.hpp"
+
+#include <sstream>
+
+namespace busytime {
+
+std::string EngineStats::summary() const {
+  std::ostringstream oss;
+  oss << "jobs=" << jobs_assigned << " cost=" << online_cost
+      << " machines(open=" << open_machines << " peak=" << peak_open_machines
+      << " opened=" << machines_opened << " closed=" << machines_closed
+      << ") load(active=" << active_jobs << " peak=" << peak_active_jobs
+      << ") clock=" << clock;
+  return oss.str();
+}
+
+}  // namespace busytime

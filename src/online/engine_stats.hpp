@@ -1,0 +1,38 @@
+// Counters maintained by the streaming engine.
+//
+// The stats layer is what turns the engine from "an assignment loop" into a
+// measurable serving system: every placement updates the accumulated busy
+// time (the online analogue of cost(s), Section 2) incrementally, so the
+// engine never recomputes a union of intervals, and open/close events plus
+// peak load give capacity-planning signals that the offline solvers have no
+// notion of.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "core/time_types.hpp"
+
+namespace busytime {
+
+struct EngineStats {
+  std::int64_t jobs_assigned = 0;
+  std::int64_t machines_opened = 0;
+  std::int64_t machines_closed = 0;
+  std::int64_t open_machines = 0;       ///< currently open (not yet idle)
+  std::int64_t peak_open_machines = 0;
+  std::int64_t active_jobs = 0;         ///< currently running across the pool
+  std::int64_t peak_active_jobs = 0;    ///< peak concurrent load seen so far
+  /// Latest stream time the engine has advanced to (lowest() before the
+  /// first arrival).  Every placement happens at clock >= job start, which
+  /// is the online "no assignment before arrival" invariant.
+  Time clock = std::numeric_limits<Time>::lowest();
+  /// Accumulated busy time of all machines — equals cost(s) of the engine's
+  /// schedule at every point of the stream.
+  Time online_cost = 0;
+
+  std::string summary() const;
+};
+
+}  // namespace busytime

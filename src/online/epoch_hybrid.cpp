@@ -1,0 +1,53 @@
+#include "online/epoch_hybrid.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "algo/dispatch.hpp"
+#include "core/instance.hpp"
+
+namespace busytime {
+
+void EpochHybrid::handle(JobId id, const Job& job) {
+  if (!pending_.empty() &&
+      (job.start() - epoch_start_ >= params_.epoch_length ||
+       static_cast<int>(pending_.size()) >= params_.max_batch)) {
+    flush_batch();
+  }
+  if (pending_.empty()) epoch_start_ = job.start();
+  pending_.push_back(ArrivalEvent{id, job});
+}
+
+void EpochHybrid::flush() {
+  if (!pending_.empty()) flush_batch();
+}
+
+void EpochHybrid::flush_batch() {
+  // Re-optimize the batch with the offline dispatcher.  Batch jobs are
+  // renumbered 0..k-1 in arrival order; groups come back as machine ids of
+  // the batch schedule.
+  std::vector<Job> jobs;
+  jobs.reserve(pending_.size());
+  for (const ArrivalEvent& ev : pending_) jobs.push_back(ev.job);
+  const Instance batch(std::move(jobs), g());
+  const DispatchResult offline = solve_minbusy_auto(batch);
+
+  // Materialize each offline group onto a fresh pinned machine, then replay
+  // the batch in start order so the pool's incremental busy accounting sees
+  // monotone placements.  Pinning keeps a group's machine open across the
+  // idle gaps an offline group may contain.
+  std::vector<MachineId> group_machine(
+      static_cast<std::size_t>(offline.schedule.machine_count()),
+      Schedule::kUnscheduled);
+  for (std::size_t k = 0; k < pending_.size(); ++k) {
+    const MachineId local = offline.schedule.machine_of(static_cast<JobId>(k));
+    assert(local != Schedule::kUnscheduled);  // MinBusy schedules are full
+    auto& target = group_machine[static_cast<std::size_t>(local)];
+    if (target == Schedule::kUnscheduled) target = pool_.open_machine(/*pinned=*/true);
+    commit(pending_[k].id, target, pending_[k].job);
+  }
+  pool_.unpin_all();
+  pending_.clear();
+}
+
+}  // namespace busytime

@@ -1,0 +1,50 @@
+// Arrival events and job streams for the online engine.
+//
+// The online setting (cf. the serving scenarios behind the paper's cloud and
+// optical applications) reveals jobs one at a time, at their start instants;
+// a scheduler must commit each job to a machine without knowledge of future
+// arrivals.  A JobStream adapts an offline Instance to that model by
+// replaying its jobs in non-decreasing start order, which is exactly the
+// order a real arrival process would deliver them in.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace busytime {
+
+/// One job arrival: the job id it carries in the originating instance plus
+/// the job itself.  Ids are preserved so the resulting online Schedule is
+/// directly comparable (cost, validity) against offline schedules of the
+/// same instance.
+struct ArrivalEvent {
+  JobId id = 0;
+  Job job;
+};
+
+/// Replays an Instance as a time-ordered arrival stream.
+class JobStream {
+ public:
+  explicit JobStream(const Instance& inst)
+      : inst_(&inst), order_(inst.ids_by_start()) {}
+
+  bool done() const noexcept { return pos_ >= order_.size(); }
+  std::size_t remaining() const noexcept { return order_.size() - pos_; }
+  std::size_t size() const noexcept { return order_.size(); }
+
+  /// Next arrival; must not be called when done().  Starts are
+  /// non-decreasing across successive calls by construction.
+  ArrivalEvent next() {
+    const JobId id = order_[pos_++];
+    return ArrivalEvent{id, inst_->job(id)};
+  }
+
+ private:
+  const Instance* inst_;
+  std::vector<JobId> order_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace busytime

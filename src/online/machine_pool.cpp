@@ -1,0 +1,98 @@
+#include "online/machine_pool.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace busytime {
+
+MachinePool::MachinePool(int g) : g_(g) { assert(g >= 1); }
+
+void MachinePool::advance(Time now) {
+  assert(now >= stats_.clock || stats_.clock == std::numeric_limits<Time>::lowest());
+  stats_.clock = now;
+
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < open_.size(); ++i) {
+    const MachineId id = open_[i];
+    Machine& m = machines_[static_cast<std::size_t>(id)];
+    // Retire jobs whose half-open interval has ended: [s, c) is no longer
+    // running at time c, so completions <= now free a slot.
+    while (!m.active.empty() && m.active.front() <= now) {
+      std::pop_heap(m.active.begin(), m.active.end(), std::greater<Time>());
+      m.active.pop_back();
+      --stats_.active_jobs;
+    }
+    if (m.active.empty() && m.has_jobs && !m.pinned) {
+      ++stats_.machines_closed;
+      --stats_.open_machines;
+      // Closed machines are never revisited; release the heap storage so
+      // long-lived streams hold memory proportional to current load, not to
+      // the total number of machines ever opened.
+      std::vector<Time>().swap(m.active);
+      continue;  // drop from the open set
+    }
+    open_[keep++] = id;
+  }
+  open_.resize(keep);
+}
+
+bool MachinePool::fits(MachineId m) const {
+  return machines_[static_cast<std::size_t>(m)].active.size() <
+         static_cast<std::size_t>(g_);
+}
+
+Time MachinePool::extension(MachineId m, const Interval& iv) const {
+  const Machine& machine = machines_[static_cast<std::size_t>(m)];
+  if (!machine.has_jobs) return iv.length();
+  if (iv.start >= machine.seg_end) return iv.length();  // idle gap: new segment
+  return std::max<Time>(0, iv.completion - machine.seg_end);
+}
+
+MachineId MachinePool::open_machine(bool pinned) {
+  const auto id = static_cast<MachineId>(machines_.size());
+  machines_.emplace_back();
+  machines_.back().pinned = pinned;
+  open_.push_back(id);
+  if (pinned) pinned_.push_back(id);
+  ++stats_.machines_opened;
+  ++stats_.open_machines;
+  stats_.peak_open_machines =
+      std::max(stats_.peak_open_machines, stats_.open_machines);
+  return id;
+}
+
+void MachinePool::place(MachineId m, const Interval& iv) {
+  assert(iv.start <= stats_.clock);
+  Machine& machine = machines_[static_cast<std::size_t>(m)];
+
+  stats_.online_cost += extension(m, iv);
+  if (!machine.has_jobs || iv.start >= machine.seg_end) {
+    machine.seg_end = iv.completion;  // first job or post-gap segment
+  } else {
+    machine.seg_end = std::max(machine.seg_end, iv.completion);
+  }
+  machine.has_jobs = true;
+  ++stats_.jobs_assigned;
+
+  // Only jobs still running at the stream clock occupy a capacity slot.
+  // Batch replay places jobs at past instants, where a job may already have
+  // completed — counting it as active would inflate the load counters and
+  // could over-fill the heap when a group legally chains more than g
+  // non-overlapping jobs through the same slots.
+  if (iv.completion > stats_.clock) {
+    assert(machine.active.size() < static_cast<std::size_t>(g_));
+    machine.active.push_back(iv.completion);
+    std::push_heap(machine.active.begin(), machine.active.end(), std::greater<Time>());
+    ++stats_.active_jobs;
+    stats_.peak_active_jobs = std::max(stats_.peak_active_jobs, stats_.active_jobs);
+  }
+}
+
+void MachinePool::unpin_all() {
+  for (const MachineId id : pinned_)
+    machines_[static_cast<std::size_t>(id)].pinned = false;
+  pinned_.clear();
+}
+
+}  // namespace busytime

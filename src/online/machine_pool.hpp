@@ -1,0 +1,85 @@
+// Incremental machine-pool state for the streaming engine.
+//
+// The pool exploits the one structural fact the online setting guarantees —
+// jobs arrive in non-decreasing start order — to make every operation cheap:
+//
+//  * feasibility on a machine is just "active jobs < g", because every job
+//    active at the arrival instant overlaps the newcomer, and any future
+//    arrival re-checks at its own instant (so the per-placement check is
+//    also sufficient for validity over all time);
+//  * each machine's busy time (union length of its jobs, Section 2) grows
+//    by an O(1)-computable extension: starts never decrease, so a new job
+//    either stretches the machine's current busy segment or opens a fresh
+//    one after an idle gap;
+//  * a machine whose last job completed can be closed permanently — reusing
+//    it would cost exactly as much as a fresh machine (the paper's WLOG
+//    that disconnected busy periods split into separate machines), so the
+//    scan set stays proportional to the *current* load, not the history.
+//
+// Pinned machines are the one exception to auto-closing: the epoch-hybrid
+// policy pre-assigns a whole batch to machines before replaying the batch's
+// arrivals, so those machines must survive idle gaps until the batch is
+// fully placed.
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/time_types.hpp"
+#include "online/engine_stats.hpp"
+
+namespace busytime {
+
+class MachinePool {
+ public:
+  explicit MachinePool(int g);
+
+  int g() const noexcept { return g_; }
+
+  /// Advances the stream clock to `now` (monotone; asserts otherwise):
+  /// retires jobs with completion <= now and closes machines that became
+  /// idle.  Call once per arrival instant before querying fits/extension.
+  void advance(Time now);
+
+  /// Ids of the currently open machines, in ascending (opening) order.
+  const std::vector<MachineId>& open_machines() const noexcept { return open_; }
+
+  /// True iff machine `m` can take one more job at the current clock.
+  bool fits(MachineId m) const;
+
+  /// Busy-time increase of placing `iv` on open machine `m` right now.
+  /// Always <= iv.length(); strictly less iff the machine's busy segment
+  /// reaches past iv.start.
+  Time extension(MachineId m, const Interval& iv) const;
+
+  /// Opens a fresh machine and returns its id.  Pinned machines are exempt
+  /// from idle auto-closing until unpin_all().
+  MachineId open_machine(bool pinned = false);
+
+  /// Places `iv` on machine `m` at the current clock (advance(iv.start)
+  /// must have been called).  Updates busy time incrementally.
+  void place(MachineId m, const Interval& iv);
+
+  /// Clears all pins; idle pinned machines close on the next advance().
+  void unpin_all();
+
+  const EngineStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Machine {
+    /// Completions of jobs still running, as a binary min-heap.
+    std::vector<Time> active;
+    /// End of the machine's current busy segment (union-length frontier).
+    Time seg_end = 0;
+    bool has_jobs = false;
+    bool pinned = false;
+  };
+
+  int g_ = 1;
+  std::vector<Machine> machines_;
+  std::vector<MachineId> open_;
+  std::vector<MachineId> pinned_;
+  EngineStats stats_;
+};
+
+}  // namespace busytime

@@ -1,0 +1,70 @@
+#include "online/scheduler.hpp"
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "online/epoch_hybrid.hpp"
+
+namespace busytime {
+
+void OnlineScheduler::on_arrival(JobId id, const Job& job) {
+  if (started_ && job.start() < last_start_) {
+    std::ostringstream oss;
+    oss << "out-of-order arrival: job " << id << " starts at " << job.start()
+        << " but the stream is already at " << last_start_;
+    throw std::invalid_argument(oss.str());
+  }
+  started_ = true;
+  last_start_ = job.start();
+
+  schedule_.ensure_size(static_cast<std::size_t>(id) + 1);
+  pool_.advance(job.start());
+  handle(id, job);
+}
+
+void OnlineFirstFit::handle(JobId id, const Job& job) {
+  for (const MachineId m : pool_.open_machines()) {
+    if (pool_.fits(m)) {
+      commit(id, m, job);
+      return;
+    }
+  }
+  commit(id, pool_.open_machine(), job);
+}
+
+void OnlineBestFit::handle(JobId id, const Job& job) {
+  MachineId best = Schedule::kUnscheduled;
+  Time best_ext = std::numeric_limits<Time>::max();
+  for (const MachineId m : pool_.open_machines()) {
+    if (!pool_.fits(m)) continue;
+    const Time ext = pool_.extension(m, job.interval);
+    if (ext < best_ext) {
+      best = m;
+      best_ext = ext;
+    }
+  }
+  if (best == Schedule::kUnscheduled) best = pool_.open_machine();
+  commit(id, best, job);
+}
+
+std::string to_string(OnlinePolicy policy) {
+  switch (policy) {
+    case OnlinePolicy::kFirstFit: return "online-first-fit";
+    case OnlinePolicy::kBestFit: return "online-best-fit";
+    case OnlinePolicy::kEpochHybrid: return "epoch-hybrid";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<OnlineScheduler> make_scheduler(OnlinePolicy policy, int g,
+                                                const PolicyParams& params) {
+  switch (policy) {
+    case OnlinePolicy::kFirstFit: return std::make_unique<OnlineFirstFit>(g);
+    case OnlinePolicy::kBestFit: return std::make_unique<OnlineBestFit>(g);
+    case OnlinePolicy::kEpochHybrid: return std::make_unique<EpochHybrid>(g, params);
+  }
+  throw std::invalid_argument("unknown online policy");
+}
+
+}  // namespace busytime

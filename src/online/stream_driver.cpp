@@ -1,0 +1,91 @@
+#include "online/stream_driver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "algo/dispatch.hpp"
+#include "core/bounds.hpp"
+#include "core/validate.hpp"
+#include "online/event.hpp"
+
+namespace busytime {
+
+namespace {
+
+/// Online cost of running `policy` over `inst` (jobs fed in start order).
+Time replay_cost(const Instance& inst, OnlinePolicy policy,
+                 const PolicyParams& params) {
+  auto sched = make_scheduler(policy, inst.g(), params);
+  JobStream stream(inst);
+  while (!stream.done()) {
+    const ArrivalEvent ev = stream.next();
+    sched->on_arrival(ev.id, ev.job);
+  }
+  sched->flush();
+  return sched->stats().online_cost;
+}
+
+}  // namespace
+
+StreamReport run_stream(const Instance& trace, OnlinePolicy policy,
+                        const StreamOptions& options) {
+  StreamReport report;
+  report.policy = policy;
+  report.jobs = trace.size();
+
+  auto sched = make_scheduler(policy, trace.g(), options.policy);
+  JobStream stream(trace);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  while (!stream.done()) {
+    const ArrivalEvent ev = stream.next();
+    sched->on_arrival(ev.id, ev.job);
+  }
+  sched->flush();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  report.stats = sched->stats();
+  report.online_cost = report.stats.online_cost;
+  report.elapsed_sec = std::chrono::duration<double>(t1 - t0).count();
+  report.jobs_per_sec = report.elapsed_sec > 0
+                            ? static_cast<double>(report.jobs) / report.elapsed_sec
+                            : 0;
+  report.ratio_to_lb = ratio_to_lower_bound(trace, report.online_cost);
+  if (options.validate) report.valid = is_valid(trace, sched->schedule());
+
+  // Offline comparison on a prefix of the same stream.
+  const std::size_t k = std::min(options.offline_prefix, trace.size());
+  if (k > 0) {
+    std::vector<JobId> order = trace.ids_by_start();
+    order.resize(k);
+    const Instance prefix = trace.restricted_to(order);
+    report.prefix_jobs = k;
+    // A full-trace prefix needs no second replay: its online cost is the
+    // one just measured.
+    report.prefix_online_cost =
+        k == trace.size() ? report.online_cost
+                          : replay_cost(prefix, policy, options.policy);
+    report.prefix_offline_cost =
+        solve_minbusy_auto(prefix).schedule.cost(prefix);
+    if (report.prefix_offline_cost > 0) {
+      report.competitive_ratio =
+          static_cast<double>(report.prefix_online_cost) /
+          static_cast<double>(report.prefix_offline_cost);
+    }
+  }
+  return report;
+}
+
+std::string StreamReport::summary() const {
+  std::ostringstream oss;
+  oss << to_string(policy) << ": jobs=" << jobs << " cost=" << online_cost
+      << " jobs/sec=" << static_cast<std::int64_t>(jobs_per_sec)
+      << " ratio_to_lb=" << ratio_to_lb;
+  if (prefix_offline_cost > 0)
+    oss << " competitive_ratio@" << prefix_jobs << "=" << competitive_ratio;
+  if (!valid) oss << " INVALID";
+  return oss.str();
+}
+
+}  // namespace busytime

@@ -1,0 +1,56 @@
+// StreamDriver: replays a workload trace through an online policy and
+// measures serving performance.
+//
+// The driver is the bridge between the offline reproduction and the serving
+// system: it times the assignment hot path (jobs/sec), validates the
+// resulting schedule, and quantifies the price of being online in two ways:
+//
+//  * ratio_to_lb      — online cost over the Observation 2.1 lower bound of
+//                       the full trace (cheap at any scale);
+//  * competitive_ratio — online cost over the offline dispatcher's cost on a
+//                       bounded prefix of the same stream (the empirical
+//                       competitive ratio; the offline solve is super-linear,
+//                       so the prefix keeps million-job runs tractable).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/instance.hpp"
+#include "online/scheduler.hpp"
+
+namespace busytime {
+
+struct StreamOptions {
+  PolicyParams policy;
+  /// Jobs of the stream prefix used for the offline comparison; 0 disables
+  /// the offline solve (competitive_ratio reported as 0).
+  std::size_t offline_prefix = 10000;
+  /// Re-check the final schedule with core/validate (O(n log n)).
+  bool validate = true;
+};
+
+struct StreamReport {
+  OnlinePolicy policy = OnlinePolicy::kFirstFit;
+  std::size_t jobs = 0;
+  Time online_cost = 0;
+  EngineStats stats;
+  bool valid = true;
+
+  double elapsed_sec = 0;    ///< wall time of the replay loop only
+  double jobs_per_sec = 0;
+
+  std::size_t prefix_jobs = 0;
+  Time prefix_online_cost = 0;
+  Time prefix_offline_cost = 0;
+  double competitive_ratio = 0;  ///< prefix online / prefix offline cost
+  double ratio_to_lb = 0;        ///< full-trace online cost / lower bound
+
+  std::string summary() const;
+};
+
+/// Replays `trace` (jobs in start order) through `policy` and reports.
+StreamReport run_stream(const Instance& trace, OnlinePolicy policy,
+                        const StreamOptions& options = {});
+
+}  // namespace busytime

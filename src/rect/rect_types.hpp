@@ -46,7 +46,12 @@ struct Rect {
     return Rect(Interval(-dim1.completion, -dim1.start), dim2);
   }
 
-  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+  friend constexpr bool operator==(const Rect& a, const Rect& b) noexcept {
+    return a.dim1 == b.dim1 && a.dim2 == b.dim2;
+  }
+  friend constexpr bool operator!=(const Rect& a, const Rect& b) noexcept {
+    return !(a == b);
+  }
 };
 
 inline std::ostream& operator<<(std::ostream& os, const Rect& r) {

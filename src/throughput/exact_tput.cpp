@@ -1,13 +1,13 @@
 #include "throughput/exact_tput.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cassert>
 #include <limits>
 #include <vector>
 
 #include "algo/exact_minbusy.hpp"
 #include "core/classify.hpp"
+#include "util/bitops.hpp"
 
 namespace busytime {
 
@@ -29,7 +29,7 @@ TputResult exact_tput_clique(const Instance& inst, Time budget) {
   // Clique group span = max completion - min start.
   std::vector<Time> min_start(full, kInf), max_completion(full, 0);
   for (std::size_t mask = 1; mask < full; ++mask) {
-    const int v = std::countr_zero(mask);
+    const int v = countr_zero(mask);
     const std::size_t rest = mask & (mask - 1);
     min_start[mask] = std::min(rest ? min_start[rest] : kInf, inst.job(v).start());
     max_completion[mask] =
@@ -46,7 +46,7 @@ TputResult exact_tput_clique(const Instance& inst, Time budget) {
     const std::size_t rest = mask ^ low;
     for (std::size_t sub = rest;; sub = (sub - 1) & rest) {
       const std::size_t group = sub | low;
-      if (std::popcount(group) <= g) {
+      if (popcount(group) <= g) {
         const Time cand = cost[mask ^ group] + (max_completion[group] - min_start[group]);
         if (cand < cost[mask]) {
           cost[mask] = cand;
@@ -62,7 +62,7 @@ TputResult exact_tput_clique(const Instance& inst, Time budget) {
   int best_pop = 0;
   for (std::size_t mask = 0; mask < full; ++mask) {
     if (cost[mask] > budget) continue;
-    const int pop = std::popcount(mask);
+    const int pop = popcount(mask);
     if (pop > best_pop || (pop == best_pop && cost[mask] < cost[best_mask])) {
       best_pop = pop;
       best_mask = mask;
@@ -75,7 +75,7 @@ TputResult exact_tput_clique(const Instance& inst, Time budget) {
   while (mask) {
     const std::size_t group = group_of[mask];
     for (std::size_t rem = group; rem; rem &= rem - 1)
-      result.schedule.assign(std::countr_zero(rem), machine);
+      result.schedule.assign(countr_zero(rem), machine);
     ++machine;
     mask ^= group;
   }
@@ -92,7 +92,7 @@ TputResult exact_tput_general(const Instance& inst, Time budget) {
   // feasible subset is optimal.
   std::vector<std::vector<std::size_t>> by_size(static_cast<std::size_t>(n) + 1);
   for (std::size_t mask = 0; mask < full; ++mask)
-    by_size[static_cast<std::size_t>(std::popcount(mask))].push_back(mask);
+    by_size[static_cast<std::size_t>(popcount(mask))].push_back(mask);
 
   for (int size = n; size >= 1; --size) {
     Time best_cost = kInf;
@@ -100,7 +100,7 @@ TputResult exact_tput_general(const Instance& inst, Time budget) {
     for (const std::size_t mask : by_size[static_cast<std::size_t>(size)]) {
       std::vector<JobId> ids;
       for (std::size_t rem = mask; rem; rem &= rem - 1)
-        ids.push_back(std::countr_zero(rem));
+        ids.push_back(countr_zero(rem));
       const Instance sub = inst.restricted_to(ids);
       const Schedule s = exact_minbusy_branch_bound(sub);
       const Time c = s.cost(sub);

@@ -99,7 +99,7 @@ std::pair<std::int64_t, Time> proper_clique_tput_value(const Instance& inst, Tim
 }
 
 TputResult solve_proper_clique_tput(const Instance& inst, Time budget) {
-  assert(is_proper(inst) && is_clique(inst));
+  assert(inst.empty() || (is_proper(inst) && is_clique(inst)));
   assert(budget >= 0);
   const int n = static_cast<int>(inst.size());
   if (n == 0) return TputResult{Schedule(0), 0, 0};

@@ -1,0 +1,39 @@
+// C++17 stand-ins for the <bit> header (std::popcount / std::countr_zero are
+// C++20).  Used by the mask-DP exact solvers.
+#pragma once
+
+#include <cstddef>
+
+namespace busytime {
+
+/// Number of trailing zero bits; undefined for x == 0 (as with the builtin).
+inline int countr_zero(std::size_t x) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_ctzll(x);
+#else
+  // Portable fallback (MSVC et al.): no intrinsic assumptions about target
+  // architecture or CPU feature set.
+  int n = 0;
+  while ((x & 1u) == 0) {
+    x >>= 1;
+    ++n;
+  }
+  return n;
+#endif
+}
+
+/// Number of set bits.
+inline int popcount(std::size_t x) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_popcountll(x);
+#else
+  int n = 0;
+  while (x) {
+    x &= x - 1;
+    ++n;
+  }
+  return n;
+#endif
+}
+
+}  // namespace busytime

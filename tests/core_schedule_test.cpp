@@ -57,6 +57,29 @@ TEST(Schedule, PartialScheduleAccounting) {
   EXPECT_EQ(s.throughput(), 0);
 }
 
+TEST(Schedule, StreamingAppendGrowsTheAssignment) {
+  Schedule s(0);
+  EXPECT_EQ(s.append(3), 0);
+  EXPECT_EQ(s.append(Schedule::kUnscheduled), 1);
+  EXPECT_EQ(s.append(0), 2);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.machine_of(0), 3);
+  EXPECT_FALSE(s.is_scheduled(1));
+  EXPECT_EQ(s.throughput(), 2);
+}
+
+TEST(Schedule, EnsureSizeGrowsWithUnscheduledAndNeverShrinks) {
+  Schedule s(2);
+  s.assign(0, 5);
+  s.ensure_size(4);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.machine_of(0), 5);  // existing assignments survive
+  EXPECT_FALSE(s.is_scheduled(2));
+  EXPECT_FALSE(s.is_scheduled(3));
+  s.ensure_size(1);
+  EXPECT_EQ(s.size(), 4u);  // no shrinking
+}
+
 TEST(Schedule, CompactRenumbersDensely) {
   Schedule s(std::vector<MachineId>{7, Schedule::kUnscheduled, 3, 7});
   s.compact();
