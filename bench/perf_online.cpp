@@ -1,8 +1,8 @@
 // PERF — streaming scheduler engine: replays a large synthetic cluster trace
-// through every online policy and reports serving throughput (jobs/sec), the
-// ratio to the Observation 2.1 lower bound on the full trace, and the
-// empirical competitive ratio against the offline dispatcher on a stream
-// prefix.
+// through every registered online solver (unified API) and reports serving
+// throughput (jobs/sec), the ratio to the Observation 2.1 lower bound on the
+// full trace, and the empirical competitive ratio against the offline
+// dispatcher on a stream prefix.
 //
 // Flags (beyond the common --seed/--csv):
 //   --n=N              jobs in the trace              (default 100000)
@@ -14,8 +14,8 @@
 //   --offline_prefix=K jobs for the offline solve     (default 10000, 0=off)
 #include <iostream>
 
+#include "api/registry.hpp"
 #include "bench_common.hpp"
-#include "online/stream_driver.hpp"
 #include "workload/trace.hpp"
 
 namespace busytime {
@@ -32,25 +32,47 @@ int run(int argc, char** argv) {
   tp.diurnal = flags.get_bool("diurnal", true);
   tp.seed = common.seed;
 
-  StreamOptions options;
-  options.policy.epoch_length = flags.get_int("epoch", options.policy.epoch_length);
-  options.policy.max_batch =
-      static_cast<int>(flags.get_int("max_batch", options.policy.max_batch));
-  options.offline_prefix = static_cast<std::size_t>(
-      flags.get_int("offline_prefix", static_cast<std::int64_t>(options.offline_prefix)));
+  SolverSpec base;
+  base.options.epoch_length = flags.get_int("epoch", base.options.epoch_length);
+  base.options.max_batch =
+      static_cast<int>(flags.get_int("max_batch", base.options.max_batch));
+  const auto prefix_jobs =
+      static_cast<std::size_t>(flags.get_int("offline_prefix", 10000));
 
   const Instance trace = gen_trace(tp);
 
+  // Offline dispatcher cost on a bounded stream prefix: the denominator of
+  // the empirical competitive ratio (the full offline solve is super-linear,
+  // the prefix keeps million-job runs tractable).
+  Instance prefix;
+  Time prefix_offline_cost = 0;
+  if (prefix_jobs > 0) {
+    auto order = trace.ids_by_start();
+    order.resize(std::min(prefix_jobs, order.size()));
+    prefix = trace.restricted_to(order);
+    SolverSpec auto_spec;
+    auto_spec.name = "auto";
+    prefix_offline_cost = run_solver(prefix, auto_spec).cost;
+  }
+
   Table table({"policy", "jobs", "jobs/sec", "cost", "machines", "peak_load",
                "ratio_to_lb", "comp_ratio", "valid"});
-  for (const OnlinePolicy policy : {OnlinePolicy::kFirstFit, OnlinePolicy::kBestFit,
-                                    OnlinePolicy::kEpochHybrid}) {
-    const StreamReport r = run_stream(trace, policy, options);
-    table.add_row({to_string(policy), Table::fmt(static_cast<long long>(r.jobs)),
-                   Table::fmt(r.jobs_per_sec, 0), Table::fmt(static_cast<long long>(r.online_cost)),
+  for (const SolverInfo* info : SolverRegistry::instance().by_kind(SolverKind::kOnline)) {
+    SolverSpec spec = base;
+    spec.name = info->name;
+    const SolveResult r = run_solver(trace, spec);
+    double comp_ratio = 0;
+    if (prefix_offline_cost > 0) {
+      const SolveResult pr = run_solver(prefix, spec);
+      comp_ratio = static_cast<double>(pr.cost) / static_cast<double>(prefix_offline_cost);
+    }
+    const double jobs_per_sec =
+        r.wall_ms > 0 ? static_cast<double>(trace.size()) / (r.wall_ms / 1000.0) : 0;
+    table.add_row({r.solver, Table::fmt(static_cast<long long>(trace.size())),
+                   Table::fmt(jobs_per_sec, 0), Table::fmt(static_cast<long long>(r.cost)),
                    Table::fmt(static_cast<long long>(r.stats.machines_opened)),
                    Table::fmt(static_cast<long long>(r.stats.peak_active_jobs)),
-                   Table::fmt(r.ratio_to_lb), Table::fmt(r.competitive_ratio),
+                   Table::fmt(r.ratio_to_lower_bound), Table::fmt(comp_ratio),
                    r.valid ? "yes" : "NO"});
   }
   bench::emit(table, common,

@@ -1,19 +1,27 @@
-// Command-line driver: solve instances from files, report, and export.
+// Command-line driver over the unified solver API.
 //
-//   busytime_cli solve   --in=inst.txt [--out=sched.txt] [--gantt] [--improve]
-//   busytime_cli tput    --in=inst.txt --budget=T
-//   busytime_cli gen     --family=clique|proper|proper_clique|one_sided|general|trace
-//                        --n=50 --g=4 --seed=1 --out=inst.txt
-//   busytime_cli check   --in=inst.txt --schedule=sched.txt
+//   busytime_cli --list-solvers [--json]
+//   busytime_cli solve (--in=FILE | --family=NAME --n=N --g=G --seed=S)
+//                [--solver=SPEC|all] [--budget=T] [--epoch=T] [--max_batch=K]
+//                [--improve] [--json] [--json-out=FILE] [--out=FILE] [--gantt]
+//   busytime_cli gen   --family=NAME --n=N --g=G --seed=S [--out=FILE]
+//   busytime_cli check --in=FILE --schedule=FILE
 //
-// The fourth example application: a production-style front door over the
-// library for scripting experiments.
+// A solver SPEC is a registry name with optional options, e.g.
+// "auto", "best_cut", "epoch_hybrid:epoch=256", "tput_clique:budget=500";
+// "--solver=all" runs every applicable registered solver side by side and
+// reports each cost next to the Observation 2.1 lower bound.  "--json"
+// emits machine-readable busytime-result-v1 documents.
+//
+// Instance families: general, clique, proper, proper_clique, one_sided,
+// trace.
 #include <iostream>
 
-#include "algo/local_search.hpp"
+#include "api/registry.hpp"
 #include "busytime.hpp"
 #include "io/serialize.hpp"
 #include "util/flags.hpp"
+#include "util/table.hpp"
 #include "viz/gantt.hpp"
 
 namespace {
@@ -21,91 +29,165 @@ namespace {
 using namespace busytime;
 
 int usage() {
-  std::cerr << "usage: busytime_cli <solve|tput|gen|check> [--flags]\n"
-            << "  solve --in=FILE [--out=FILE] [--gantt] [--improve]\n"
-            << "  tput  --in=FILE --budget=T\n"
-            << "  gen   --family=NAME --n=N --g=G --seed=S --out=FILE\n"
-            << "  check --in=FILE --schedule=FILE\n";
+  std::cerr
+      << "usage: busytime_cli <command> [--flags]\n"
+      << "  --list-solvers [--json]                      enumerate the registry\n"
+      << "  solve (--in=FILE | --family=F --n=N --g=G --seed=S)\n"
+      << "        [--solver=SPEC|all] [--budget=T] [--epoch=T] [--max_batch=K]\n"
+      << "        [--improve] [--json] [--json-out=FILE] [--out=FILE] [--gantt]\n"
+      << "  gen   --family=F --n=N --g=G --seed=S [--out=FILE]\n"
+      << "  check --in=FILE --schedule=FILE\n"
+      << "solver SPEC = name[:k=v,...], e.g. epoch_hybrid:epoch=256\n";
   return 2;
 }
 
-int cmd_solve(const Flags& flags) {
-  const Instance inst = load_instance(flags.get("in", ""));
-  std::cout << inst.summary() << "\n";
-  DispatchResult result = solve_minbusy_auto(inst);
-  std::cout << "algorithms:";
-  for (const auto algo : result.algos) std::cout << " " << to_string(algo);
-  std::cout << "\ncost=" << result.schedule.cost(inst)
-            << " lower_bound=" << compute_bounds(inst).lower_bound() << "\n";
-  if (flags.get_bool("improve")) {
-    const LocalSearchStats stats = improve_schedule(inst, result.schedule);
-    std::cout << "local search: " << stats.initial_cost << " -> " << stats.final_cost
-              << " (" << stats.relocations << " moves, " << stats.swaps
-              << " swaps, " << stats.rounds << " rounds)\n";
+Instance generate(const Flags& flags) {
+  GenParams p;
+  p.n = static_cast<int>(flags.get_int("n", 50));
+  p.g = static_cast<int>(flags.get_int("g", 4));
+  p.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::string family = flags.get("family", "general");
+  if (family == "clique") return gen_clique(p);
+  if (family == "proper") return gen_proper(p);
+  if (family == "proper_clique") return gen_proper_clique(p);
+  if (family == "one_sided") return gen_one_sided(p);
+  if (family == "general") return gen_general(p);
+  if (family == "trace") {
+    TraceParams t;
+    t.n = p.n;
+    t.g = p.g;
+    t.seed = p.seed;
+    return gen_trace(t);
   }
-  if (!is_valid(inst, result.schedule)) {
-    std::cerr << "internal error: invalid schedule\n";
+  throw std::invalid_argument("unknown family '" + family + "' (general, clique, "
+                              "proper, proper_clique, one_sided, trace)");
+}
+
+/// The instance a solve command operates on: a file or a generator family.
+Instance load_or_generate(const Flags& flags) {
+  if (flags.has("in")) return load_instance(flags.get("in", ""));
+  return generate(flags);
+}
+
+/// Solver spec from --solver plus the flag shortcuts.
+SolverSpec make_spec(const Flags& flags) {
+  SolverSpec spec = SolverSpec::parse(flags.get("solver", "auto"));
+  if (flags.has("budget")) spec.options.set("budget", flags.get("budget", ""));
+  if (flags.has("epoch")) spec.options.set("epoch", flags.get("epoch", ""));
+  if (flags.has("max_batch")) spec.options.set("max_batch", flags.get("max_batch", ""));
+  if (flags.get_bool("improve")) spec.options.improve = true;
+  return spec;
+}
+
+int cmd_list_solvers(const Flags& flags) {
+  const SolverRegistry& registry = SolverRegistry::instance();
+  if (flags.get_bool("json")) {
+    json::Value out = json::Value::array();
+    for (const SolverInfo* info : registry.all()) {
+      json::Value entry = json::Value::object();
+      entry.set("name", info->name);
+      entry.set("kind", to_string(info->kind));
+      entry.set("optimality", to_string(info->optimality));
+      entry.set("ratio", info->ratio);
+      entry.set("needs_budget", info->needs_budget);
+      entry.set("dispatch_priority", info->dispatch_priority);
+      entry.set("description", info->description);
+      out.push_back(std::move(entry));
+    }
+    std::cout << out.dump(2) << "\n";
+    return 0;
+  }
+  Table table({"name", "kind", "optimality", "ratio", "budget", "dispatch", "description"});
+  for (const SolverInfo* info : registry.all()) {
+    table.add_row({info->name, to_string(info->kind), to_string(info->optimality),
+                   info->ratio > 0 ? Table::fmt(info->ratio) : "-",
+                   info->needs_budget ? "yes" : "-",
+                   info->dispatch_priority >= 0 ? Table::fmt(static_cast<long long>(
+                                                      info->dispatch_priority))
+                                                : "-",
+                   info->description});
+  }
+  table.print(std::cout);
+  std::cout << registry.size() << " solvers registered\n";
+  return 0;
+}
+
+int cmd_solve_all(const Instance& inst, const Flags& flags, const SolverSpec& base) {
+  const CostBounds bounds = compute_bounds(inst);
+  json::Value results = json::Value::array();
+  json::Value skipped = json::Value::array();
+  Table table({"solver", "kind", "cost", "lower_bound", "ratio", "tput", "machines",
+               "wall_ms", "valid"});
+  bool all_valid = true;
+  for (const SolverInfo* info : SolverRegistry::instance().all()) {
+    SolverSpec spec = base;
+    spec.name = info->name;
+    std::string skip_reason;
+    if (info->needs_budget && spec.options.budget < 0)
+      skip_reason = "needs --budget";
+    else if (!info->applicable(inst))
+      skip_reason = "not applicable";
+    if (!skip_reason.empty()) {
+      json::Value s = json::Value::object();
+      s.set("solver", info->name);
+      s.set("reason", skip_reason);
+      skipped.push_back(std::move(s));
+      continue;
+    }
+    const SolveResult result = run_solver(inst, spec);
+    all_valid = all_valid && result.valid;
+    table.add_row({result.solver, to_string(info->kind),
+                   Table::fmt(static_cast<long long>(result.cost)),
+                   Table::fmt(bounds.lower_bound()),
+                   Table::fmt(result.ratio_to_lower_bound),
+                   Table::fmt(result.throughput),
+                   Table::fmt(static_cast<long long>(result.stats.machines_opened)),
+                   Table::fmt(result.wall_ms), result.valid ? "yes" : "NO"});
+    results.push_back(result_to_json_value(result));
+  }
+  if (flags.get_bool("json")) {
+    json::Value root = json::Value::object();
+    root.set("instance", inst.summary());
+    root.set("jobs", static_cast<std::int64_t>(inst.size()));
+    root.set("g", inst.g());
+    root.set("lower_bound", bounds.lower_bound());
+    root.set("results", std::move(results));
+    root.set("skipped", std::move(skipped));
+    std::cout << root.dump(2) << "\n";
+  } else {
+    std::cout << inst.summary() << "  lower_bound=" << bounds.lower_bound() << "\n";
+    table.print(std::cout);
+  }
+  if (!all_valid) {
+    std::cerr << "error: some solver produced an invalid schedule\n";
     return 1;
-  }
-  if (flags.get_bool("gantt")) std::cout << render_gantt(inst, result.schedule);
-  if (flags.has("out")) {
-    save_schedule(flags.get("out", ""), result.schedule);
-    std::cout << "schedule written to " << flags.get("out", "") << "\n";
   }
   return 0;
 }
 
-int cmd_tput(const Flags& flags) {
-  const Instance inst = load_instance(flags.get("in", ""));
-  const Time budget = flags.get_int("budget", -1);
-  if (budget < 0) return usage();
-  std::cout << inst.summary() << " budget=" << budget << "\n";
-  const InstanceClass cls = classify(inst);
-  if (cls.proper_clique()) {
-    const TputResult r = solve_proper_clique_tput(inst, budget);
-    std::cout << "proper-clique DP (exact): throughput=" << r.throughput
-              << " cost=" << r.cost << "\n";
-  } else if (cls.clique) {
-    const TputResult r = solve_clique_tput(inst, budget);
-    std::cout << "clique 4-approx: throughput=" << r.throughput
-              << " cost=" << r.cost << "\n";
-  } else if (const auto r = exact_tput(inst, budget)) {
-    std::cout << "exact (small n): throughput=" << r->throughput
-              << " cost=" << r->cost << "\n";
+int cmd_solve(const Flags& flags) {
+  const Instance inst = load_or_generate(flags);
+  const SolverSpec spec = make_spec(flags);
+  if (spec.name == "all") return cmd_solve_all(inst, flags, spec);
+
+  const SolveResult result = run_solver(inst, spec);
+  if (flags.get_bool("json")) {
+    std::cout << result_to_json(result);
   } else {
-    std::cerr << "no MaxThroughput algorithm applies (general large instance)\n";
+    std::cout << inst.summary() << "\n" << result.summary() << "\n";
+  }
+  if (flags.has("json-out")) save_result_json(flags.get("json-out", ""), result);
+  if (flags.has("out")) save_schedule(flags.get("out", ""), result.schedule);
+  if (flags.get_bool("gantt")) std::cout << render_gantt(inst, result.schedule);
+  if (!result.valid) {
+    std::cerr << "error: solver produced an invalid schedule\n";
     return 1;
   }
   return 0;
 }
 
 int cmd_gen(const Flags& flags) {
-  GenParams p;
-  p.n = static_cast<int>(flags.get_int("n", 50));
-  p.g = static_cast<int>(flags.get_int("g", 4));
-  p.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
-  const std::string family = flags.get("family", "general");
-  Instance inst;
-  if (family == "clique") {
-    inst = gen_clique(p);
-  } else if (family == "proper") {
-    inst = gen_proper(p);
-  } else if (family == "proper_clique") {
-    inst = gen_proper_clique(p);
-  } else if (family == "one_sided") {
-    inst = gen_one_sided(p);
-  } else if (family == "trace") {
-    TraceParams t;
-    t.n = p.n;
-    t.g = p.g;
-    t.seed = p.seed;
-    inst = gen_trace(t);
-  } else if (family == "general") {
-    inst = gen_general(p);
-  } else {
-    std::cerr << "unknown family '" << family << "'\n";
-    return usage();
-  }
+  const Instance inst = generate(flags);
   const std::string out = flags.get("out", "");
   if (out.empty()) {
     write_instance(std::cout, inst);
@@ -135,12 +217,19 @@ int cmd_check(const Flags& flags) {
 
 int main(int argc, char** argv) {
   using namespace busytime;
-  if (argc < 2) return usage();
-  const std::string command = argv[1];
-  const Flags flags(argc - 1, argv + 1);
+  const bool has_subcommand = argc >= 2 && argv[1][0] != '-';
+  // With a subcommand, flags start after it; without one, "--list-solvers"
+  // and "--solver/--in/--family" imply the command.
+  const Flags flags = has_subcommand ? Flags(argc - 1, argv + 1) : Flags(argc, argv);
+  std::string command = has_subcommand ? argv[1] : "";
+  if (command.empty()) {
+    if (flags.get_bool("list-solvers")) command = "list-solvers";
+    else if (flags.has("solver") || flags.has("in") || flags.has("family"))
+      command = "solve";
+  }
   try {
+    if (command == "list-solvers") return cmd_list_solvers(flags);
     if (command == "solve") return cmd_solve(flags);
-    if (command == "tput") return cmd_tput(flags);
     if (command == "gen") return cmd_gen(flags);
     if (command == "check") return cmd_check(flags);
   } catch (const std::exception& e) {

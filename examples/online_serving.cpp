@@ -1,12 +1,12 @@
 // Online serving demo: jobs stream in from a diurnal cluster trace and are
-// placed at their arrival instants; compare the three online policies and the
-// offline dispatcher on the same workload.
+// placed at their arrival instants; compare every registered online policy
+// and the offline dispatcher on the same workload through the unified
+// solver API.
 //
 //   ./online_serving [--n=2000] [--g=8] [--seed=7] [--epoch=1024]
 #include <iostream>
 
-#include "algo/dispatch.hpp"
-#include "online/stream_driver.hpp"
+#include "api/registry.hpp"
 #include "util/flags.hpp"
 #include "workload/trace.hpp"
 
@@ -23,18 +23,20 @@ int main(int argc, char** argv) {
 
   std::cout << "trace: " << trace.summary() << "\n\n";
 
-  StreamOptions options;
-  options.policy.epoch_length = flags.get_int("epoch", options.policy.epoch_length);
-  options.offline_prefix = trace.size();  // small demo: compare the full stream
+  SolverSpec spec;
+  spec.options.epoch_length = flags.get_int("epoch", spec.options.epoch_length);
 
-  for (const OnlinePolicy policy : {OnlinePolicy::kFirstFit, OnlinePolicy::kBestFit,
-                                    OnlinePolicy::kEpochHybrid}) {
-    const StreamReport report = run_stream(trace, policy, options);
-    std::cout << report.summary() << "\n    " << report.stats.summary() << "\n";
+  for (const SolverInfo* info : SolverRegistry::instance().by_kind(SolverKind::kOnline)) {
+    spec.name = info->name;
+    const SolveResult r = run_solver(trace, spec);
+    std::cout << r.summary() << "\n    " << r.stats.summary() << "\n";
   }
 
-  const DispatchResult offline = solve_minbusy_auto(trace);
-  std::cout << "\noffline dispatcher cost: " << offline.schedule.cost(trace)
-            << " on " << offline.schedule.machine_count() << " machines\n";
+  const SolveResult offline = run_solver(trace, SolverSpec::parse("auto"));
+  std::cout << "\noffline dispatcher cost: " << offline.cost << " on "
+            << offline.schedule.machine_count() << " machines (";
+  for (std::size_t i = 0; i < offline.trace.size(); ++i)
+    std::cout << (i ? " " : "") << offline.trace[i].algo;
+  std::cout << ")\n";
   return 0;
 }

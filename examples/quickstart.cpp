@@ -1,5 +1,5 @@
-// Quickstart: build an instance, solve MinBusy with the automatic
-// dispatcher, inspect the schedule, then solve a MaxThroughput variant.
+// Quickstart: build an instance, solve MinBusy through the unified solver
+// API, inspect the schedule, then solve a MaxThroughput variant.
 //
 //   $ ./quickstart
 //
@@ -32,30 +32,33 @@ int main() {
   std::cout << "bounds: span=" << bounds.span << " len=" << bounds.length
             << " len/g=" << bounds.lower_bound() << "\n";
 
-  // MinBusy: route to the strongest applicable algorithm per component.
-  const DispatchResult result = solve_minbusy_auto(inst);
+  // MinBusy through the unified solver API: "auto" routes each connected
+  // component to the strongest applicable registered algorithm.
+  const SolveResult result = run_solver(inst, SolverSpec::parse("auto"));
   std::cout << "algorithms used:";
-  for (const auto algo : result.algos) std::cout << " " << to_string(algo);
+  for (const auto& entry : result.trace)
+    std::cout << " " << entry.algo << "(" << entry.jobs << " jobs)";
   std::cout << "\n";
 
   const Schedule& schedule = result.schedule;
-  std::cout << "valid=" << is_valid(inst, schedule)
-            << " cost=" << schedule.cost(inst)
+  std::cout << "valid=" << result.valid << " cost=" << result.cost
             << " machines=" << schedule.machine_count() << "\n";
   for (std::size_t j = 0; j < inst.size(); ++j)
     std::cout << "  job " << j << " " << inst.job(static_cast<JobId>(j)).interval
               << " -> machine " << schedule.machine_of(static_cast<JobId>(j)) << "\n";
 
   // Exact reference (small instances only) to see how close we got.
-  if (const auto opt = exact_minbusy_cost(inst))
-    std::cout << "exact optimum: " << *opt << "\n";
+  if (SolverRegistry::instance().at("exact").applicable(inst))
+    std::cout << "exact optimum: " << run_solver(inst, SolverSpec::parse("exact")).cost
+              << "\n";
 
-  // MaxThroughput: with budget T, how many jobs can run?
-  // (This instance is not a clique, so use the exact small-n solver.)
+  // MaxThroughput: with budget T, how many jobs can run?  Budgeted solvers
+  // take the budget as a spec option.
   for (const Time budget : {10, 15, 20, 40}) {
-    const auto tput = exact_tput(inst, budget);
-    std::cout << "budget " << budget << " -> throughput " << tput->throughput
-              << " (cost " << tput->cost << ")\n";
+    const SolveResult tput = run_solver(
+        inst, SolverSpec::parse("tput_exact:budget=" + std::to_string(budget)));
+    std::cout << "budget " << budget << " -> throughput " << tput.throughput
+              << " (cost " << tput.cost << ")\n";
   }
 
   // Replay the MinBusy schedule through the event simulator.

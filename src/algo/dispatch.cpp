@@ -1,12 +1,9 @@
 #include "algo/dispatch.hpp"
 
-#include "algo/best_cut.hpp"
-#include "algo/clique_matching.hpp"
-#include "algo/clique_setcover.hpp"
-#include "algo/first_fit.hpp"
-#include "algo/one_sided.hpp"
-#include "algo/proper_clique_dp.hpp"
-#include "core/classify.hpp"
+#include <stdexcept>
+#include <utility>
+
+#include "api/registry.hpp"
 #include "core/components.hpp"
 
 namespace busytime {
@@ -23,40 +20,34 @@ std::string to_string(MinBusyAlgo algo) {
   return "unknown";
 }
 
-namespace {
-
-MinBusyAlgo pick(const Instance& sub) {
-  const InstanceClass cls = classify(sub);
-  if (cls.one_sided) return MinBusyAlgo::kOneSided;
-  if (cls.proper_clique()) return MinBusyAlgo::kProperCliqueDp;
-  if (cls.clique && sub.g() == 2) return MinBusyAlgo::kCliqueMatching;
-  if (cls.clique &&
-      clique_setcover_family_size(sub.size(), sub.g()) <= kMaxSetCoverFamily)
-    return MinBusyAlgo::kCliqueSetCover;
-  if (cls.proper) return MinBusyAlgo::kBestCut;
-  return MinBusyAlgo::kFirstFit;
+std::optional<MinBusyAlgo> minbusy_algo_from_name(const std::string& name) {
+  if (name == "one_sided") return MinBusyAlgo::kOneSided;
+  if (name == "proper_clique_dp") return MinBusyAlgo::kProperCliqueDp;
+  if (name == "clique_matching") return MinBusyAlgo::kCliqueMatching;
+  if (name == "clique_setcover") return MinBusyAlgo::kCliqueSetCover;
+  if (name == "best_cut") return MinBusyAlgo::kBestCut;
+  if (name == "first_fit") return MinBusyAlgo::kFirstFit;
+  return std::nullopt;
 }
-
-Schedule run(MinBusyAlgo algo, const Instance& sub) {
-  switch (algo) {
-    case MinBusyAlgo::kOneSided: return solve_one_sided(sub);
-    case MinBusyAlgo::kProperCliqueDp: return solve_proper_clique_dp(sub);
-    case MinBusyAlgo::kCliqueMatching: return solve_clique_g2_matching(sub);
-    case MinBusyAlgo::kCliqueSetCover: return solve_clique_setcover(sub);
-    case MinBusyAlgo::kBestCut: return solve_best_cut(sub);
-    case MinBusyAlgo::kFirstFit: return solve_first_fit(sub);
-  }
-  return solve_first_fit(sub);
-}
-
-}  // namespace
 
 DispatchResult solve_minbusy_auto(const Instance& inst) {
+  const auto& candidates = SolverRegistry::instance().dispatchable();
   DispatchResult result;
   result.schedule = solve_per_component(inst, [&](const Instance& sub) {
-    const MinBusyAlgo algo = pick(sub);
-    result.algos.push_back(algo);
-    return run(algo, sub);
+    for (const SolverInfo* info : candidates) {
+      if (!info->applicable(sub)) continue;
+      result.names.push_back(info->name);
+      result.component_jobs.push_back(sub.size());
+      result.algos.push_back(
+          minbusy_algo_from_name(info->name).value_or(MinBusyAlgo::kFirstFit));
+      SolverSpec spec;
+      spec.name = info->name;
+      SolveResult r = info->run(sub, spec);
+      return std::move(r.schedule);
+    }
+    // first_fit registers with an always-true predicate, so this is
+    // unreachable unless the registry was emptied.
+    throw std::logic_error("no dispatchable solver applies to " + sub.summary());
   });
   return result;
 }

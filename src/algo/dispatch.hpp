@@ -1,5 +1,10 @@
 // Algorithm dispatcher: routes an instance to the strongest applicable
-// MinBusy algorithm from the paper, per connected component.
+// MinBusy algorithm, per connected component.
+//
+// Since the unified solver API landed, the dispatcher is a thin policy over
+// the SolverRegistry: for each component it runs the applicable registered
+// solver with the highest dispatch priority.  The built-in priorities
+// reproduce the paper's routing table:
 //
 //   one-sided clique        -> Observation 3.1 greedy        (optimal)
 //   proper clique           -> FindBestConsecutive DP        (optimal)
@@ -7,8 +12,12 @@
 //   clique, small n         -> Lemma 3.2 set cover           (gH_g/(H_g+g-1))
 //   proper                  -> BestCut                       (2 - 1/g)
 //   otherwise               -> FirstFit                      (4, from [13])
+//
+// Solvers registered by applications with dispatch_priority >= 0 take part
+// automatically.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "core/instance.hpp"
@@ -16,7 +25,9 @@
 
 namespace busytime {
 
-/// Which algorithm the dispatcher picked (for reporting).
+/// Which built-in algorithm the dispatcher picked (legacy reporting enum;
+/// prefer DispatchResult::names, which also covers application-registered
+/// solvers).
 enum class MinBusyAlgo {
   kOneSided,
   kProperCliqueDp,
@@ -28,13 +39,22 @@ enum class MinBusyAlgo {
 
 std::string to_string(MinBusyAlgo algo);
 
+/// Maps a registry solver name back to the legacy enum; nullopt for solvers
+/// that are not one of the six built-ins.
+std::optional<MinBusyAlgo> minbusy_algo_from_name(const std::string& name);
+
 struct DispatchResult {
   Schedule schedule;
-  /// Algorithm used per component, in component order.
+  /// Registry name of the solver used per component, in component order.
+  std::vector<std::string> names;
+  /// Jobs per component, aligned with `names`.
+  std::vector<std::size_t> component_jobs;
+  /// Legacy enum view of `names`; entries for solvers outside the built-in
+  /// six are reported as kFirstFit (deprecated — use `names`).
   std::vector<MinBusyAlgo> algos;
 };
 
-/// Solves MinBusy with the best applicable algorithm per component.
+/// Solves MinBusy with the best applicable registered solver per component.
 DispatchResult solve_minbusy_auto(const Instance& inst);
 
 }  // namespace busytime

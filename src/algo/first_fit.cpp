@@ -1,6 +1,7 @@
 #include "algo/first_fit.hpp"
 
 #include <algorithm>
+#include <map>
 #include <vector>
 
 #include "intervalgraph/sweepline.hpp"
@@ -9,13 +10,56 @@ namespace busytime {
 
 namespace {
 
-/// A machine's load: the intervals assigned so far.  Feasibility of adding
-/// `candidate` = peak overlap of (assigned ∩ candidate's window) + 1 <= g.
-class MachineLoad {
+/// A machine's load as a concurrency step function over time.
+///
+/// `steps_[t]` is the number of assigned jobs running on [t, next key); the
+/// region before the first key and after the last has concurrency 0.  The
+/// candidate fits iff the peak concurrency inside its window stays below g,
+/// which only needs the segments intersecting the window — machines busy
+/// elsewhere in time cost O(1) to accept via the bounding-window test.
+class MachineProfile {
  public:
   bool fits(const Interval& candidate, int g) const {
-    // Count how many assigned intervals overlap each point of the candidate
-    // window; cheap exact check via local sweep over clipped intervals.
+    if (jobs_ == 0 || !window_.overlaps(candidate)) return true;
+    return peak_in(candidate) + 1 <= g;
+  }
+
+  void add(const Interval& iv) {
+    const auto ensure_breakpoint = [&](Time t) {
+      auto it = steps_.lower_bound(t);
+      if (it != steps_.end() && it->first == t) return it;
+      const int inherited = it == steps_.begin() ? 0 : std::prev(it)->second;
+      return steps_.emplace_hint(it, t, inherited);
+    };
+    const auto first = ensure_breakpoint(iv.start);
+    const auto last = ensure_breakpoint(iv.completion);
+    for (auto it = first; it != last; ++it) ++it->second;
+    window_ = jobs_ == 0 ? iv : window_.hull(iv);
+    ++jobs_;
+  }
+
+ private:
+  int peak_in(const Interval& window) const {
+    auto it = steps_.upper_bound(window.start);
+    // The segment containing window.start: its key is <= start and the next
+    // key is > start, so every segment visited below intersects the window.
+    if (it != steps_.begin()) --it;
+    int peak = 0;
+    for (; it != steps_.end() && it->first < window.completion; ++it)
+      peak = std::max(peak, it->second);
+    return peak;
+  }
+
+  std::map<Time, int> steps_;
+  Interval window_{0, 0};
+  int jobs_ = 0;
+};
+
+/// Reference load bookkeeping: re-sweeps the full assignment history on
+/// every feasibility check.
+class MachineLoadReference {
+ public:
+  bool fits(const Interval& candidate, int g) const {
     std::vector<Interval> clipped;
     clipped.reserve(assigned_.size());
     for (const auto& iv : assigned_) {
@@ -33,11 +77,10 @@ class MachineLoad {
   std::vector<Interval> assigned_;
 };
 
-}  // namespace
-
-Schedule solve_first_fit(const Instance& inst) {
+template <typename Machine>
+Schedule first_fit_with(const Instance& inst) {
   Schedule s(inst.size());
-  std::vector<MachineLoad> machines;
+  std::vector<Machine> machines;
   for (const JobId j : inst.ids_by_length_desc()) {
     const Interval& iv = inst.job(j).interval;
     MachineId target = -1;
@@ -55,6 +98,16 @@ Schedule solve_first_fit(const Instance& inst) {
     s.assign(j, target);
   }
   return s;
+}
+
+}  // namespace
+
+Schedule solve_first_fit(const Instance& inst) {
+  return first_fit_with<MachineProfile>(inst);
+}
+
+Schedule solve_first_fit_reference(const Instance& inst) {
+  return first_fit_with<MachineLoadReference>(inst);
 }
 
 }  // namespace busytime

@@ -12,7 +12,20 @@
 
 namespace busytime {
 
-/// FirstFit schedule (full, valid).  O(n^2 log n) worst case.
+/// FirstFit schedule (full, valid).
+///
+/// The machine scan keeps a concurrency step-function per machine: a
+/// machine whose busy window does not reach the candidate admits it in O(1)
+/// (ending the scan — the offline analogue of the online pool's
+/// retire-as-you-go), and a conflicting machine is rejected by an O(log n +
+/// segments-in-window) peak query instead of re-sweeping its whole history.
+/// Near-linear on trace workloads, where only the O(load/g) machines busy
+/// around the candidate's window are ever examined; produces exactly the
+/// same assignment as solve_first_fit_reference on every input.
 Schedule solve_first_fit(const Instance& inst);
+
+/// The original O(n^2 log n) implementation, kept as the equivalence oracle
+/// for tests and ablation benchmarks (deprecated for production use).
+Schedule solve_first_fit_reference(const Instance& inst);
 
 }  // namespace busytime

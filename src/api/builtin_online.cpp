@@ -1,0 +1,79 @@
+// Registry entries for the online streaming policies.  Each adapter replays
+// the instance in arrival (non-decreasing start) order through the policy's
+// OnlineScheduler and reports the streaming pool's EngineStats verbatim, so
+// online and offline results surface through the same SolveResult shape.
+#include "api/registry.hpp"
+#include "online/event.hpp"
+#include "online/scheduler.hpp"
+
+namespace busytime::detail {
+
+namespace {
+
+SolveResult stream_through(OnlinePolicy policy, const Instance& inst,
+                           const SolverSpec& spec, const std::string& algo) {
+  PolicyParams params;
+  params.epoch_length = spec.options.epoch_length;
+  params.max_batch = spec.options.max_batch;
+  const auto scheduler = make_scheduler(policy, inst.g(), params);
+  JobStream stream(inst);
+  while (!stream.done()) {
+    const ArrivalEvent ev = stream.next();
+    scheduler->on_arrival(ev.id, ev.job);
+  }
+  scheduler->flush();
+  SolveResult r;
+  r.schedule = scheduler->schedule();
+  r.stats = scheduler->stats();
+  r.trace.push_back({inst.size(), algo});
+  return r;
+}
+
+}  // namespace
+
+void register_online_solvers(SolverRegistry& registry) {
+  registry.add({
+      "online_first_fit",
+      SolverKind::kOnline,
+      OptimalityClass::kHeuristic,
+      0,
+      "Streaming FirstFit: lowest-id open machine with a free slot",
+      [](const Instance&) { return true; },
+      /*needs_budget=*/false,
+      /*dispatch_priority=*/-1,
+      [](const Instance& inst, const SolverSpec& spec) {
+        return stream_through(OnlinePolicy::kFirstFit, inst, spec, "online_first_fit");
+      },
+  });
+
+  registry.add({
+      "online_best_fit",
+      SolverKind::kOnline,
+      OptimalityClass::kHeuristic,
+      0,
+      "Streaming BestFit: minimal busy-interval extension among open machines",
+      [](const Instance&) { return true; },
+      /*needs_budget=*/false,
+      /*dispatch_priority=*/-1,
+      [](const Instance& inst, const SolverSpec& spec) {
+        return stream_through(OnlinePolicy::kBestFit, inst, spec, "online_best_fit");
+      },
+  });
+
+  registry.add({
+      "epoch_hybrid",
+      SolverKind::kOnline,
+      OptimalityClass::kHeuristic,
+      0,
+      "Delayed commitment: batches one epoch of arrivals, re-optimizes each "
+      "batch with the offline dispatcher (options: epoch, max_batch)",
+      [](const Instance&) { return true; },
+      /*needs_budget=*/false,
+      /*dispatch_priority=*/-1,
+      [](const Instance& inst, const SolverSpec& spec) {
+        return stream_through(OnlinePolicy::kEpochHybrid, inst, spec, "epoch_hybrid");
+      },
+  });
+}
+
+}  // namespace busytime::detail

@@ -1,0 +1,91 @@
+// Registry entries for the budgeted MaxThroughput solvers (Section 4).
+// All of them require options.budget >= 0 and may return partial schedules;
+// run_solver reports scheduled-job counts through SolveResult::throughput.
+#include "api/registry.hpp"
+#include "core/classify.hpp"
+#include "throughput/clique_tput.hpp"
+#include "throughput/exact_tput.hpp"
+#include "throughput/one_sided_tput.hpp"
+#include "throughput/proper_clique_tput_dp.hpp"
+
+namespace busytime::detail {
+
+namespace {
+
+SolveResult from_tput(TputResult r, const Instance& inst, const std::string& algo) {
+  SolveResult out;
+  out.schedule = std::move(r.schedule);
+  out.trace.push_back({inst.size(), algo});
+  return out;
+}
+
+}  // namespace
+
+void register_throughput_solvers(SolverRegistry& registry) {
+  registry.add({
+      "tput_one_sided",
+      SolverKind::kThroughput,
+      OptimalityClass::kExact,
+      1.0,
+      "Proposition 4.1: optimal MaxThroughput for one-sided cliques "
+      "(shortest-prefix pricing)",
+      [](const Instance& inst) { return is_one_sided(inst); },
+      /*needs_budget=*/true,
+      /*dispatch_priority=*/-1,
+      [](const Instance& inst, const SolverSpec& spec) {
+        return from_tput(solve_one_sided_tput(inst, spec.options.budget), inst,
+                         "tput_one_sided");
+      },
+  });
+
+  registry.add({
+      "tput_proper_clique",
+      SolverKind::kThroughput,
+      OptimalityClass::kExact,
+      1.0,
+      "MostThroughputConsecutive DP (Theorem 4.2): optimal for proper cliques",
+      [](const Instance& inst) { return is_clique(inst) && is_proper(inst); },
+      /*needs_budget=*/true,
+      /*dispatch_priority=*/-1,
+      [](const Instance& inst, const SolverSpec& spec) {
+        return from_tput(solve_proper_clique_tput(inst, spec.options.budget), inst,
+                         "tput_proper_clique");
+      },
+  });
+
+  registry.add({
+      "tput_clique",
+      SolverKind::kThroughput,
+      OptimalityClass::kApprox,
+      4.0,
+      "Theorem 4.1 combined Alg1/Alg2: 4-approx MaxThroughput for cliques",
+      [](const Instance& inst) { return is_clique(inst); },
+      /*needs_budget=*/true,
+      /*dispatch_priority=*/-1,
+      [](const Instance& inst, const SolverSpec& spec) {
+        return from_tput(solve_clique_tput(inst, spec.options.budget), inst,
+                         "tput_clique");
+      },
+  });
+
+  registry.add({
+      "tput_exact",
+      SolverKind::kThroughput,
+      OptimalityClass::kExact,
+      1.0,
+      "Exact MaxThroughput reference (subset enumeration; small instances)",
+      [](const Instance& inst) {
+        return inst.size() <= kExactTputGeneralMaxJobs ||
+               (inst.size() <= kExactTputCliqueMaxJobs && is_clique(inst));
+      },
+      /*needs_budget=*/true,
+      /*dispatch_priority=*/-1,
+      [](const Instance& inst, const SolverSpec& spec) {
+        auto r = exact_tput(inst, spec.options.budget);
+        if (!r) throw std::invalid_argument("instance too large for tput_exact");
+        return from_tput(std::move(*r), inst, "tput_exact");
+      },
+  });
+}
+
+}  // namespace busytime::detail

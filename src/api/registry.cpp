@@ -1,0 +1,155 @@
+#include "api/registry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "algo/local_search.hpp"
+#include "core/bounds.hpp"
+#include "core/validate.hpp"
+
+namespace busytime {
+
+std::string to_string(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kOffline: return "offline";
+    case SolverKind::kExact: return "exact";
+    case SolverKind::kThroughput: return "throughput";
+    case SolverKind::kOnline: return "online";
+    case SolverKind::kExtension: return "extension";
+  }
+  return "unknown";
+}
+
+std::string to_string(OptimalityClass optimality) {
+  switch (optimality) {
+    case OptimalityClass::kExact: return "exact";
+    case OptimalityClass::kApprox: return "approx";
+    case OptimalityClass::kHeuristic: return "heuristic";
+  }
+  return "unknown";
+}
+
+SolverRegistry& SolverRegistry::instance() {
+  // Magic-static init is thread-safe; built-ins register exactly once.
+  static SolverRegistry registry = [] {
+    SolverRegistry r;
+    detail::register_offline_solvers(r);
+    detail::register_throughput_solvers(r);
+    detail::register_online_solvers(r);
+    detail::register_extension_solvers(r);
+    return r;
+  }();
+  return registry;
+}
+
+void SolverRegistry::add(SolverInfo info) {
+  if (info.name.empty()) throw std::invalid_argument("solver has an empty name");
+  if (!info.run) throw std::invalid_argument("solver '" + info.name + "' has no run hook");
+  if (!info.applicable)
+    throw std::invalid_argument("solver '" + info.name + "' has no applicability predicate");
+  const auto [it, inserted] = solvers_.emplace(info.name, std::move(info));
+  if (!inserted)
+    throw std::invalid_argument("solver '" + it->first + "' registered twice");
+  // Rebuild the dispatch order; registration is rare, dispatch is hot.
+  dispatchable_.clear();
+  for (const auto& [name, solver] : solvers_)
+    if (solver.dispatch_priority >= 0) dispatchable_.push_back(&solver);
+  std::stable_sort(dispatchable_.begin(), dispatchable_.end(),
+                   [](const SolverInfo* a, const SolverInfo* b) {
+                     return a->dispatch_priority > b->dispatch_priority;
+                   });
+}
+
+const SolverInfo* SolverRegistry::find(const std::string& name) const {
+  const auto it = solvers_.find(name);
+  return it == solvers_.end() ? nullptr : &it->second;
+}
+
+const SolverInfo& SolverRegistry::at(const std::string& name) const {
+  if (const SolverInfo* info = find(name)) return *info;
+  std::string known;
+  for (const auto& n : names()) known += (known.empty() ? "" : ", ") + n;
+  throw std::invalid_argument("unknown solver '" + name + "' (known: " + known + ")");
+}
+
+std::vector<std::string> SolverRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(solvers_.size());
+  for (const auto& [name, info] : solvers_) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+std::vector<const SolverInfo*> SolverRegistry::all() const {
+  std::vector<const SolverInfo*> out;
+  out.reserve(solvers_.size());
+  for (const auto& [name, info] : solvers_) out.push_back(&info);
+  return out;
+}
+
+std::vector<const SolverInfo*> SolverRegistry::by_kind(SolverKind kind) const {
+  std::vector<const SolverInfo*> out;
+  for (const auto& [name, info] : solvers_)
+    if (info.kind == kind) out.push_back(&info);
+  return out;
+}
+
+const std::vector<const SolverInfo*>& SolverRegistry::dispatchable() const {
+  return dispatchable_;
+}
+
+SolveResult run_solver(const Instance& inst, const SolverSpec& spec) {
+  const SolverInfo& info = SolverRegistry::instance().at(spec.name);
+
+  // Capacity override rebuilds the instance; everything downstream sees the
+  // requested g.
+  Instance overridden;
+  const Instance* target = &inst;
+  if (spec.options.g > 0 && spec.options.g != inst.g()) {
+    overridden = Instance(inst.jobs(), spec.options.g);
+    target = &overridden;
+  }
+
+  if (info.needs_budget && spec.options.budget < 0)
+    throw SpecError("solver '" + info.name + "' needs option budget=T");
+  if (!info.applicable(*target))
+    throw NotApplicableError("solver '" + info.name +
+                             "' is not applicable to this instance (" +
+                             target->summary() + ")");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  SolveResult result = info.run(*target, spec);
+  // Local-search post-pass: only for solver families whose validity notion
+  // is the base capacity count that improve_schedule preserves (extension
+  // solvers may obey stricter rules, e.g. per-job demands).
+  if (spec.options.improve &&
+      (info.kind == SolverKind::kOffline || info.kind == SolverKind::kExact)) {
+    result.schedule.ensure_size(target->size());
+    const LocalSearchStats ls = improve_schedule(*target, result.schedule);
+    if (ls.relocations + ls.swaps > 0)
+      result.trace.push_back({target->size(), "local_search"});
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  result.solver = info.name;
+  result.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  result.schedule.ensure_size(target->size());
+  result.cost = result.schedule.cost(*target);
+  result.throughput = result.schedule.throughput();
+  result.bounds = compute_bounds(*target);
+  result.ratio_to_lower_bound =
+      target->empty() ? 0 : ratio_to_lower_bound(*target, result.cost);
+  result.valid = is_valid(*target, result.schedule);
+  // Offline solvers have no streaming pool; give their counters the offline
+  // meaning so every SolveResult reports through the same fields.
+  if (result.stats.jobs_assigned == 0 && result.throughput > 0) {
+    result.stats.jobs_assigned = result.throughput;
+    result.stats.machines_opened = result.schedule.machine_count();
+    result.stats.open_machines = result.stats.machines_opened;
+    result.stats.peak_open_machines = result.stats.machines_opened;
+    result.stats.online_cost = result.cost;
+  }
+  return result;
+}
+
+}  // namespace busytime

@@ -1,0 +1,22 @@
+#include "api/solve_result.hpp"
+
+#include <sstream>
+
+namespace busytime {
+
+std::string SolveResult::summary() const {
+  std::ostringstream oss;
+  oss << solver << ": cost=" << cost << " tput=" << throughput
+      << " machines=" << stats.machines_opened
+      << " lb=" << bounds.lower_bound() << " ratio=" << ratio_to_lower_bound
+      << " wall=" << wall_ms << "ms" << (valid ? "" : " INVALID");
+  if (!trace.empty()) {
+    oss << " [";
+    for (std::size_t i = 0; i < trace.size(); ++i)
+      oss << (i ? " " : "") << trace[i].algo << "(" << trace[i].jobs << ")";
+    oss << "]";
+  }
+  return oss.str();
+}
+
+}  // namespace busytime

@@ -1,0 +1,60 @@
+// SolveResult: the response half of the unified solver API.
+//
+// Every registered solver — offline approximation, exact reference,
+// throughput solver, extension, or online policy — returns the same shape:
+// the schedule, its cost, the Observation 2.1 bounds, a per-component
+// algorithm trace, and counters unified with the online engine's
+// EngineStats, so benchmarks, tests, and the CLI compare solvers without
+// per-family glue.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "core/schedule.hpp"
+#include "online/engine_stats.hpp"
+
+namespace busytime {
+
+/// One entry of the per-component algorithm trace: which algorithm handled
+/// how many jobs.  Solvers that do not decompose report a single entry.
+struct ComponentTrace {
+  std::size_t jobs = 0;
+  std::string algo;
+
+  friend bool operator==(const ComponentTrace& a, const ComponentTrace& b) {
+    return a.jobs == b.jobs && a.algo == b.algo;
+  }
+};
+
+struct SolveResult {
+  /// Registry name of the solver that produced this result.
+  std::string solver;
+  /// The computed (possibly partial, for throughput solvers) schedule.
+  Schedule schedule;
+  /// cost(s): total busy time of the schedule.
+  Time cost = 0;
+  /// Number of scheduled jobs (== instance size for MinBusy solvers).
+  std::int64_t throughput = 0;
+  /// Observation 2.1 bounds of the solved instance.
+  CostBounds bounds;
+  /// cost / best certified lower bound (0 when the instance is empty).
+  double ratio_to_lower_bound = 0;
+  /// Schedule passed core/validate.
+  bool valid = false;
+  /// Per-component algorithm trace, in component order.
+  std::vector<ComponentTrace> trace;
+  /// Unified counters.  Online policies fill every field from the streaming
+  /// pool; offline solvers fill the jobs_assigned / machines_opened /
+  /// online_cost subset (machines never close offline).
+  EngineStats stats;
+  /// Wall-clock time of the solver proper (excludes validation/bounds).
+  double wall_ms = 0;
+
+  /// One-line human-readable summary for CLIs and logs.
+  std::string summary() const;
+};
+
+}  // namespace busytime

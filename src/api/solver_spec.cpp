@@ -1,0 +1,103 @@
+#include "api/solver_spec.hpp"
+
+#include <limits>
+
+namespace busytime {
+
+namespace {
+
+std::int64_t parse_int(const std::string& key, const std::string& value) {
+  if (value.empty()) throw SpecError("option '" + key + "' needs a value");
+  std::size_t consumed = 0;
+  std::int64_t parsed = 0;
+  try {
+    parsed = std::stoll(value, &consumed);
+  } catch (const std::exception&) {
+    throw SpecError("option '" + key + "': '" + value + "' is not an integer");
+  }
+  if (consumed != value.size())
+    throw SpecError("option '" + key + "': trailing garbage in '" + value + "'");
+  return parsed;
+}
+
+bool parse_bool(const std::string& key, const std::string& value) {
+  if (value == "1" || value == "true") return true;
+  if (value == "0" || value == "false") return false;
+  throw SpecError("option '" + key + "': expected 0/1/true/false, got '" + value + "'");
+}
+
+}  // namespace
+
+void SolverOptions::set(const std::string& key, const std::string& value) {
+  if (key == "g") {
+    const std::int64_t v = parse_int(key, value);
+    if (v < 1 || v > std::numeric_limits<int>::max())
+      throw SpecError("option 'g' must be an integer >= 1");
+    g = static_cast<int>(v);
+  } else if (key == "budget") {
+    const std::int64_t v = parse_int(key, value);
+    if (v < 0) throw SpecError("option 'budget' must be >= 0");
+    budget = v;
+  } else if (key == "epoch" || key == "epoch_length") {
+    const std::int64_t v = parse_int(key, value);
+    if (v < 1) throw SpecError("option 'epoch' must be >= 1");
+    epoch_length = v;
+  } else if (key == "max_batch") {
+    const std::int64_t v = parse_int(key, value);
+    if (v < 1 || v > std::numeric_limits<int>::max())
+      throw SpecError("option 'max_batch' must be an integer >= 1");
+    max_batch = static_cast<int>(v);
+  } else if (key == "seed") {
+    seed = static_cast<std::uint64_t>(parse_int(key, value));
+  } else if (key == "improve") {
+    improve = parse_bool(key, value);
+  } else {
+    throw SpecError("unknown solver option '" + key + "'");
+  }
+}
+
+SolverOptions SolverOptions::parse(const std::string& text) {
+  SolverOptions options;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find(',', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string item = text.substr(pos, end - pos);
+    if (item.empty()) throw SpecError("empty option in '" + text + "'");
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos)
+      throw SpecError("option '" + item + "' is not of the form key=value");
+    options.set(item.substr(0, eq), item.substr(eq + 1));
+    pos = end + 1;
+  }
+  return options;
+}
+
+SolverSpec SolverSpec::parse(const std::string& text) {
+  SolverSpec spec;
+  const std::size_t colon = text.find(':');
+  spec.name = text.substr(0, colon);
+  if (spec.name.empty()) throw SpecError("solver spec has an empty name");
+  if (colon != std::string::npos)
+    spec.options = SolverOptions::parse(text.substr(colon + 1));
+  return spec;
+}
+
+std::string SolverSpec::to_string() const {
+  const SolverOptions defaults;
+  std::string opts;
+  const auto add = [&](const std::string& kv) {
+    opts += (opts.empty() ? "" : ",") + kv;
+  };
+  if (options.g != defaults.g) add("g=" + std::to_string(options.g));
+  if (options.budget != defaults.budget) add("budget=" + std::to_string(options.budget));
+  if (options.epoch_length != defaults.epoch_length)
+    add("epoch=" + std::to_string(options.epoch_length));
+  if (options.max_batch != defaults.max_batch)
+    add("max_batch=" + std::to_string(options.max_batch));
+  if (options.seed != defaults.seed) add("seed=" + std::to_string(options.seed));
+  if (options.improve != defaults.improve) add("improve=1");
+  return opts.empty() ? name : name + ":" + opts;
+}
+
+}  // namespace busytime

@@ -1,0 +1,72 @@
+// SolverSpec: the request half of the unified solver API.
+//
+// A spec is a string-keyed solver name (resolved against the SolverRegistry)
+// plus a small set of typed options shared by every solver family:
+//
+//   g=G           capacity override (rebuilds the instance with g = G)
+//   budget=T      busy-time budget for the MaxThroughput solvers
+//   epoch=T       epoch length of the epoch-hybrid online policy
+//   max_batch=K   batch cap of the epoch-hybrid online policy
+//   seed=S        seed for randomized solvers (none yet; reserved)
+//   improve=0|1   run local-search post-optimization on the result
+//
+// Specs parse from "name" or "name:key=value,key=value" strings, the format
+// the busytime_cli accepts via --solver; malformed input throws SpecError
+// with a message naming the offending token.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "core/time_types.hpp"
+
+namespace busytime {
+
+/// Raised on malformed solver specs or option strings.
+class SpecError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Typed options understood across solver families.  Defaults reproduce the
+/// historical free-function behavior.
+struct SolverOptions {
+  /// Capacity override; 0 keeps the instance's own g.
+  int g = 0;
+  /// Busy-time budget for MaxThroughput solvers; < 0 means "not set"
+  /// (running a budgeted solver without one is an error).
+  Time budget = -1;
+  /// Epoch length for the epoch-hybrid online policy.
+  Time epoch_length = 1024;
+  /// Batch cap for the epoch-hybrid online policy.
+  int max_batch = 4096;
+  /// Seed for randomized solvers (reserved; all current solvers are
+  /// deterministic).
+  std::uint64_t seed = 1;
+  /// Run local-search post-optimization after the solver (full MinBusy
+  /// schedules only; ignored by throughput solvers).
+  bool improve = false;
+
+  /// Applies one "key=value" assignment; throws SpecError on unknown keys,
+  /// non-numeric values, or out-of-range values.
+  void set(const std::string& key, const std::string& value);
+
+  /// Parses a comma-separated "k=v,k=v" option list ("" is valid and empty).
+  static SolverOptions parse(const std::string& text);
+};
+
+/// A solver invocation request: registry name + options.
+struct SolverSpec {
+  std::string name = "auto";
+  SolverOptions options;
+
+  /// Parses "name" or "name:k=v,k=v".  Throws SpecError on an empty name or
+  /// malformed option list.
+  static SolverSpec parse(const std::string& text);
+
+  /// Canonical "name:k=v,..." form (only non-default options are printed).
+  std::string to_string() const;
+};
+
+}  // namespace busytime

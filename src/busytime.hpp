@@ -4,6 +4,7 @@
 // (Mertzios, Shalom, Voloshin, Wong, Zaks — IPDPS 2012 / TCS 2015).
 //
 // Modules (each header is independently includable):
+//   api/            unified solver API: SolverSpec/SolveResult + registry
 //   core/           problem model, schedules, validity, bounds, classification
 //   intervalgraph/  sweepline + interval-graph substrate
 //   matching/       maximum-weight general matching (blossom) + oracles
@@ -27,6 +28,9 @@
 #include "algo/local_search.hpp"
 #include "algo/one_sided.hpp"
 #include "algo/proper_clique_dp.hpp"
+#include "api/registry.hpp"
+#include "api/solve_result.hpp"
+#include "api/solver_spec.hpp"
 #include "core/bounds.hpp"
 #include "core/classify.hpp"
 #include "core/components.hpp"
@@ -42,6 +46,7 @@
 #include "extensions/weighted_tput.hpp"
 #include "intervalgraph/interval_graph.hpp"
 #include "intervalgraph/sweepline.hpp"
+#include "io/json.hpp"
 #include "io/serialize.hpp"
 #include "matching/blossom.hpp"
 #include "matching/dp_matching.hpp"

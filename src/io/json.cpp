@@ -1,0 +1,343 @@
+#include "io/json.hpp"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace busytime::json {
+
+namespace {
+
+[[noreturn]] void type_error(const char* wanted, Value::Type got) {
+  throw std::runtime_error(std::string("json value is not ") + wanted + " (type " +
+                           std::to_string(static_cast<int>(got)) + ")");
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (type_ != Type::kBool) type_error("a bool", type_);
+  return bool_;
+}
+
+std::int64_t Value::as_int() const {
+  if (type_ == Type::kInt) return int_;
+  if (type_ == Type::kDouble && double_ == std::floor(double_))
+    return static_cast<std::int64_t>(double_);
+  type_error("an integer", type_);
+}
+
+double Value::as_double() const {
+  if (type_ == Type::kInt) return static_cast<double>(int_);
+  if (type_ == Type::kDouble) return double_;
+  type_error("a number", type_);
+}
+
+const std::string& Value::as_string() const {
+  if (type_ != Type::kString) type_error("a string", type_);
+  return string_;
+}
+
+const std::vector<Value>& Value::as_array() const {
+  if (type_ != Type::kArray) type_error("an array", type_);
+  return array_;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::as_object() const {
+  if (type_ != Type::kObject) type_error("an object", type_);
+  return object_;
+}
+
+void Value::push_back(Value v) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  if (type_ != Type::kArray) type_error("an array", type_);
+  array_.push_back(std::move(v));
+}
+
+void Value::set(std::string key, Value v) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  if (type_ != Type::kObject) type_error("an object", type_);
+  object_.emplace_back(std::move(key), std::move(v));
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const Value& Value::at(const std::string& key) const {
+  if (const Value* v = find(key)) return *v;
+  throw std::runtime_error("json object has no key '" + key + "'");
+}
+
+// ------------------------------------------------------------------ dump --
+
+namespace {
+
+void dump_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_double(std::string& out, double d) {
+  if (!std::isfinite(d)) {  // JSON has no inf/nan; null is the usual stand-in
+    out += "null";
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, d);
+  out.append(buf, res.ptr);
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull: out += "null"; return;
+    case Type::kBool: out += bool_ ? "true" : "false"; return;
+    case Type::kInt: out += std::to_string(int_); return;
+    case Type::kDouble: dump_double(out, double_); return;
+    case Type::kString: dump_string(out, string_); return;
+    case Type::kArray: {
+      if (array_.empty()) { out += "[]"; return; }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i) out += ',';
+        if (indent >= 0) newline_indent(out, indent, depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      if (indent >= 0) newline_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      if (object_.empty()) { out += "{}"; return; }
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i) out += ',';
+        if (indent >= 0) newline_indent(out, indent, depth + 1);
+        dump_string(out, object_[i].first);
+        out += indent >= 0 ? ": " : ":";
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (indent >= 0) newline_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// ----------------------------------------------------------------- parse --
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw JsonError(pos_, message);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t len = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, len, lit) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't': if (consume_literal("true")) return Value(true); fail("bad literal");
+      case 'f': if (consume_literal("false")) return Value(false); fail("bad literal");
+      case 'n': if (consume_literal("null")) return Value(); fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value obj = Value::object();
+    skip_ws();
+    if (peek() == '}') { ++pos_; return obj; }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(std::move(key), parse_value());
+      skip_ws();
+      const char next = peek();
+      ++pos_;
+      if (next == '}') return obj;
+      if (next != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value arr = Value::array();
+    skip_ws();
+    if (peek() == ']') { ++pos_; return arr; }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char next = peek();
+      ++pos_;
+      if (next == ']') return arr;
+      if (next != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') { out += c; continue; }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          // Encode the BMP code point as UTF-8 (surrogate pairs are passed
+          // through unpaired; the library never emits them).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') { ++pos_; continue; }
+      if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-'))
+      fail("expected a value");
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    if (!is_double) {
+      std::int64_t value = 0;
+      const auto res = std::from_chars(first, last, value);
+      if (res.ec == std::errc() && res.ptr == last) return Value(value);
+      is_double = true;  // overflowed int64; fall back to double
+    }
+    double value = 0;
+    const auto res = std::from_chars(first, last, value);
+    if (res.ec != std::errc() || res.ptr != last) fail("malformed number");
+    return Value(value);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value Value::parse(const std::string& text) { return Parser(text).parse_document(); }
+
+}  // namespace busytime::json

@@ -1,0 +1,89 @@
+// Minimal JSON document model: parse, build, dump.
+//
+// Exists so the unified solver API can emit and reload machine-readable
+// results (io/serialize's SolveResult round trip, busytime_cli --json)
+// without an external dependency.  Deliberately small:
+//
+//  * objects preserve insertion order (dumps are deterministic and
+//    diffable, like the v1 text formats);
+//  * integers and doubles are kept distinct (all costs are exact int64);
+//  * doubles dump via shortest-round-trip std::to_chars;
+//  * parse errors throw JsonError naming the byte offset.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace busytime::json {
+
+/// Raised on malformed JSON; what() names the byte offset.
+class JsonError : public std::runtime_error {
+ public:
+  JsonError(std::size_t offset, const std::string& message)
+      : std::runtime_error("json offset " + std::to_string(offset) + ": " + message),
+        offset_(offset) {}
+  std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Value() = default;  // null
+  Value(bool b) : type_(Type::kBool), bool_(b) {}
+  Value(std::int64_t i) : type_(Type::kInt), int_(i) {}
+  Value(int i) : Value(static_cast<std::int64_t>(i)) {}
+  Value(double d) : type_(Type::kDouble), double_(d) {}
+  Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Value(const char* s) : Value(std::string(s)) {}
+
+  static Value array() { Value v; v.type_ = Type::kArray; return v; }
+  static Value object() { Value v; v.type_ = Type::kObject; return v; }
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_number() const noexcept { return type_ == Type::kInt || type_ == Type::kDouble; }
+
+  /// Typed accessors; throw std::runtime_error on a type mismatch.
+  bool as_bool() const;
+  std::int64_t as_int() const;    ///< kInt, or kDouble with an integral value
+  double as_double() const;       ///< any number
+  const std::string& as_string() const;
+  const std::vector<Value>& as_array() const;
+  const std::vector<std::pair<std::string, Value>>& as_object() const;
+
+  /// Array building.
+  void push_back(Value v);
+
+  /// Object building/lookup (first match; keys are expected unique).
+  void set(std::string key, Value v);
+  const Value* find(const std::string& key) const;
+  const Value& at(const std::string& key) const;  ///< throws when absent
+
+  /// Serializes.  indent < 0 emits the compact single-line form; otherwise
+  /// pretty-prints with `indent` spaces per level.  Deterministic.
+  std::string dump(int indent = -1) const;
+
+  /// Parses a complete JSON document (rejects trailing garbage).
+  static Value parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+}  // namespace busytime::json

@@ -1,7 +1,10 @@
 #include "io/serialize.hpp"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
+
+#include "io/json.hpp"
 
 namespace busytime {
 
@@ -136,6 +139,122 @@ Schedule read_schedule(std::istream& is, std::size_t expected_jobs) {
 
 namespace {
 
+constexpr const char* kResultFormat = "busytime-result-v1";
+
+}  // namespace
+
+std::string result_to_json(const SolveResult& result, int indent) {
+  return result_to_json_value(result).dump(indent) + "\n";
+}
+
+json::Value result_to_json_value(const SolveResult& result) {
+  json::Value root = json::Value::object();
+  root.set("format", kResultFormat);
+  root.set("solver", result.solver);
+  root.set("cost", result.cost);
+  root.set("throughput", result.throughput);
+  root.set("valid", result.valid);
+  root.set("ratio_to_lower_bound", result.ratio_to_lower_bound);
+  root.set("wall_ms", result.wall_ms);
+
+  json::Value bounds = json::Value::object();
+  bounds.set("length", result.bounds.length);
+  bounds.set("span", result.bounds.span);
+  bounds.set("parallelism_num", result.bounds.parallelism_num);
+  bounds.set("g", result.bounds.g);
+  root.set("bounds", std::move(bounds));
+
+  json::Value trace = json::Value::array();
+  for (const auto& entry : result.trace) {
+    json::Value t = json::Value::object();
+    t.set("jobs", static_cast<std::int64_t>(entry.jobs));
+    t.set("algo", entry.algo);
+    trace.push_back(std::move(t));
+  }
+  root.set("trace", std::move(trace));
+
+  json::Value stats = json::Value::object();
+  stats.set("jobs_assigned", result.stats.jobs_assigned);
+  stats.set("machines_opened", result.stats.machines_opened);
+  stats.set("machines_closed", result.stats.machines_closed);
+  stats.set("open_machines", result.stats.open_machines);
+  stats.set("peak_open_machines", result.stats.peak_open_machines);
+  stats.set("active_jobs", result.stats.active_jobs);
+  stats.set("peak_active_jobs", result.stats.peak_active_jobs);
+  stats.set("clock", result.stats.clock);
+  stats.set("online_cost", result.stats.online_cost);
+  root.set("stats", std::move(stats));
+
+  json::Value assignment = json::Value::array();
+  for (const MachineId m : result.schedule.assignment())
+    assignment.push_back(static_cast<std::int64_t>(m));
+  root.set("schedule", std::move(assignment));
+
+  return root;
+}
+
+SolveResult result_from_json(const std::string& text) {
+  const json::Value root = json::Value::parse(text);
+  if (root.at("format").as_string() != kResultFormat)
+    throw std::runtime_error("expected format '" + std::string(kResultFormat) +
+                             "', got '" + root.at("format").as_string() + "'");
+  SolveResult result;
+  result.solver = root.at("solver").as_string();
+  result.cost = root.at("cost").as_int();
+  result.throughput = root.at("throughput").as_int();
+  result.valid = root.at("valid").as_bool();
+  result.ratio_to_lower_bound = root.at("ratio_to_lower_bound").as_double();
+  result.wall_ms = root.at("wall_ms").as_double();
+
+  const json::Value& bounds = root.at("bounds");
+  result.bounds.length = bounds.at("length").as_int();
+  result.bounds.span = bounds.at("span").as_int();
+  result.bounds.parallelism_num = bounds.at("parallelism_num").as_int();
+  result.bounds.g = static_cast<int>(bounds.at("g").as_int());
+
+  for (const json::Value& entry : root.at("trace").as_array()) {
+    ComponentTrace t;
+    t.jobs = static_cast<std::size_t>(entry.at("jobs").as_int());
+    t.algo = entry.at("algo").as_string();
+    result.trace.push_back(std::move(t));
+  }
+
+  const json::Value& stats = root.at("stats");
+  result.stats.jobs_assigned = stats.at("jobs_assigned").as_int();
+  result.stats.machines_opened = stats.at("machines_opened").as_int();
+  result.stats.machines_closed = stats.at("machines_closed").as_int();
+  result.stats.open_machines = stats.at("open_machines").as_int();
+  result.stats.peak_open_machines = stats.at("peak_open_machines").as_int();
+  result.stats.active_jobs = stats.at("active_jobs").as_int();
+  result.stats.peak_active_jobs = stats.at("peak_active_jobs").as_int();
+  result.stats.clock = stats.at("clock").as_int();
+  result.stats.online_cost = stats.at("online_cost").as_int();
+
+  std::vector<MachineId> assignment;
+  for (const json::Value& m : root.at("schedule").as_array()) {
+    const std::int64_t machine = m.as_int();
+    if (machine < Schedule::kUnscheduled ||
+        machine > std::numeric_limits<MachineId>::max())
+      throw std::runtime_error("schedule entry out of machine-id range: " +
+                               std::to_string(machine));
+    assignment.push_back(static_cast<MachineId>(machine));
+  }
+  result.schedule = Schedule(std::move(assignment));
+  return result;
+}
+
+void write_result_json(std::ostream& os, const SolveResult& result) {
+  os << result_to_json(result);
+}
+
+SolveResult read_result_json(std::istream& is) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return result_from_json(buffer.str());
+}
+
+namespace {
+
 std::ifstream open_in(const std::string& path) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("cannot open for reading: " + path);
@@ -168,6 +287,16 @@ void save_schedule(const std::string& path, const Schedule& s) {
 Schedule load_schedule(const std::string& path, std::size_t expected_jobs) {
   auto is = open_in(path);
   return read_schedule(is, expected_jobs);
+}
+
+void save_result_json(const std::string& path, const SolveResult& result) {
+  auto os = open_out(path);
+  write_result_json(os, result);
+}
+
+SolveResult load_result_json(const std::string& path) {
+  auto is = open_in(path);
+  return read_result_json(is);
 }
 
 }  // namespace busytime

@@ -19,8 +19,10 @@
 #include <stdexcept>
 #include <string>
 
+#include "api/solve_result.hpp"
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
+#include "io/json.hpp"
 
 namespace busytime {
 
@@ -44,10 +46,25 @@ void write_schedule(std::ostream& os, const Schedule& s);
 /// instance.
 Schedule read_schedule(std::istream& is, std::size_t expected_jobs);
 
+/// JSON round trip for unified-API results (format "busytime-result-v1"):
+/// schedule assignment, cost/throughput, Observation 2.1 bounds, the
+/// per-component algorithm trace, and the EngineStats counters.  Dumps are
+/// deterministic (insertion-ordered keys, shortest-round-trip doubles), so
+/// golden files diff cleanly; read_result_json accepts any JSON that dump
+/// produced and throws std::runtime_error (with the offending key) on
+/// missing or mistyped fields.
+std::string result_to_json(const SolveResult& result, int indent = 2);
+json::Value result_to_json_value(const SolveResult& result);
+SolveResult result_from_json(const std::string& text);
+void write_result_json(std::ostream& os, const SolveResult& result);
+SolveResult read_result_json(std::istream& is);
+
 /// File-path conveniences (throw std::runtime_error on I/O failure).
 void save_instance(const std::string& path, const Instance& inst);
 Instance load_instance(const std::string& path);
 void save_schedule(const std::string& path, const Schedule& s);
 Schedule load_schedule(const std::string& path, std::size_t expected_jobs);
+void save_result_json(const std::string& path, const SolveResult& result);
+SolveResult load_result_json(const std::string& path);
 
 }  // namespace busytime

@@ -1,11 +1,13 @@
 // End-to-end integration tests chaining modules the way the examples and
-// CLI do: generate -> solve -> improve -> serialize -> reload -> validate ->
-// simulate -> price, asserting every hand-off preserves semantics.
+// CLI do: generate -> solve (unified API) -> improve -> serialize -> reload
+// -> validate -> simulate -> price, asserting every hand-off preserves
+// semantics.
 #include <gtest/gtest.h>
 
 #include <sstream>
 
 #include "algo/dispatch.hpp"
+#include "api/registry.hpp"
 #include "algo/local_search.hpp"
 #include "core/bounds.hpp"
 #include "core/validate.hpp"
@@ -30,9 +32,11 @@ TEST(Pipeline, SolveSerializeReloadSimulatePrice) {
     p.seed = seed;
     const Instance inst = gen_trace(p);
 
-    // Solve + improve.
-    Schedule schedule = solve_minbusy_auto(inst).schedule;
-    improve_schedule(inst, schedule, /*max_rounds=*/3);
+    // Solve + improve through the unified API.
+    const SolveResult solved = run_solver(inst, SolverSpec::parse("auto:improve=1"));
+    ASSERT_TRUE(solved.valid);
+    EXPECT_TRUE(compute_bounds(inst).admissible(solved.cost));
+    Schedule schedule = solved.schedule;
     ASSERT_TRUE(is_valid(inst, schedule));
 
     // Serialize both and reload.
@@ -114,6 +118,39 @@ TEST(Pipeline, RegeneratorGroomingSweep) {
     EXPECT_LE(report.regenerators, prev)
         << "more grooming must not need more regenerators";
     prev = report.regenerators;
+  }
+}
+
+TEST(Pipeline, UnifiedApiResultsRoundTripThroughJson) {
+  // Every solver family's SolveResult survives the JSON round trip the CLI
+  // and dashboards consume.
+  TraceParams p;
+  p.n = 40;
+  p.g = 3;
+  p.seed = 99;
+  const Instance inst = gen_trace(p);
+  for (const std::string name :
+       {"auto", "first_fit", "local_search", "online_best_fit", "epoch_hybrid"}) {
+    SolverSpec spec;
+    spec.name = name;
+    const SolveResult result = run_solver(inst, spec);
+    ASSERT_TRUE(result.valid) << name;
+
+    std::stringstream buf;
+    write_result_json(buf, result);
+    const SolveResult reloaded = read_result_json(buf);
+
+    EXPECT_EQ(reloaded.solver, result.solver);
+    EXPECT_EQ(reloaded.cost, result.cost);
+    EXPECT_EQ(reloaded.throughput, result.throughput);
+    EXPECT_EQ(reloaded.schedule.assignment(), result.schedule.assignment());
+    EXPECT_EQ(reloaded.trace, result.trace);
+    EXPECT_EQ(reloaded.stats.machines_opened, result.stats.machines_opened);
+    EXPECT_EQ(reloaded.stats.online_cost, result.stats.online_cost);
+    EXPECT_EQ(reloaded.bounds.span, result.bounds.span);
+    EXPECT_DOUBLE_EQ(reloaded.ratio_to_lower_bound, result.ratio_to_lower_bound);
+    // The reloaded schedule re-prices identically against the instance.
+    EXPECT_EQ(reloaded.schedule.cost(inst), result.cost);
   }
 }
 
