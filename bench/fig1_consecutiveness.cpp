@@ -21,7 +21,7 @@ namespace {
 /// Counts conflicting triples <a, b, c> of a schedule: jobs a < b < c (in
 /// proper order) with a, c on one machine and b elsewhere (or unscheduled).
 int count_conflicting_triples(const Instance& inst, const Schedule& s) {
-  const auto order = inst.ids_by_start();
+  const auto& order = inst.ids_by_start();
   const int n = static_cast<int>(order.size());
   int triples = 0;
   for (int a = 0; a < n; ++a)

@@ -1,0 +1,209 @@
+// PERF — parallel pipeline: measures the component-parallel offline
+// dispatcher and the sharded online stream driver across thread counts on
+// one multi-component cluster trace, verifies that every parallel run is
+// assignment-identical to the single-thread baseline, and emits a
+// machine-readable BENCH_pipeline.json seeding the perf trajectory.
+//
+// Flags:
+//   --n=N            jobs in the trace                  (default 150000)
+//   --g=G            machine capacity                   (default 8)
+//   --seed=S         trace seed                         (default 2012)
+//   --rate=R         mean arrivals per time unit        (default 0.5)
+//   --max_threads=T  largest thread count measured      (default 8)
+//   --repeats=K      timed repetitions, best-of         (default 3)
+//   --out=FILE       JSON output path                   (default BENCH_pipeline.json)
+//   --smoke          CI mode: n=20000, threads {1,2}, 1 repeat
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "algo/dispatch.hpp"
+#include "exec/thread_pool.hpp"
+#include "io/json.hpp"
+#include "online/stream_driver.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "workload/trace.hpp"
+
+namespace busytime {
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Run {
+  int threads = 1;
+  double wall_ms = 0;
+  double jobs_per_sec = 0;
+  double speedup = 1;
+  bool identical = true;
+  std::size_t shards = 1;
+};
+
+json::Value run_to_json(const Run& run) {
+  json::Value v = json::Value::object();
+  v.set("threads", run.threads);
+  v.set("shards", static_cast<std::int64_t>(run.shards));
+  v.set("wall_ms", run.wall_ms);
+  v.set("jobs_per_sec", run.jobs_per_sec);
+  v.set("speedup", run.speedup);
+  v.set("identical", run.identical);
+  return v;
+}
+
+int main_impl(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const bool smoke = flags.get_bool("smoke");
+
+  TraceParams tp;
+  tp.n = static_cast<int>(flags.get_int("n", smoke ? 20000 : 150000));
+  tp.g = static_cast<int>(flags.get_int("g", 8));
+  tp.arrival_rate = flags.get_double("rate", 0.5);
+  tp.diurnal = true;
+  tp.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2012));
+  const int max_threads =
+      static_cast<int>(flags.get_int("max_threads", smoke ? 2 : 8));
+  const int repeats = static_cast<int>(flags.get_int("repeats", smoke ? 1 : 3));
+  const std::string out_path = flags.get("out", "BENCH_pipeline.json");
+
+  std::vector<int> thread_counts;
+  for (int t = 1; t <= max_threads; t *= 2) thread_counts.push_back(t);
+  if (thread_counts.back() != max_threads) thread_counts.push_back(max_threads);
+
+  const Instance trace = gen_trace(tp);
+  trace.ids_by_start();  // warm the memoized order outside every timing
+
+  // ------------------------------------------------- offline auto-dispatch
+  const DispatchResult baseline = solve_minbusy_auto(trace, 1);
+  std::vector<Run> offline_runs;
+  for (const int t : thread_counts) {
+    Run run;
+    run.threads = t;
+    run.wall_ms = 1e300;
+    for (int rep = 0; rep < repeats; ++rep) {
+      const double t0 = now_ms();
+      const DispatchResult d = solve_minbusy_auto(trace, t);
+      run.wall_ms = std::min(run.wall_ms, now_ms() - t0);
+      run.identical = run.identical &&
+                      d.schedule.assignment() == baseline.schedule.assignment() &&
+                      d.names == baseline.names;
+    }
+    run.jobs_per_sec = trace.size() / (run.wall_ms / 1000.0);
+    run.speedup = offline_runs.empty()
+                      ? 1.0
+                      : offline_runs.front().wall_ms / run.wall_ms;
+    offline_runs.push_back(run);
+  }
+
+  // Per-solver breakdown of the dispatch (components and jobs per algorithm).
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>> breakdown;
+  for (std::size_t i = 0; i < baseline.names.size(); ++i) {
+    auto& entry = breakdown[baseline.names[i]];
+    entry.first += 1;
+    entry.second += static_cast<std::int64_t>(baseline.component_jobs[i]);
+  }
+
+  // ------------------------------------------------- sharded online replay
+  const PolicyParams params;
+  const ReplayResult online_baseline =
+      replay_stream(trace, OnlinePolicy::kFirstFit, params, 1);
+  std::vector<Run> online_runs;
+  for (const int t : thread_counts) {
+    Run run;
+    run.threads = t;
+    run.wall_ms = 1e300;
+    for (int rep = 0; rep < repeats; ++rep) {
+      const double t0 = now_ms();
+      const ReplayResult r =
+          replay_stream(trace, OnlinePolicy::kFirstFit, params, t,
+                        /*min_shard_jobs=*/smoke ? 1024 : 4096);
+      run.wall_ms = std::min(run.wall_ms, now_ms() - t0);
+      run.shards = r.shards;
+      run.identical =
+          run.identical &&
+          r.schedule.assignment() == online_baseline.schedule.assignment() &&
+          r.stats.online_cost == online_baseline.stats.online_cost;
+    }
+    run.jobs_per_sec = trace.size() / (run.wall_ms / 1000.0);
+    run.speedup =
+        online_runs.empty() ? 1.0 : online_runs.front().wall_ms / run.wall_ms;
+    online_runs.push_back(run);
+  }
+
+  // ---------------------------------------------------------------- emit
+  json::Value root = json::Value::object();
+  root.set("bench", "pipeline");
+  root.set("smoke", smoke);
+  root.set("hardware_threads", exec::hardware_threads());
+  root.set("jobs", static_cast<std::int64_t>(trace.size()));
+  root.set("g", tp.g);
+  root.set("seed", static_cast<std::int64_t>(tp.seed));
+  root.set("components", static_cast<std::int64_t>(baseline.names.size()));
+  root.set("repeats", repeats);
+
+  json::Value offline = json::Value::object();
+  offline.set("solver", "auto");
+  json::Value offline_arr = json::Value::array();
+  for (const Run& r : offline_runs) offline_arr.push_back(run_to_json(r));
+  offline.set("runs", std::move(offline_arr));
+  json::Value breakdown_arr = json::Value::array();
+  for (const auto& [algo, counts] : breakdown) {
+    json::Value b = json::Value::object();
+    b.set("algo", algo);
+    b.set("components", counts.first);
+    b.set("jobs", counts.second);
+    breakdown_arr.push_back(std::move(b));
+  }
+  offline.set("breakdown", std::move(breakdown_arr));
+  root.set("offline", std::move(offline));
+
+  json::Value online = json::Value::object();
+  online.set("policy", to_string(OnlinePolicy::kFirstFit));
+  json::Value online_arr = json::Value::array();
+  for (const Run& r : online_runs) online_arr.push_back(run_to_json(r));
+  online.set("runs", std::move(online_arr));
+  root.set("online", std::move(online));
+
+  std::ofstream out(out_path);
+  out << root.dump(2) << "\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  Table table({"path", "threads", "shards", "wall_ms", "jobs/sec", "speedup",
+               "identical"});
+  for (const Run& r : offline_runs)
+    table.add_row({"offline/auto", Table::fmt(static_cast<long long>(r.threads)),
+                   "-", Table::fmt(r.wall_ms), Table::fmt(r.jobs_per_sec, 0),
+                   Table::fmt(r.speedup), r.identical ? "yes" : "NO"});
+  for (const Run& r : online_runs)
+    table.add_row({"online/first-fit",
+                   Table::fmt(static_cast<long long>(r.threads)),
+                   Table::fmt(static_cast<long long>(r.shards)),
+                   Table::fmt(r.wall_ms), Table::fmt(r.jobs_per_sec, 0),
+                   Table::fmt(r.speedup), r.identical ? "yes" : "NO"});
+  table.print(std::cout);
+
+  for (const Run& r : offline_runs)
+    if (!r.identical) {
+      std::cerr << "error: offline run at " << r.threads
+                << " threads diverged from the sequential baseline\n";
+      return 1;
+    }
+  for (const Run& r : online_runs)
+    if (!r.identical) {
+      std::cerr << "error: online run at " << r.threads
+                << " threads diverged from the sequential baseline\n";
+      return 1;
+    }
+  return 0;
+}
+
+}  // namespace
+}  // namespace busytime
+
+int main(int argc, char** argv) { return busytime::main_impl(argc, argv); }

@@ -3,7 +3,8 @@
 //   busytime_cli --list-solvers [--json]
 //   busytime_cli solve (--in=FILE | --family=NAME --n=N --g=G --seed=S)
 //                [--solver=SPEC|all] [--budget=T] [--epoch=T] [--max_batch=K]
-//                [--improve] [--json] [--json-out=FILE] [--out=FILE] [--gantt]
+//                [--threads=N] [--improve] [--json] [--json-out=FILE]
+//                [--out=FILE] [--gantt]
 //   busytime_cli gen   --family=NAME --n=N --g=G --seed=S [--out=FILE]
 //   busytime_cli check --in=FILE --schedule=FILE
 //
@@ -13,12 +14,21 @@
 // reports each cost next to the Observation 2.1 lower bound.  "--json"
 // emits machine-readable busytime-result-v1 documents.
 //
+// "--threads=N" (0 = hardware concurrency, 1 = sequential) sets the worker
+// count for per-component solving, sharded online replay, and the
+// side-by-side "--solver=all" comparison, which runs the solvers
+// concurrently on the shared pool.  Thread count never changes results
+// (costs, schedules, validity); per-solver wall_ms under a concurrent
+// "--solver=all" is measured on the contended pool, so pass --threads=1
+// when clean per-solver timings matter more than total wall time.
+//
 // Instance families: general, clique, proper, proper_clique, one_sided,
 // trace.
 #include <iostream>
 
 #include "api/registry.hpp"
 #include "busytime.hpp"
+#include "exec/thread_pool.hpp"
 #include "io/serialize.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -34,7 +44,8 @@ int usage() {
       << "  --list-solvers [--json]                      enumerate the registry\n"
       << "  solve (--in=FILE | --family=F --n=N --g=G --seed=S)\n"
       << "        [--solver=SPEC|all] [--budget=T] [--epoch=T] [--max_batch=K]\n"
-      << "        [--improve] [--json] [--json-out=FILE] [--out=FILE] [--gantt]\n"
+      << "        [--threads=N] [--improve] [--json] [--json-out=FILE]\n"
+      << "        [--out=FILE] [--gantt]\n"
       << "  gen   --family=F --n=N --g=G --seed=S [--out=FILE]\n"
       << "  check --in=FILE --schedule=FILE\n"
       << "solver SPEC = name[:k=v,...], e.g. epoch_hybrid:epoch=256\n";
@@ -75,6 +86,7 @@ SolverSpec make_spec(const Flags& flags) {
   if (flags.has("budget")) spec.options.set("budget", flags.get("budget", ""));
   if (flags.has("epoch")) spec.options.set("epoch", flags.get("epoch", ""));
   if (flags.has("max_batch")) spec.options.set("max_batch", flags.get("max_batch", ""));
+  if (flags.has("threads")) spec.options.set("threads", flags.get("threads", ""));
   if (flags.get_bool("improve")) spec.options.improve = true;
   return spec;
 }
@@ -119,6 +131,13 @@ int cmd_solve_all(const Instance& inst, const Flags& flags, const SolverSpec& ba
   Table table({"solver", "kind", "cost", "lower_bound", "ratio", "tput", "machines",
                "wall_ms", "valid"});
   bool all_valid = true;
+
+  // Decide run/skip sequentially (cheap predicates), then run the solvers
+  // side by side on the shared pool; each SolveResult carries its own wall
+  // time.  Output order stays the registry's name order regardless of which
+  // solver finishes first.
+  std::vector<const SolverInfo*> runnable;
+  std::vector<SolverSpec> specs;
   for (const SolverInfo* info : SolverRegistry::instance().all()) {
     SolverSpec spec = base;
     spec.name = info->name;
@@ -134,9 +153,19 @@ int cmd_solve_all(const Instance& inst, const Flags& flags, const SolverSpec& ba
       skipped.push_back(std::move(s));
       continue;
     }
-    const SolveResult result = run_solver(inst, spec);
+    runnable.push_back(info);
+    specs.push_back(std::move(spec));
+  }
+
+  std::vector<SolveResult> solved(runnable.size());
+  exec::parallel_for(/*threads=*/0, runnable.size(), [&](std::size_t i) {
+    solved[i] = run_solver(inst, specs[i]);
+  });
+
+  for (std::size_t i = 0; i < runnable.size(); ++i) {
+    const SolveResult& result = solved[i];
     all_valid = all_valid && result.valid;
-    table.add_row({result.solver, to_string(info->kind),
+    table.add_row({result.solver, to_string(runnable[i]->kind),
                    Table::fmt(static_cast<long long>(result.cost)),
                    Table::fmt(bounds.lower_bound()),
                    Table::fmt(result.ratio_to_lower_bound),
@@ -221,6 +250,10 @@ int main(int argc, char** argv) {
   // With a subcommand, flags start after it; without one, "--list-solvers"
   // and "--solver/--in/--family" imply the command.
   const Flags flags = has_subcommand ? Flags(argc - 1, argv + 1) : Flags(argc, argv);
+  // --threads governs every parallel path: per-component dispatch, sharded
+  // online replay, and the --solver=all side-by-side runs.
+  if (flags.has("threads"))
+    exec::set_default_threads(static_cast<int>(flags.get_int("threads", 0)));
   std::string command = has_subcommand ? argv[1] : "";
   if (command.empty()) {
     if (flags.get_bool("list-solvers")) command = "list-solvers";

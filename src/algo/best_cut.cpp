@@ -27,7 +27,7 @@ Schedule phase_schedule(const Instance& inst, const std::vector<JobId>& order, i
 
 std::vector<Time> best_cut_phase_costs(const Instance& inst) {
   assert(is_proper(inst));
-  const auto order = inst.ids_by_start();
+  const auto& order = inst.ids_by_start();
   std::vector<Time> costs;
   costs.reserve(static_cast<std::size_t>(inst.g()));
   for (int i = 1; i <= inst.g(); ++i)
@@ -38,7 +38,7 @@ std::vector<Time> best_cut_phase_costs(const Instance& inst) {
 Schedule solve_best_cut(const Instance& inst) {
   assert(is_proper(inst));
   if (inst.empty()) return Schedule(0);
-  const auto order = inst.ids_by_start();
+  const auto& order = inst.ids_by_start();
   Schedule best = phase_schedule(inst, order, 1);
   Time best_cost = best.cost(inst);
   for (int i = 2; i <= inst.g(); ++i) {

@@ -5,6 +5,8 @@
 
 #include "api/registry.hpp"
 #include "core/components.hpp"
+#include "core/instance_view.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace busytime {
 
@@ -30,26 +32,48 @@ std::optional<MinBusyAlgo> minbusy_algo_from_name(const std::string& name) {
   return std::nullopt;
 }
 
-DispatchResult solve_minbusy_auto(const Instance& inst) {
+DispatchResult solve_minbusy_auto(const Instance& inst, int threads) {
+  // Resolve the registry before fanning out: registration is not expected
+  // under a running dispatch, and the dispatch order must be one snapshot.
   const auto& candidates = SolverRegistry::instance().dispatchable();
-  DispatchResult result;
-  result.schedule = solve_per_component(inst, [&](const Instance& sub) {
+  const InstanceView view(inst, threads);
+  const std::size_t count = view.component_count();
+
+  std::vector<Schedule> parts(count);
+  std::vector<std::string> names(count);
+  exec::parallel_for(threads, count, [&](std::size_t i) {
+    const Instance& sub = view.component_instance(i);
+    const InstanceClass& cls = view.component_class(i);
     for (const SolverInfo* info : candidates) {
-      if (!info->applicable(sub)) continue;
-      result.names.push_back(info->name);
-      result.component_jobs.push_back(sub.size());
-      result.algos.push_back(
-          minbusy_algo_from_name(info->name).value_or(MinBusyAlgo::kFirstFit));
+      if (!info->is_applicable(sub, cls)) continue;
       SolverSpec spec;
       spec.name = info->name;
       SolveResult r = info->run(sub, spec);
-      return std::move(r.schedule);
+      parts[i] = std::move(r.schedule);
+      names[i] = info->name;
+      return;
     }
     // first_fit registers with an always-true predicate, so this is
     // unreachable unless the registry was emptied.
     throw std::logic_error("no dispatchable solver applies to " + sub.summary());
   });
+
+  DispatchResult result;
+  result.schedule = stitch_component_schedules(inst, view.components(), parts);
+  result.names.reserve(count);
+  result.component_jobs.reserve(count);
+  result.algos.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    result.names.push_back(std::move(names[i]));
+    result.component_jobs.push_back(view.component_ids(i).size());
+    result.algos.push_back(
+        minbusy_algo_from_name(result.names.back()).value_or(MinBusyAlgo::kFirstFit));
+  }
   return result;
+}
+
+DispatchResult solve_minbusy_auto(const Instance& inst) {
+  return solve_minbusy_auto(inst, 0);
 }
 
 }  // namespace busytime

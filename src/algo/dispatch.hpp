@@ -55,6 +55,14 @@ struct DispatchResult {
 };
 
 /// Solves MinBusy with the best applicable registered solver per component.
+/// Components are classified once (core/classify shared by every candidate
+/// predicate) and solved concurrently on up to `threads` workers (0 = the
+/// exec process default, 1 = exact sequential path); schedules, names, and
+/// traces are stitched deterministically in component order, so the result
+/// is identical at every thread count.
+DispatchResult solve_minbusy_auto(const Instance& inst, int threads);
+
+/// Overload using the exec process default thread count.
 DispatchResult solve_minbusy_auto(const Instance& inst);
 
 }  // namespace busytime

@@ -171,9 +171,11 @@ Schedule exact_minbusy_branch_bound(const Instance& inst) {
   assert(inst.size() <= kExactBranchBoundMaxJobs);
   if (inst.empty()) return Schedule(0);
   // Per-component solving both shrinks the search and is exact (machines
-  // never profitably mix components).
-  return solve_per_component(
-      inst, [](const Instance& sub) { return BranchBound(sub).solve(); });
+  // never profitably mix components); components run concurrently on the
+  // process-default worker count (results are thread-count independent).
+  return solve_per_component_parallel(
+      inst, [](const Instance& sub) { return BranchBound(sub).solve(); },
+      /*threads=*/0);
 }
 
 std::optional<Schedule> exact_minbusy(const Instance& inst) {

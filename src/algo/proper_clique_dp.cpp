@@ -69,7 +69,7 @@ DpTables run_dp(const Instance& inst, const std::vector<JobId>& order) {
 Time proper_clique_optimal_cost(const Instance& inst) {
   assert(inst.empty() || (is_proper(inst) && is_clique(inst)));
   if (inst.empty()) return 0;
-  const auto order = inst.ids_by_start();
+  const auto& order = inst.ids_by_start();
   return run_dp(inst, order).best[inst.size()];
 }
 
@@ -77,7 +77,7 @@ Schedule solve_proper_clique_dp(const Instance& inst) {
   assert(inst.empty() || (is_proper(inst) && is_clique(inst)));
   Schedule s(inst.size());
   if (inst.empty()) return s;
-  const auto order = inst.ids_by_start();
+  const auto& order = inst.ids_by_start();
   const DpTables t = run_dp(inst, order);
 
   // Reconstruct machine blocks right-to-left: at position i the last machine

@@ -25,96 +25,132 @@ SolveResult whole_instance(Schedule s, const Instance& inst, const std::string& 
   return r;
 }
 
+/// Registers `info` with a classification-cached predicate, so dispatch
+/// reuses the per-component classify result instead of re-deriving it per
+/// candidate solver.
+void add_classified(SolverRegistry& registry, SolverInfo info,
+                    std::function<bool(const Instance&, const InstanceClass&)> pred) {
+  info.applicable_classified = std::move(pred);
+  registry.add(std::move(info));
+}
+
 }  // namespace
 
 void register_offline_solvers(SolverRegistry& registry) {
-  registry.add({
-      "one_sided",
-      SolverKind::kOffline,
-      OptimalityClass::kExact,
-      1.0,
-      "Observation 3.1 greedy: optimal for one-sided clique instances",
-      [](const Instance& inst) { return is_one_sided(inst); },
-      /*needs_budget=*/false,
-      /*dispatch_priority=*/60,
-      [](const Instance& inst, const SolverSpec&) {
-        return whole_instance(solve_one_sided(inst), inst, "one_sided");
+  add_classified(
+      registry,
+      {
+          "one_sided",
+          SolverKind::kOffline,
+          OptimalityClass::kExact,
+          1.0,
+          "Observation 3.1 greedy: optimal for one-sided clique instances",
+          [](const Instance& inst) { return is_one_sided(inst); },
+          /*needs_budget=*/false,
+          /*dispatch_priority=*/60,
+          [](const Instance& inst, const SolverSpec&) {
+            return whole_instance(solve_one_sided(inst), inst, "one_sided");
+          },
       },
-  });
+      // A one-sided instance is automatically a clique (a shared start or a
+      // shared last slot is a common time point), so cls.one_sided agrees
+      // with the bare is_one_sided predicate on every non-empty instance —
+      // and components are never empty.
+      [](const Instance&, const InstanceClass& cls) { return cls.one_sided; });
 
-  registry.add({
-      "proper_clique_dp",
-      SolverKind::kOffline,
-      OptimalityClass::kExact,
-      1.0,
-      "FindBestConsecutive DP (Algorithm 2): optimal for proper cliques",
-      [](const Instance& inst) { return is_clique(inst) && is_proper(inst); },
-      /*needs_budget=*/false,
-      /*dispatch_priority=*/50,
-      [](const Instance& inst, const SolverSpec&) {
-        return whole_instance(solve_proper_clique_dp(inst), inst, "proper_clique_dp");
+  add_classified(
+      registry,
+      {
+          "proper_clique_dp",
+          SolverKind::kOffline,
+          OptimalityClass::kExact,
+          1.0,
+          "FindBestConsecutive DP (Algorithm 2): optimal for proper cliques",
+          [](const Instance& inst) { return is_clique(inst) && is_proper(inst); },
+          /*needs_budget=*/false,
+          /*dispatch_priority=*/50,
+          [](const Instance& inst, const SolverSpec&) {
+            return whole_instance(solve_proper_clique_dp(inst), inst, "proper_clique_dp");
+          },
       },
-  });
+      [](const Instance&, const InstanceClass& cls) { return cls.proper_clique(); });
 
-  registry.add({
-      "clique_matching",
-      SolverKind::kOffline,
-      OptimalityClass::kExact,
-      1.0,
-      "Lemma 3.1 maximum-weight matching: optimal for cliques with g = 2",
-      [](const Instance& inst) { return inst.g() == 2 && is_clique(inst); },
-      /*needs_budget=*/false,
-      /*dispatch_priority=*/40,
-      [](const Instance& inst, const SolverSpec&) {
-        return whole_instance(solve_clique_g2_matching(inst), inst, "clique_matching");
+  add_classified(
+      registry,
+      {
+          "clique_matching",
+          SolverKind::kOffline,
+          OptimalityClass::kExact,
+          1.0,
+          "Lemma 3.1 maximum-weight matching: optimal for cliques with g = 2",
+          [](const Instance& inst) { return inst.g() == 2 && is_clique(inst); },
+          /*needs_budget=*/false,
+          /*dispatch_priority=*/40,
+          [](const Instance& inst, const SolverSpec&) {
+            return whole_instance(solve_clique_g2_matching(inst), inst, "clique_matching");
+          },
       },
-  });
+      [](const Instance& inst, const InstanceClass& cls) {
+        return inst.g() == 2 && cls.clique;
+      });
 
-  registry.add({
-      "clique_setcover",
-      SolverKind::kOffline,
-      OptimalityClass::kApprox,
-      2.0,
-      "Lemma 3.2 greedy set cover: gH_g/(H_g+g-1)-approx for cliques, "
-      "beats 2 for g <= 6 (family-size capped)",
-      [](const Instance& inst) {
-        return is_clique(inst) &&
+  add_classified(
+      registry,
+      {
+          "clique_setcover",
+          SolverKind::kOffline,
+          OptimalityClass::kApprox,
+          2.0,
+          "Lemma 3.2 greedy set cover: gH_g/(H_g+g-1)-approx for cliques, "
+          "beats 2 for g <= 6 (family-size capped)",
+          [](const Instance& inst) {
+            return is_clique(inst) &&
+                   clique_setcover_family_size(inst.size(), inst.g()) <= kMaxSetCoverFamily;
+          },
+          /*needs_budget=*/false,
+          /*dispatch_priority=*/30,
+          [](const Instance& inst, const SolverSpec&) {
+            return whole_instance(solve_clique_setcover(inst), inst, "clique_setcover");
+          },
+      },
+      [](const Instance& inst, const InstanceClass& cls) {
+        return cls.clique &&
                clique_setcover_family_size(inst.size(), inst.g()) <= kMaxSetCoverFamily;
-      },
-      /*needs_budget=*/false,
-      /*dispatch_priority=*/30,
-      [](const Instance& inst, const SolverSpec&) {
-        return whole_instance(solve_clique_setcover(inst), inst, "clique_setcover");
-      },
-  });
+      });
 
-  registry.add({
-      "best_cut",
-      SolverKind::kOffline,
-      OptimalityClass::kApprox,
-      2.0,
-      "BestCut (Algorithm 1): (2 - 1/g)-approx for proper instances",
-      [](const Instance& inst) { return is_proper(inst); },
-      /*needs_budget=*/false,
-      /*dispatch_priority=*/20,
-      [](const Instance& inst, const SolverSpec&) {
-        return whole_instance(solve_best_cut(inst), inst, "best_cut");
+  add_classified(
+      registry,
+      {
+          "best_cut",
+          SolverKind::kOffline,
+          OptimalityClass::kApprox,
+          2.0,
+          "BestCut (Algorithm 1): (2 - 1/g)-approx for proper instances",
+          [](const Instance& inst) { return is_proper(inst); },
+          /*needs_budget=*/false,
+          /*dispatch_priority=*/20,
+          [](const Instance& inst, const SolverSpec&) {
+            return whole_instance(solve_best_cut(inst), inst, "best_cut");
+          },
       },
-  });
+      [](const Instance&, const InstanceClass& cls) { return cls.proper; });
 
-  registry.add({
-      "first_fit",
-      SolverKind::kOffline,
-      OptimalityClass::kApprox,
-      4.0,
-      "FirstFit of [13] in non-increasing length order: 4-approx, any instance",
-      [](const Instance&) { return true; },
-      /*needs_budget=*/false,
-      /*dispatch_priority=*/10,
-      [](const Instance& inst, const SolverSpec&) {
-        return whole_instance(solve_first_fit(inst), inst, "first_fit");
+  add_classified(
+      registry,
+      {
+          "first_fit",
+          SolverKind::kOffline,
+          OptimalityClass::kApprox,
+          4.0,
+          "FirstFit of [13] in non-increasing length order: 4-approx, any instance",
+          [](const Instance&) { return true; },
+          /*needs_budget=*/false,
+          /*dispatch_priority=*/10,
+          [](const Instance& inst, const SolverSpec&) {
+            return whole_instance(solve_first_fit(inst), inst, "first_fit");
+          },
       },
-  });
+      [](const Instance&, const InstanceClass&) { return true; });
 
   registry.add({
       "first_fit_reference",

@@ -1,10 +1,11 @@
 // Registry entries for the online streaming policies.  Each adapter replays
 // the instance in arrival (non-decreasing start) order through the policy's
-// OnlineScheduler and reports the streaming pool's EngineStats verbatim, so
-// online and offline results surface through the same SolveResult shape.
+// sharded stream driver (options.threads workers; 1 = the sequential single
+// pool, with identical results either way) and reports the merged
+// EngineStats verbatim, so online and offline results surface through the
+// same SolveResult shape.
 #include "api/registry.hpp"
-#include "online/event.hpp"
-#include "online/scheduler.hpp"
+#include "online/stream_driver.hpp"
 
 namespace busytime::detail {
 
@@ -15,16 +16,10 @@ SolveResult stream_through(OnlinePolicy policy, const Instance& inst,
   PolicyParams params;
   params.epoch_length = spec.options.epoch_length;
   params.max_batch = spec.options.max_batch;
-  const auto scheduler = make_scheduler(policy, inst.g(), params);
-  JobStream stream(inst);
-  while (!stream.done()) {
-    const ArrivalEvent ev = stream.next();
-    scheduler->on_arrival(ev.id, ev.job);
-  }
-  scheduler->flush();
+  ReplayResult replay = replay_stream(inst, policy, params, spec.options.threads);
   SolveResult r;
-  r.schedule = scheduler->schedule();
-  r.stats = scheduler->stats();
+  r.schedule = std::move(replay.schedule);
+  r.stats = replay.stats;
   r.trace.push_back({inst.size(), algo});
   return r;
 }
@@ -37,7 +32,8 @@ void register_online_solvers(SolverRegistry& registry) {
       SolverKind::kOnline,
       OptimalityClass::kHeuristic,
       0,
-      "Streaming FirstFit: lowest-id open machine with a free slot",
+      "Streaming FirstFit: lowest-id open machine with a free slot "
+      "(option: threads)",
       [](const Instance&) { return true; },
       /*needs_budget=*/false,
       /*dispatch_priority=*/-1,
@@ -51,7 +47,8 @@ void register_online_solvers(SolverRegistry& registry) {
       SolverKind::kOnline,
       OptimalityClass::kHeuristic,
       0,
-      "Streaming BestFit: minimal busy-interval extension among open machines",
+      "Streaming BestFit: minimal busy-interval extension among open "
+      "machines (option: threads)",
       [](const Instance&) { return true; },
       /*needs_budget=*/false,
       /*dispatch_priority=*/-1,
@@ -66,7 +63,7 @@ void register_online_solvers(SolverRegistry& registry) {
       OptimalityClass::kHeuristic,
       0,
       "Delayed commitment: batches one epoch of arrivals, re-optimizes each "
-      "batch with the offline dispatcher (options: epoch, max_batch)",
+      "batch with the offline dispatcher (options: epoch, max_batch, threads)",
       [](const Instance&) { return true; },
       /*needs_budget=*/false,
       /*dispatch_priority=*/-1,

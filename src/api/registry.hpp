@@ -25,6 +25,7 @@
 
 #include "api/solve_result.hpp"
 #include "api/solver_spec.hpp"
+#include "core/classify.hpp"
 #include "core/instance.hpp"
 
 namespace busytime {
@@ -67,6 +68,22 @@ struct SolverInfo {
   /// The solver.  Fills schedule + trace (+ stats for online policies);
   /// run_solver derives cost, bounds, validity, and timing uniformly.
   std::function<SolveResult(const Instance&, const SolverSpec&)> run;
+  /// Optional classification-cached form of `applicable`: receives the
+  /// precomputed core/classify result for the instance, so per-component
+  /// dispatch classifies once instead of once per candidate solver.  Must
+  /// agree with `applicable` whenever cls == classify(inst).  When absent,
+  /// is_applicable falls back to `applicable`.  (The default member
+  /// initializer keeps braced registrations that stop at `run` warning-free
+  /// under -Wmissing-field-initializers.)
+  std::function<bool(const Instance&, const InstanceClass&)>
+      applicable_classified = nullptr;
+
+  /// Applicability with a precomputed classification (see
+  /// applicable_classified).
+  bool is_applicable(const Instance& inst, const InstanceClass& cls) const {
+    return applicable_classified ? applicable_classified(inst, cls)
+                                 : applicable(inst);
+  }
 };
 
 class SolverRegistry {

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "exec/thread_pool.hpp"
+
 namespace busytime {
 
 namespace {
@@ -51,6 +53,12 @@ void SolverOptions::set(const std::string& key, const std::string& value) {
     seed = static_cast<std::uint64_t>(parse_int(key, value));
   } else if (key == "improve") {
     improve = parse_bool(key, value);
+  } else if (key == "threads") {
+    const std::int64_t v = parse_int(key, value);
+    if (v < 0 || v > exec::kMaxThreads)
+      throw SpecError("option 'threads' must be in [0, " +
+                      std::to_string(exec::kMaxThreads) + "]");
+    threads = static_cast<int>(v);
   } else {
     throw SpecError("unknown solver option '" + key + "'");
   }
@@ -97,6 +105,8 @@ std::string SolverSpec::to_string() const {
     add("max_batch=" + std::to_string(options.max_batch));
   if (options.seed != defaults.seed) add("seed=" + std::to_string(options.seed));
   if (options.improve != defaults.improve) add("improve=1");
+  if (options.threads != defaults.threads)
+    add("threads=" + std::to_string(options.threads));
   return opts.empty() ? name : name + ":" + opts;
 }
 

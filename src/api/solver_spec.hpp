@@ -9,6 +9,9 @@
 //   max_batch=K   batch cap of the epoch-hybrid online policy
 //   seed=S        seed for randomized solvers (none yet; reserved)
 //   improve=0|1   run local-search post-optimization on the result
+//   threads=N     sharded-replay workers for the online policies
+//                 (0 = exec process default, 1 = sequential; results are
+//                 identical at every thread count)
 //
 // Specs parse from "name" or "name:key=value,key=value" strings, the format
 // the busytime_cli accepts via --solver; malformed input throws SpecError
@@ -47,6 +50,9 @@ struct SolverOptions {
   /// Run local-search post-optimization after the solver (full MinBusy
   /// schedules only; ignored by throughput solvers).
   bool improve = false;
+  /// Sharded-replay worker count for the online policies: 1 = sequential,
+  /// 0 = exec::default_threads().  Never changes results, only speed.
+  int threads = 1;
 
   /// Applies one "key=value" assignment; throws SpecError on unknown keys,
   /// non-numeric values, or out-of-range values.

@@ -10,6 +10,7 @@
 //   matching/       maximum-weight general matching (blossom) + oracles
 //   setcover/       weighted greedy set cover
 //   algo/           MinBusy algorithms (Section 3) + exact reference solvers
+//   exec/           thread pool + deterministic parallel_for helpers
 //   throughput/     MaxThroughput algorithms (Section 4) + reduction
 //   rect/           2-D rectangular jobs (Section 3.4)
 //   online/         streaming scheduler engine (arrival-order policies)
@@ -35,10 +36,12 @@
 #include "core/classify.hpp"
 #include "core/components.hpp"
 #include "core/instance.hpp"
+#include "core/instance_view.hpp"
 #include "core/job.hpp"
 #include "core/schedule.hpp"
 #include "core/time_types.hpp"
 #include "core/validate.hpp"
+#include "exec/thread_pool.hpp"
 #include "extensions/capacity_demands.hpp"
 #include "extensions/flexible_jobs.hpp"
 #include "extensions/ring.hpp"

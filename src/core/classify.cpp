@@ -27,7 +27,7 @@ bool is_proper(const Instance& inst) {
   // after its container, with completion <= container's.  Track the running
   // max completion among jobs with strictly smaller start, plus exact-prefix
   // duplicates separately.
-  const auto ids = inst.ids_by_start();
+  const auto& ids = inst.ids_by_start();
   // proper <=> sorting by start also sorts by completion (non-decreasing),
   // with the caveat that equal intervals are allowed (they don't *properly*
   // contain each other) and equal starts with different completions are a

@@ -6,7 +6,7 @@ namespace busytime {
 
 std::vector<std::vector<JobId>> connected_components(const Instance& inst) {
   std::vector<std::vector<JobId>> components;
-  const auto ids = inst.ids_by_start();
+  const auto& ids = inst.ids_by_start();
   if (ids.empty()) return components;
 
   // Sweep in start order: a job overlapping the running frontier

@@ -9,6 +9,7 @@
 
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace busytime {
 
@@ -17,18 +18,18 @@ namespace busytime {
 /// intersection length); touching endpoints do NOT connect.  O(n log n).
 std::vector<std::vector<JobId>> connected_components(const Instance& inst);
 
-/// Runs `solve` on each connected component as an independent sub-instance
-/// and stitches the per-component schedules into one schedule over the
-/// original job ids (machine ids are made disjoint across components).
-///
-/// `solve` must return a schedule for the sub-instance it is given.
-template <typename Solver>
-Schedule solve_per_component(const Instance& inst, Solver&& solve) {
+/// Stitches per-component schedules into one schedule over the original job
+/// ids, in component order: machine ids of component i are offset past the
+/// highest id used by components 0..i-1, so the result is independent of
+/// the order the parts were computed in.
+inline Schedule stitch_component_schedules(
+    const Instance& inst, const std::vector<std::vector<JobId>>& components,
+    const std::vector<Schedule>& parts) {
   Schedule out(inst.size());
   MachineId base = 0;
-  for (const auto& comp : connected_components(inst)) {
-    const Instance sub = inst.restricted_to(comp);
-    const Schedule part = solve(sub);
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    const auto& comp = components[i];
+    const Schedule& part = parts[i];
     MachineId max_used = -1;
     for (std::size_t j = 0; j < comp.size(); ++j) {
       const MachineId m = part.machine_of(static_cast<JobId>(j));
@@ -39,6 +40,32 @@ Schedule solve_per_component(const Instance& inst, Solver&& solve) {
     base += max_used + 1;
   }
   return out;
+}
+
+/// Runs `solve` on each connected component as an independent sub-instance,
+/// components solved concurrently on up to `threads` workers (0 = process
+/// default, 1 = exact sequential path), and stitches the per-component
+/// schedules deterministically in component order.  The result is identical
+/// at every thread count.
+///
+/// `solve` must return a schedule for the sub-instance it is given and must
+/// be safe to call concurrently on distinct sub-instances.
+template <typename Solver>
+Schedule solve_per_component_parallel(const Instance& inst, Solver&& solve,
+                                      int threads) {
+  const auto components = connected_components(inst);
+  std::vector<Schedule> parts(components.size());
+  exec::parallel_for(threads, components.size(), [&](std::size_t i) {
+    parts[i] = solve(inst.restricted_to(components[i]));
+  });
+  return stitch_component_schedules(inst, components, parts);
+}
+
+/// Sequential per-component solve (the historical entry point); equivalent
+/// to solve_per_component_parallel with threads = 1.
+template <typename Solver>
+Schedule solve_per_component(const Instance& inst, Solver&& solve) {
+  return solve_per_component_parallel(inst, std::forward<Solver>(solve), 1);
 }
 
 }  // namespace busytime

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <numeric>
 #include <sstream>
+#include <utility>
 
 namespace busytime {
 
@@ -29,29 +30,51 @@ std::vector<Interval> Instance::intervals() const {
   return out;
 }
 
-std::vector<JobId> Instance::ids_by_start() const {
-  std::vector<JobId> ids(jobs_.size());
-  std::iota(ids.begin(), ids.end(), 0);
-  std::sort(ids.begin(), ids.end(), [&](JobId a, JobId b) {
-    const auto& ja = jobs_[static_cast<std::size_t>(a)].interval;
-    const auto& jb = jobs_[static_cast<std::size_t>(b)].interval;
-    if (ja.start != jb.start) return ja.start < jb.start;
-    if (ja.completion != jb.completion) return ja.completion < jb.completion;
-    return a < b;
-  });
-  return ids;
+Instance::Instance(Instance&& other) noexcept
+    : jobs_(std::move(other.jobs_)),
+      g_(other.g_),
+      cache_(std::exchange(other.cache_, std::make_shared<OrderCache>())) {}
+
+Instance& Instance::operator=(Instance&& other) noexcept {
+  if (this != &other) {
+    jobs_ = std::move(other.jobs_);
+    g_ = other.g_;
+    cache_ = std::exchange(other.cache_, std::make_shared<OrderCache>());
+  }
+  return *this;
 }
 
-std::vector<JobId> Instance::ids_by_length_desc() const {
-  std::vector<JobId> ids(jobs_.size());
-  std::iota(ids.begin(), ids.end(), 0);
-  std::sort(ids.begin(), ids.end(), [&](JobId a, JobId b) {
-    const Time la = jobs_[static_cast<std::size_t>(a)].length();
-    const Time lb = jobs_[static_cast<std::size_t>(b)].length();
-    if (la != lb) return la > lb;
-    return a < b;
+const std::vector<JobId>& Instance::ids_by_start() const {
+  OrderCache& cache = *cache_;
+  std::call_once(cache.by_start_once, [&] {
+    std::vector<JobId> ids(jobs_.size());
+    std::iota(ids.begin(), ids.end(), 0);
+    std::sort(ids.begin(), ids.end(), [&](JobId a, JobId b) {
+      const auto& ja = jobs_[static_cast<std::size_t>(a)].interval;
+      const auto& jb = jobs_[static_cast<std::size_t>(b)].interval;
+      if (ja.start != jb.start) return ja.start < jb.start;
+      if (ja.completion != jb.completion) return ja.completion < jb.completion;
+      return a < b;
+    });
+    cache.by_start = std::move(ids);
   });
-  return ids;
+  return cache.by_start;
+}
+
+const std::vector<JobId>& Instance::ids_by_length_desc() const {
+  OrderCache& cache = *cache_;
+  std::call_once(cache.by_length_once, [&] {
+    std::vector<JobId> ids(jobs_.size());
+    std::iota(ids.begin(), ids.end(), 0);
+    std::sort(ids.begin(), ids.end(), [&](JobId a, JobId b) {
+      const Time la = jobs_[static_cast<std::size_t>(a)].length();
+      const Time lb = jobs_[static_cast<std::size_t>(b)].length();
+      if (la != lb) return la > lb;
+      return a < b;
+    });
+    cache.by_length = std::move(ids);
+  });
+  return cache.by_length;
 }
 
 Instance Instance::restricted_to(const std::vector<JobId>& ids) const {

@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -16,10 +18,25 @@ namespace busytime {
 /// Invariants (checked in debug builds on construction):
 ///  * every job has positive length;
 ///  * g >= 1.
+///
+/// An Instance is immutable after construction (the only mutation is
+/// whole-object assignment), so the sorted-id orders below are memoized:
+/// the first call pays the O(n log n) sort, every later call — including
+/// concurrent calls from solver threads — returns the cached vector.
+/// Copies share the cache (their jobs are identical); assignment replaces
+/// it together with the jobs, which is what keeps it consistent.
 class Instance {
  public:
   Instance() = default;
   Instance(std::vector<Job> jobs, int g);
+
+  Instance(const Instance&) = default;
+  Instance& operator=(const Instance&) = default;
+  // Moves hand the cache to the destination and leave the source with a
+  // fresh empty one, so cache_ is never null and the memoized accessors
+  // stay race-free even on a revived moved-from instance.
+  Instance(Instance&& other) noexcept;
+  Instance& operator=(Instance&& other) noexcept;
 
   const std::vector<Job>& jobs() const noexcept { return jobs_; }
   const Job& job(JobId id) const { return jobs_.at(static_cast<std::size_t>(id)); }
@@ -38,10 +55,13 @@ class Instance {
 
   /// Job ids sorted by non-decreasing start time (ties: by completion).
   /// For proper instances this is exactly the paper's order J1 <= J2 <= ...
-  std::vector<JobId> ids_by_start() const;
+  /// Memoized; thread-safe.  The reference stays valid for the lifetime of
+  /// this instance and of any copy sharing its cache.
+  const std::vector<JobId>& ids_by_start() const;
 
-  /// Job ids sorted by non-increasing length (FirstFit order).
-  std::vector<JobId> ids_by_length_desc() const;
+  /// Job ids sorted by non-increasing length (FirstFit order).  Memoized;
+  /// thread-safe.
+  const std::vector<JobId>& ids_by_length_desc() const;
 
   /// Sub-instance restricted to `ids` (job ids renumbered 0..k-1 in the
   /// given order); used by per-component and per-bucket decompositions.
@@ -51,8 +71,20 @@ class Instance {
   std::string summary() const;
 
  private:
+  /// Lazily-built sorted-id orders, tied to the job-vector snapshot.
+  /// std::call_once makes the build race-free when solver threads share one
+  /// instance read-only.
+  struct OrderCache {
+    std::once_flag by_start_once;
+    std::once_flag by_length_once;
+    std::vector<JobId> by_start;
+    std::vector<JobId> by_length;
+  };
+
   std::vector<Job> jobs_;
   int g_ = 1;
+  /// Never null (see the move operations).
+  std::shared_ptr<OrderCache> cache_ = std::make_shared<OrderCache>();
 };
 
 }  // namespace busytime

@@ -1,0 +1,20 @@
+#include "core/instance_view.hpp"
+
+#include "core/components.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace busytime {
+
+InstanceView::InstanceView(const Instance& inst, int threads)
+    : inst_(&inst),
+      order_(&inst.ids_by_start()),
+      components_(connected_components(inst)) {
+  subs_.resize(components_.size());
+  classes_.resize(components_.size());
+  exec::parallel_for(threads, components_.size(), [&](std::size_t i) {
+    subs_[i] = inst.restricted_to(components_[i]);
+    classes_[i] = classify(subs_[i]);
+  });
+}
+
+}  // namespace busytime

@@ -1,0 +1,56 @@
+// InstanceView: the read-only per-solve cache layer.
+//
+// One MinBusy solve needs the same derived facts over and over: the
+// start-sorted id order (14 call sites across the solvers), the connected
+// components, each component's sub-instance, and each component's
+// core/classify result (which every applicability predicate used to
+// re-derive).  An InstanceView computes all of them exactly once — the
+// per-component work optionally in parallel — and exposes them as
+// read-only state that solver threads share without synchronization.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/classify.hpp"
+#include "core/instance.hpp"
+
+namespace busytime {
+
+class InstanceView {
+ public:
+  /// Builds the view: components via one sweep over the memoized sorted
+  /// order, then sub-instance + classification per component on up to
+  /// `threads` workers (0 = process default, 1 = sequential).
+  explicit InstanceView(const Instance& inst, int threads = 1);
+
+  const Instance& instance() const noexcept { return *inst_; }
+
+  /// Job ids sorted by non-decreasing start (the instance's memoized order).
+  const std::vector<JobId>& order() const noexcept { return *order_; }
+
+  std::size_t component_count() const noexcept { return components_.size(); }
+  const std::vector<std::vector<JobId>>& components() const noexcept {
+    return components_;
+  }
+
+  /// Original job ids of component i, in start order.
+  const std::vector<JobId>& component_ids(std::size_t i) const {
+    return components_[i];
+  }
+  /// Component i as a standalone instance (jobs renumbered 0..k-1).
+  const Instance& component_instance(std::size_t i) const { return subs_[i]; }
+  /// core/classify of component i, computed once at view construction.
+  const InstanceClass& component_class(std::size_t i) const {
+    return classes_[i];
+  }
+
+ private:
+  const Instance* inst_;
+  const std::vector<JobId>* order_;
+  std::vector<std::vector<JobId>> components_;
+  std::vector<Instance> subs_;
+  std::vector<InstanceClass> classes_;
+};
+
+}  // namespace busytime

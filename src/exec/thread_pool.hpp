@@ -1,0 +1,107 @@
+// Parallel execution layer: a fixed-size worker pool with a work queue plus
+// deterministic parallel_for / parallel_map helpers.
+//
+// Everything above this layer (per-component solving, the sharded stream
+// driver, the CLI's side-by-side solver runs) obeys one contract:
+// *parallelism never changes results*.  The helpers make that easy to keep:
+//
+//  * parallel_for(i) is expected to write only into slot i of caller-owned
+//    storage, so any interleaving reproduces the sequential loop's output;
+//  * threads == 1 is an exact sequential path — no pool, no atomics, bodies
+//    run in index order on the calling thread;
+//  * a nested parallel_for on a pool worker runs inline on that worker, so
+//    solver code may use the helpers freely without deadlock analysis.
+//
+// Thread-count knobs: 0 means "the process default", which is the
+// BUSYTIME_THREADS environment variable when set (itself 0 = hardware
+// concurrency) or hardware concurrency otherwise, overridable at runtime via
+// set_default_threads (the CLI's --threads flag).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace busytime::exec {
+
+/// Hard cap on worker threads (sanity bound, far above real hardware).
+inline constexpr int kMaxThreads = 256;
+
+/// std::thread::hardware_concurrency(), clamped to >= 1.
+int hardware_threads() noexcept;
+
+/// The process-wide default thread count (see file comment).  Always >= 1.
+int default_threads() noexcept;
+
+/// Overrides the process default: 0 = hardware concurrency, 1 = sequential,
+/// n = n workers.  Thread count affects only speed, never results.
+void set_default_threads(int n) noexcept;
+
+/// Maps a requested count to an effective one: 0 resolves to
+/// default_threads(); anything else is clamped to [1, kMaxThreads].
+int resolve_threads(int requested) noexcept;
+
+/// True on a shared-pool worker thread; parallel_for then runs inline.
+bool in_parallel_region() noexcept;
+
+/// Runs body(0) .. body(n-1), each exactly once, using up to `threads`
+/// workers (0 = default_threads(); 1 or n <= 1 = sequential in index order).
+/// Blocks until every body has finished.  The first exception thrown by a
+/// body is rethrown here after the remaining indices are skipped.
+/// `body` must be safe to call concurrently for distinct indices.
+void parallel_for(int threads, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+/// parallel_for that collects fn(i) into slot i of the returned vector.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(int threads, std::size_t n, Fn&& fn) {
+  std::vector<T> out(n);
+  parallel_for(threads, n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+/// Fixed-size worker pool with a FIFO work queue.  parallel_for drives a
+/// shared process-wide instance (ThreadPool::shared()) that grows on demand
+/// up to kMaxThreads and is reused across calls, so repeated solves pay no
+/// thread start-up cost.
+class ThreadPool {
+ public:
+  /// An empty pool (no workers); grow it with ensure_size.
+  ThreadPool() = default;
+  /// A pool with resolve_threads(threads) workers.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Current worker count.
+  int size() const;
+
+  /// Grows the pool to at least `threads` workers (never shrinks; capped at
+  /// kMaxThreads).
+  void ensure_size(int threads);
+
+  /// Enqueues a task.  Tasks run on worker threads in FIFO order; a pool
+  /// with no workers holds tasks until ensure_size adds one.
+  void submit(std::function<void()> task);
+
+  /// The process-wide pool used by parallel_for.  Never destroyed (workers
+  /// are parked at exit), so it is safe to use from any static's lifetime.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace busytime::exec

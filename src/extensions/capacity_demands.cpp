@@ -157,8 +157,9 @@ class DemandBranchBound {
 Schedule exact_minbusy_demands(const Instance& inst) {
   assert(inst.size() <= 14);
   if (inst.empty()) return Schedule(0);
-  return solve_per_component(
-      inst, [](const Instance& sub) { return DemandBranchBound(sub).solve(); });
+  return solve_per_component_parallel(
+      inst, [](const Instance& sub) { return DemandBranchBound(sub).solve(); },
+      /*threads=*/0);
 }
 
 }  // namespace busytime

@@ -53,7 +53,7 @@ WeightedTputResult solve_proper_clique_weighted_tput(const Instance& inst, Time 
   if (n == 0) return result;
   const int g = inst.g();
 
-  const auto order = inst.ids_by_start();
+  const auto& order = inst.ids_by_start();
   std::vector<Time> start(static_cast<std::size_t>(n)), completion(static_cast<std::size_t>(n));
   std::vector<std::int64_t> weight(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {

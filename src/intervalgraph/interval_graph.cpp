@@ -14,7 +14,7 @@ IntervalGraph::IntervalGraph(const Instance& inst) {
   // Sweep in start order keeping an "active" set; each new interval overlaps
   // exactly the active intervals with completion > its start.  Worst case
   // O(n^2) edges (a clique), which is inherent to materializing the graph.
-  const auto ids = inst.ids_by_start();
+  const auto& ids = inst.ids_by_start();
   std::vector<JobId> active;
   for (const JobId v : ids) {
     const Interval& iv = inst.job(v).interval;

@@ -145,11 +145,12 @@ class Blossom {
   }
 
   int get_lca(int u, int v) {
-    static int timestamp = 0;
-    for (++timestamp; u || v; std::swap(u, v)) {
+    // Per-solver visit stamp (a function-local static here would be shared
+    // state — a data race when components solve on concurrent workers).
+    for (++timestamp_; u || v; std::swap(u, v)) {
       if (u == 0) continue;
-      if (vis_[u] == timestamp) return u;
-      vis_[u] = timestamp;
+      if (vis_[u] == timestamp_) return u;
+      vis_[u] = timestamp_;
       u = st_[match_[u]];
       if (u) u = st_[pa_[u]];
     }
@@ -302,6 +303,7 @@ class Blossom {
 
   int n_;
   int n_x_ = 0;  // number of live node ids (vertices + flowers)
+  int timestamp_ = 0;  // get_lca visit stamp
   int max_nodes_;
   std::vector<std::vector<Edge>> graph_;
   std::vector<std::vector<int>> flower_;

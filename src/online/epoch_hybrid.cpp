@@ -30,7 +30,11 @@ void EpochHybrid::flush_batch() {
   jobs.reserve(pending_.size());
   for (const ArrivalEvent& ev : pending_) jobs.push_back(ev.job);
   const Instance batch(std::move(jobs), g());
-  const DispatchResult offline = solve_minbusy_auto(batch);
+  // Sequential dispatch: batches are small (<= max_batch) and latency-bound,
+  // so a pool fan-out per epoch would cost more than it saves — and a
+  // threads=1 stream replay must stay an exact sequential path.  Sharded
+  // replay parallelizes across shards instead.
+  const DispatchResult offline = solve_minbusy_auto(batch, /*threads=*/1);
 
   // Materialize each offline group onto a fresh pinned machine, then replay
   // the batch in start order so the pool's incremental busy accounting sees

@@ -47,6 +47,13 @@ class OnlineScheduler {
   /// be called once after the last arrival before reading the schedule.
   virtual void flush() {}
 
+  /// Advances the pool clock without an arrival: retires completed jobs and
+  /// closes idle machines, exactly as the next arrival's implicit advance
+  /// would.  The sharded stream driver uses this to finalize a shard so its
+  /// pool ends in the state the sequential stream's pool passes through at
+  /// the next shard's first arrival.  `now` must be monotone.
+  void advance_clock(Time now) { pool_.advance(now); }
+
   virtual std::string name() const = 0;
 
   const Schedule& schedule() const noexcept { return schedule_; }

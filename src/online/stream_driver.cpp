@@ -2,31 +2,139 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <sstream>
 
 #include "algo/dispatch.hpp"
 #include "core/bounds.hpp"
 #include "core/validate.hpp"
-#include "online/event.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace busytime {
 
 namespace {
 
-/// Online cost of running `policy` over `inst` (jobs fed in start order).
-Time replay_cost(const Instance& inst, OnlinePolicy policy,
-                 const PolicyParams& params) {
-  auto sched = make_scheduler(policy, inst.g(), params);
-  JobStream stream(inst);
-  while (!stream.done()) {
-    const ArrivalEvent ev = stream.next();
-    sched->on_arrival(ev.id, ev.job);
+/// One shard: a contiguous range [begin, end) of the start-sorted order.
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Cuts the start-sorted stream into shards.  A cut is legal only at a
+/// component boundary (arrival start >= running frontier) whose idle gap is
+/// at least `min_gap`: with min_gap = 0 that is any component boundary
+/// (greedy policies), with min_gap = epoch_length it is exactly where the
+/// sequential epoch-hybrid provably flushes its pending batch, so per-shard
+/// replay reproduces the sequential run bit for bit.  The last shard always
+/// keeps >= 2 arrivals so a later advance exists to close the previous
+/// shard's post-flush batch machines the way the sequential stream would.
+std::vector<ShardRange> plan_shards(const Instance& trace, int threads,
+                                    std::size_t min_shard_jobs, Time min_gap) {
+  const std::size_t n = trace.size();
+  std::vector<ShardRange> shards;
+  if (n == 0) return shards;
+  if (threads <= 1 || n < 2 * std::max<std::size_t>(min_shard_jobs, 2)) {
+    shards.push_back({0, n});
+    return shards;
   }
-  sched->flush();
-  return sched->stats().online_cost;
+
+  const auto& order = trace.ids_by_start();
+  const std::size_t target = std::max(
+      min_shard_jobs, n / (static_cast<std::size_t>(threads) * 4));
+
+  std::size_t shard_begin = 0;
+  Time frontier = trace.job(order.front()).completion();
+  for (std::size_t k = 1; k + 2 <= n; ++k) {
+    const auto& iv = trace.job(order[k]).interval;
+    if (iv.start >= frontier && iv.start - frontier >= min_gap &&
+        k - shard_begin >= target) {
+      shards.push_back({shard_begin, k});
+      shard_begin = k;
+    }
+    frontier = std::max(frontier, iv.completion);
+  }
+  shards.push_back({shard_begin, n});
+  return shards;
 }
 
 }  // namespace
+
+ReplayResult replay_stream(const Instance& trace, OnlinePolicy policy,
+                           const PolicyParams& params, int threads,
+                           std::size_t min_shard_jobs) {
+  const int t = exec::resolve_threads(threads);
+  const Time min_gap =
+      policy == OnlinePolicy::kEpochHybrid ? params.epoch_length : 0;
+  const auto shards = plan_shards(trace, t, min_shard_jobs, min_gap);
+
+  ReplayResult result;
+  result.threads = t;
+  result.shards = shards.size();
+  result.schedule = Schedule(trace.size());
+  if (shards.empty()) return result;
+
+  const auto& order = trace.ids_by_start();
+
+  struct ShardRun {
+    Schedule part;  // over shard-local job ids (position within the shard)
+    EngineStats stats;
+  };
+  std::vector<ShardRun> runs(shards.size());
+  exec::parallel_for(t, shards.size(), [&](std::size_t s) {
+    const auto sched = make_scheduler(policy, trace.g(), params);
+    for (std::size_t k = shards[s].begin; k < shards[s].end; ++k)
+      sched->on_arrival(static_cast<JobId>(k - shards[s].begin),
+                        trace.job(order[k]));
+    if (s + 1 < shards.size()) {
+      // Finalize exactly as the sequential stream does around the next
+      // shard's first arrival: advance (closing machines gone idle), flush
+      // the pending epoch batch the way that arrival's handle() would, then
+      // advance once more — the batch machines are placed entirely in the
+      // past, so the following arrival closes them immediately.
+      const Time next_start = trace.job(order[shards[s + 1].begin]).start();
+      sched->advance_clock(next_start);
+      sched->flush();
+      sched->advance_clock(std::numeric_limits<Time>::max());
+    } else {
+      sched->flush();
+    }
+    runs[s].part = sched->schedule();
+    runs[s].stats = sched->stats();
+  });
+
+  // Stitch in shard order.  Shards are time-disjoint and a sequential pool
+  // never reuses a closed machine, so offsetting each shard's machine ids
+  // by the openings before it reproduces the sequential numbering; counters
+  // add, peaks max (only one shard is ever active at a time), and the final
+  // clock / open set are the last shard's.
+  EngineStats merged;
+  MachineId base = 0;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const ShardRun& run = runs[s];
+    const std::size_t count = shards[s].end - shards[s].begin;
+    for (std::size_t j = 0; j < count; ++j) {
+      const MachineId m = j < run.part.size()
+                              ? run.part.machine_of(static_cast<JobId>(j))
+                              : Schedule::kUnscheduled;
+      if (m == Schedule::kUnscheduled) continue;
+      result.schedule.assign(order[shards[s].begin + j], base + m);
+    }
+    base += static_cast<MachineId>(run.stats.machines_opened);
+    merged.jobs_assigned += run.stats.jobs_assigned;
+    merged.machines_opened += run.stats.machines_opened;
+    merged.machines_closed += run.stats.machines_closed;
+    merged.open_machines += run.stats.open_machines;
+    merged.active_jobs += run.stats.active_jobs;
+    merged.peak_open_machines =
+        std::max(merged.peak_open_machines, run.stats.peak_open_machines);
+    merged.peak_active_jobs =
+        std::max(merged.peak_active_jobs, run.stats.peak_active_jobs);
+    merged.online_cost += run.stats.online_cost;
+  }
+  merged.clock = runs.back().stats.clock;
+  result.stats = merged;
+  return result;
+}
 
 StreamReport run_stream(const Instance& trace, OnlinePolicy policy,
                         const StreamOptions& options) {
@@ -34,38 +142,40 @@ StreamReport run_stream(const Instance& trace, OnlinePolicy policy,
   report.policy = policy;
   report.jobs = trace.size();
 
-  auto sched = make_scheduler(policy, trace.g(), options.policy);
-  JobStream stream(trace);
+  // Warm the memoized arrival order outside the timed region (the
+  // sequential driver's JobStream constructor historically sorted before
+  // the clock started).
+  if (!trace.empty()) trace.ids_by_start();
 
   const auto t0 = std::chrono::steady_clock::now();
-  while (!stream.done()) {
-    const ArrivalEvent ev = stream.next();
-    sched->on_arrival(ev.id, ev.job);
-  }
-  sched->flush();
+  ReplayResult replay = replay_stream(trace, policy, options.policy,
+                                      options.threads, options.min_shard_jobs);
   const auto t1 = std::chrono::steady_clock::now();
 
-  report.stats = sched->stats();
+  report.stats = replay.stats;
   report.online_cost = report.stats.online_cost;
+  report.threads = replay.threads;
+  report.shards = replay.shards;
   report.elapsed_sec = std::chrono::duration<double>(t1 - t0).count();
   report.jobs_per_sec = report.elapsed_sec > 0
                             ? static_cast<double>(report.jobs) / report.elapsed_sec
                             : 0;
   report.ratio_to_lb = ratio_to_lower_bound(trace, report.online_cost);
-  if (options.validate) report.valid = is_valid(trace, sched->schedule());
+  if (options.validate) report.valid = is_valid(trace, replay.schedule);
 
   // Offline comparison on a prefix of the same stream.
   const std::size_t k = std::min(options.offline_prefix, trace.size());
   if (k > 0) {
-    std::vector<JobId> order = trace.ids_by_start();
-    order.resize(k);
-    const Instance prefix = trace.restricted_to(order);
+    std::vector<JobId> prefix_order = trace.ids_by_start();
+    prefix_order.resize(k);
+    const Instance prefix = trace.restricted_to(prefix_order);
     report.prefix_jobs = k;
     // A full-trace prefix needs no second replay: its online cost is the
     // one just measured.
     report.prefix_online_cost =
-        k == trace.size() ? report.online_cost
-                          : replay_cost(prefix, policy, options.policy);
+        k == trace.size()
+            ? report.online_cost
+            : replay_stream(prefix, policy, options.policy, 1).stats.online_cost;
     report.prefix_offline_cost =
         solve_minbusy_auto(prefix).schedule.cost(prefix);
     if (report.prefix_offline_cost > 0) {
@@ -82,6 +192,7 @@ std::string StreamReport::summary() const {
   oss << to_string(policy) << ": jobs=" << jobs << " cost=" << online_cost
       << " jobs/sec=" << static_cast<std::int64_t>(jobs_per_sec)
       << " ratio_to_lb=" << ratio_to_lb;
+  if (threads > 1) oss << " threads=" << threads << " shards=" << shards;
   if (prefix_offline_cost > 0)
     oss << " competitive_ratio@" << prefix_jobs << "=" << competitive_ratio;
   if (!valid) oss << " INVALID";

@@ -11,6 +11,16 @@
 //                       bounded prefix of the same stream (the empirical
 //                       competitive ratio; the offline solve is super-linear,
 //                       so the prefix keeps million-job runs tractable).
+//
+// Sharded replay: interval-graph components are totally ordered in time (the
+// sweep starts a new component exactly when an arrival misses the running
+// frontier), so the arrival stream splits at component boundaries into
+// time-disjoint shards that replay concurrently, one MachinePool per shard.
+// Stitched in shard order, the result — assignments, cost, EngineStats —
+// is identical to the sequential replay at every thread count; for the
+// epoch-hybrid policy, shard cuts are restricted to boundaries whose idle
+// gap is at least the epoch length (where the sequential run provably
+// flushes its batch), which preserves the equivalence.
 #pragma once
 
 #include <cstddef>
@@ -28,6 +38,12 @@ struct StreamOptions {
   std::size_t offline_prefix = 10000;
   /// Re-check the final schedule with core/validate (O(n log n)).
   bool validate = true;
+  /// Worker threads for the sharded replay: 1 = exact sequential replay
+  /// through a single pool, 0 = the exec process default.  Thread count
+  /// never changes the resulting schedule, cost, or stats.
+  int threads = 1;
+  /// Lower bound on jobs per shard, keeping per-shard overhead amortized.
+  std::size_t min_shard_jobs = 4096;
 };
 
 struct StreamReport {
@@ -37,7 +53,10 @@ struct StreamReport {
   EngineStats stats;
   bool valid = true;
 
-  double elapsed_sec = 0;    ///< wall time of the replay loop only
+  int threads = 1;           ///< effective worker count of the replay
+  std::size_t shards = 1;    ///< shards the stream was partitioned into
+
+  double elapsed_sec = 0;    ///< wall time of the replay (fan-out + stitch)
   double jobs_per_sec = 0;
 
   std::size_t prefix_jobs = 0;
@@ -48,6 +67,22 @@ struct StreamReport {
 
   std::string summary() const;
 };
+
+/// Low-level sharded replay result: the schedule and merged stats without
+/// the report scaffolding (validation, ratios, offline comparison).
+struct ReplayResult {
+  Schedule schedule;
+  EngineStats stats;
+  int threads = 1;
+  std::size_t shards = 0;
+};
+
+/// Replays `trace` (jobs in start order) through `policy` on up to
+/// `threads` workers (0 = process default, 1 = sequential single pool).
+/// Deterministic: identical output at every thread count.
+ReplayResult replay_stream(const Instance& trace, OnlinePolicy policy,
+                           const PolicyParams& params, int threads = 1,
+                           std::size_t min_shard_jobs = 4096);
 
 /// Replays `trace` (jobs in start order) through `policy` and reports.
 StreamReport run_stream(const Instance& trace, OnlinePolicy policy,

@@ -1,0 +1,346 @@
+// Parallel execution layer: thread-pool/parallel_for semantics, memoized
+// instance orders, and the determinism contract — per-component dispatch,
+// exact solvers, and the sharded online stream driver must produce
+// assignment-identical results at every thread count.  The stress tests at
+// the bottom are the ThreadSanitizer targets (CI builds them with
+// -DBUSYTIME_TSAN=ON).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "algo/dispatch.hpp"
+#include "algo/exact_minbusy.hpp"
+#include "algo/first_fit.hpp"
+#include "core/components.hpp"
+#include "core/instance_view.hpp"
+#include "exec/thread_pool.hpp"
+#include "extensions/capacity_demands.hpp"
+#include "online/stream_driver.hpp"
+#include "workload/generators.hpp"
+#include "workload/trace.hpp"
+
+namespace busytime {
+namespace {
+
+// ----------------------------------------------------------------- exec ---
+
+TEST(ExecPool, ResolveThreadsClampsAndDefaults) {
+  EXPECT_EQ(exec::resolve_threads(1), 1);
+  EXPECT_EQ(exec::resolve_threads(-5), 1);
+  EXPECT_EQ(exec::resolve_threads(8), 8);
+  EXPECT_EQ(exec::resolve_threads(1 << 20), exec::kMaxThreads);
+  EXPECT_GE(exec::resolve_threads(0), 1);
+  EXPECT_GE(exec::hardware_threads(), 1);
+  EXPECT_GE(exec::default_threads(), 1);
+}
+
+TEST(ExecPool, ParallelForRunsEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 8}) {
+    const std::size_t n = 10000;
+    std::vector<int> hits(n, 0);
+    exec::parallel_for(threads, n, [&](std::size_t i) { hits[i] += 1; });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+              static_cast<int>(n))
+        << "threads=" << threads;
+    EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                            [](int h) { return h == 1; }))
+        << "threads=" << threads;
+  }
+}
+
+TEST(ExecPool, SequentialPathRunsInIndexOrder) {
+  std::vector<std::size_t> order;
+  exec::parallel_for(1, 100, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ExecPool, ParallelForPropagatesExceptions) {
+  for (const int threads : {1, 8}) {
+    EXPECT_THROW(
+        exec::parallel_for(threads, 1000,
+                           [&](std::size_t i) {
+                             if (i == 617) throw std::runtime_error("boom");
+                           }),
+        std::runtime_error)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ExecPool, NestedParallelForRunsInlineAndCompletes) {
+  std::atomic<int> total{0};
+  exec::parallel_for(4, 8, [&](std::size_t) {
+    int local = 0;
+    exec::parallel_for(4, 100, [&](std::size_t) { ++local; });
+    total += local;
+  });
+  EXPECT_EQ(total.load(), 800);
+}
+
+TEST(ExecPool, ParallelMapCollectsInSlotOrder) {
+  const auto squares = exec::parallel_map<std::size_t>(
+      8, 500, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), 500u);
+  for (std::size_t i = 0; i < squares.size(); ++i) EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(ExecPool, SubmitDrainsOnWorkers) {
+  exec::ThreadPool pool(2);
+  EXPECT_EQ(pool.size(), 2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i) pool.submit([&] { ++done; });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (done.load() < 64 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::yield();
+  EXPECT_EQ(done.load(), 64);
+}
+
+// -------------------------------------------------------- instance cache ---
+
+TEST(InstanceCache, MemoizedOrdersAreStableAndShared) {
+  GenParams p;
+  p.n = 300;
+  p.seed = 42;
+  const Instance inst = gen_general(p);
+
+  const auto& by_start = inst.ids_by_start();
+  EXPECT_EQ(&by_start, &inst.ids_by_start()) << "second call must be cached";
+  ASSERT_EQ(by_start.size(), inst.size());
+  for (std::size_t k = 1; k < by_start.size(); ++k)
+    EXPECT_LE(inst.job(by_start[k - 1]).start(), inst.job(by_start[k]).start());
+
+  const auto& by_len = inst.ids_by_length_desc();
+  for (std::size_t k = 1; k < by_len.size(); ++k)
+    EXPECT_GE(inst.job(by_len[k - 1]).length(), inst.job(by_len[k]).length());
+
+  // Copies share the snapshot cache; assignment swaps to the source's.
+  const Instance copy = inst;
+  EXPECT_EQ(&copy.ids_by_start(), &by_start);
+  Instance other = gen_general(GenParams{});
+  other = inst;
+  EXPECT_EQ(other.ids_by_start(), by_start);
+}
+
+TEST(InstanceCache, ViewClassifiesEachComponentOnce) {
+  TraceParams tp;
+  tp.n = 2000;
+  tp.arrival_rate = 0.05;
+  tp.max_duration = 40;
+  tp.seed = 3;
+  const Instance trace = gen_trace(tp);
+  const InstanceView view(trace, /*threads=*/8);
+  ASSERT_GT(view.component_count(), 1u);
+  std::size_t jobs = 0;
+  for (std::size_t i = 0; i < view.component_count(); ++i) {
+    const Instance& sub = view.component_instance(i);
+    EXPECT_EQ(sub.size(), view.component_ids(i).size());
+    const InstanceClass cls = classify(sub);
+    EXPECT_EQ(view.component_class(i).clique, cls.clique);
+    EXPECT_EQ(view.component_class(i).proper, cls.proper);
+    EXPECT_EQ(view.component_class(i).one_sided, cls.one_sided);
+    jobs += sub.size();
+  }
+  EXPECT_EQ(jobs, trace.size());
+}
+
+// ---------------------------------------------------- offline determinism ---
+
+std::vector<Instance> determinism_family() {
+  std::vector<Instance> out;
+  GenParams p;
+  p.n = 400;
+  p.g = 4;
+  p.seed = 7;
+  out.push_back(gen_general(p));
+  p.seed = 8;
+  out.push_back(gen_proper(p));
+  p.n = 60;
+  p.g = 2;
+  p.seed = 9;
+  out.push_back(gen_clique(p));
+  TraceParams t;
+  t.n = 3000;
+  t.g = 6;
+  t.arrival_rate = 0.1;
+  t.seed = 11;
+  out.push_back(gen_trace(t));
+  return out;
+}
+
+TEST(ParallelSolve, AutoDispatchIdenticalAcrossThreadCounts) {
+  for (const Instance& inst : determinism_family()) {
+    const DispatchResult base = solve_minbusy_auto(inst, 1);
+    for (const int threads : {2, 8}) {
+      const DispatchResult d = solve_minbusy_auto(inst, threads);
+      EXPECT_EQ(d.schedule.assignment(), base.schedule.assignment())
+          << inst.summary() << " threads=" << threads;
+      EXPECT_EQ(d.names, base.names) << inst.summary();
+      EXPECT_EQ(d.component_jobs, base.component_jobs) << inst.summary();
+      EXPECT_EQ(d.schedule.cost(inst), base.schedule.cost(inst));
+    }
+  }
+}
+
+TEST(ParallelSolve, PerComponentParallelMatchesSequential) {
+  TraceParams tp;
+  tp.n = 2000;
+  tp.arrival_rate = 0.05;
+  tp.max_duration = 40;
+  tp.seed = 21;
+  const Instance trace = gen_trace(tp);
+  const auto solve = [](const Instance& sub) { return solve_first_fit(sub); };
+  const Schedule sequential = solve_per_component(trace, solve);
+  for (const int threads : {2, 8}) {
+    const Schedule parallel =
+        solve_per_component_parallel(trace, solve, threads);
+    EXPECT_EQ(parallel.assignment(), sequential.assignment())
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelSolve, ExactSolversIdenticalAcrossDefaultThreads) {
+  GenParams p;
+  p.n = 14;
+  p.g = 2;
+  p.seed = 5;
+  p.horizon = 4000;  // spread starts so several components exist
+  const Instance inst = gen_general(p);
+
+  exec::set_default_threads(1);
+  const auto sequential = exact_minbusy(inst);
+  const Schedule demands_sequential = exact_minbusy_demands(inst);
+  exec::set_default_threads(8);
+  const auto parallel = exact_minbusy(inst);
+  const Schedule demands_parallel = exact_minbusy_demands(inst);
+  exec::set_default_threads(0);
+
+  ASSERT_TRUE(sequential.has_value());
+  ASSERT_TRUE(parallel.has_value());
+  EXPECT_EQ(parallel->assignment(), sequential->assignment());
+  EXPECT_EQ(demands_parallel.assignment(), demands_sequential.assignment());
+}
+
+// ----------------------------------------------------- sharded streaming ---
+
+void expect_stats_eq(const EngineStats& a, const EngineStats& b,
+                     const std::string& context) {
+  EXPECT_EQ(a.jobs_assigned, b.jobs_assigned) << context;
+  EXPECT_EQ(a.machines_opened, b.machines_opened) << context;
+  EXPECT_EQ(a.machines_closed, b.machines_closed) << context;
+  EXPECT_EQ(a.open_machines, b.open_machines) << context;
+  EXPECT_EQ(a.peak_open_machines, b.peak_open_machines) << context;
+  EXPECT_EQ(a.active_jobs, b.active_jobs) << context;
+  EXPECT_EQ(a.peak_active_jobs, b.peak_active_jobs) << context;
+  EXPECT_EQ(a.clock, b.clock) << context;
+  EXPECT_EQ(a.online_cost, b.online_cost) << context;
+}
+
+Instance sharding_trace(int n = 20000) {
+  TraceParams tp;
+  tp.n = n;
+  tp.g = 6;
+  tp.arrival_rate = 0.05;  // sparse arrivals: many components and idle gaps
+  tp.min_duration = 5;
+  tp.max_duration = 40;
+  tp.seed = 13;
+  return gen_trace(tp);
+}
+
+TEST(ShardedStream, PoliciesIdenticalAcrossThreadCounts) {
+  const Instance trace = sharding_trace();
+  PolicyParams params;
+  params.epoch_length = 64;  // small epochs so epoch-safe cuts exist
+  for (const OnlinePolicy policy :
+       {OnlinePolicy::kFirstFit, OnlinePolicy::kBestFit,
+        OnlinePolicy::kEpochHybrid}) {
+    const ReplayResult base = replay_stream(trace, policy, params, 1);
+    EXPECT_EQ(base.shards, 1u);
+    for (const int threads : {2, 8}) {
+      const ReplayResult r =
+          replay_stream(trace, policy, params, threads, /*min_shard_jobs=*/512);
+      const std::string context = to_string(policy) + " threads=" +
+                                  std::to_string(threads) + " shards=" +
+                                  std::to_string(r.shards);
+      EXPECT_GT(r.shards, 1u) << context << " (sharding never engaged)";
+      EXPECT_EQ(r.schedule.assignment(), base.schedule.assignment()) << context;
+      expect_stats_eq(r.stats, base.stats, context);
+    }
+  }
+}
+
+TEST(ShardedStream, RunStreamReportMatchesSequential) {
+  const Instance trace = sharding_trace(8000);
+  StreamOptions sequential;
+  sequential.offline_prefix = 500;
+  StreamOptions sharded = sequential;
+  sharded.threads = 8;
+  sharded.min_shard_jobs = 512;
+
+  const StreamReport a = run_stream(trace, OnlinePolicy::kBestFit, sequential);
+  const StreamReport b = run_stream(trace, OnlinePolicy::kBestFit, sharded);
+  EXPECT_EQ(a.online_cost, b.online_cost);
+  EXPECT_EQ(a.prefix_offline_cost, b.prefix_offline_cost);
+  EXPECT_TRUE(a.valid);
+  EXPECT_TRUE(b.valid);
+  EXPECT_EQ(b.threads, 8);
+  EXPECT_GT(b.shards, 1u);
+  expect_stats_eq(b.stats, a.stats, "run_stream threads=8");
+}
+
+TEST(ShardedStream, DegenerateTracesAreSafe) {
+  PolicyParams params;
+  const Instance empty(std::vector<Job>{}, 4);
+  const ReplayResult r0 = replay_stream(empty, OnlinePolicy::kFirstFit, params, 8);
+  EXPECT_EQ(r0.schedule.size(), 0u);
+  EXPECT_EQ(r0.stats.jobs_assigned, 0);
+
+  GenParams p;
+  p.n = 3;
+  p.seed = 1;
+  const Instance tiny = gen_general(p);
+  const ReplayResult seq = replay_stream(tiny, OnlinePolicy::kFirstFit, params, 1);
+  const ReplayResult par =
+      replay_stream(tiny, OnlinePolicy::kFirstFit, params, 8, /*min_shard_jobs=*/1);
+  EXPECT_EQ(par.schedule.assignment(), seq.schedule.assignment());
+  expect_stats_eq(par.stats, seq.stats, "tiny trace");
+}
+
+// ------------------------------------------------------------ TSan stress ---
+
+// Hammers the shared pool from several client threads at once: concurrent
+// sharded replays and per-component dispatches over one shared Instance
+// (exercising the memoized-order cache under contention).  Run under
+// -DBUSYTIME_TSAN=ON in CI; any data race in the exec layer, the instance
+// cache, or the shard merge shows up here.
+TEST(StressParallel, ConcurrentShardedSolvesOverSharedInstance) {
+  const Instance trace = sharding_trace(6000);
+  PolicyParams params;
+  const Time expected_online =
+      replay_stream(trace, OnlinePolicy::kFirstFit, params, 1).stats.online_cost;
+  const Time expected_offline = solve_minbusy_auto(trace, 1).schedule.cost(trace);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      for (int rep = 0; rep < 3; ++rep) {
+        const ReplayResult online = replay_stream(
+            trace, OnlinePolicy::kFirstFit, params, 2 + c % 3, /*min_shard_jobs=*/512);
+        if (online.stats.online_cost != expected_online) ++failures;
+        const DispatchResult offline = solve_minbusy_auto(trace, 2 + c % 3);
+        if (offline.schedule.cost(trace) != expected_offline) ++failures;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace busytime
