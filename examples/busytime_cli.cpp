@@ -6,6 +6,7 @@
 //                [--threads=N] [--improve] [--json] [--json-out=FILE]
 //                [--out=FILE] [--gantt]
 //   busytime_cli gen   --family=NAME --n=N --g=G --seed=S [--out=FILE]
+//                [--cancel_rate=P] [--preempt_frac=P]
 //   busytime_cli check --in=FILE --schedule=FILE
 //
 // A solver SPEC is a registry name with optional options, e.g.
@@ -13,6 +14,12 @@
 // "--solver=all" runs every applicable registered solver side by side and
 // reports each cost next to the Observation 2.1 lower bound.  "--json"
 // emits machine-readable busytime-result-v1 documents.
+//
+// Input files may carry interleaved cancel/preempt records (docs/FORMATS.md)
+// and "gen --cancel_rate=P" produces them: online solvers replay the merged
+// event stream (busy-time refunds, slot recycling), every other solver —
+// and the lower bound, validation, and "check" — works on the residual
+// instance, the workload that actually ran.
 //
 // "--threads=N" (0 = hardware concurrency, 1 = sequential) sets the worker
 // count for per-component solving, sharded online replay, and the
@@ -47,12 +54,14 @@ int usage() {
       << "        [--threads=N] [--improve] [--json] [--json-out=FILE]\n"
       << "        [--out=FILE] [--gantt]\n"
       << "  gen   --family=F --n=N --g=G --seed=S [--out=FILE]\n"
+      << "        [--cancel_rate=P] [--preempt_frac=P]\n"
       << "  check --in=FILE --schedule=FILE\n"
-      << "solver SPEC = name[:k=v,...], e.g. epoch_hybrid:epoch=256\n";
+      << "solver SPEC = name[:k=v,...], e.g. epoch_hybrid:epoch=256\n"
+      << "inputs may carry cancel/preempt records (see docs/FORMATS.md)\n";
   return 2;
 }
 
-Instance generate(const Flags& flags) {
+Instance generate_base(const Flags& flags) {
   GenParams p;
   p.n = static_cast<int>(flags.get_int("n", 50));
   p.g = static_cast<int>(flags.get_int("g", 4));
@@ -74,10 +83,35 @@ Instance generate(const Flags& flags) {
                               "proper, proper_clique, one_sided, trace)");
 }
 
-/// The instance a solve command operates on: a file or a generator family.
-Instance load_or_generate(const Flags& flags) {
-  if (flags.has("in")) return load_instance(flags.get("in", ""));
+/// Generated workload, optionally with retraction records layered on top.
+EventTrace generate(const Flags& flags) {
+  Instance base = generate_base(flags);
+  const double cancel_rate = flags.get_double("cancel_rate", 0.0);
+  if (cancel_rate <= 0.0) return EventTrace(std::move(base));
+  CancelParams cp;
+  cp.cancel_rate = cancel_rate;
+  cp.preempt_fraction = flags.get_double("preempt_frac", cp.preempt_fraction);
+  cp.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  return with_random_cancels(std::move(base), cp);
+}
+
+/// The event trace a solve command operates on: a file or a generator
+/// family.  Plain instance files load as traces with zero retractions.
+EventTrace load_or_generate(const Flags& flags) {
+  if (flags.has("in")) return load_event_trace(flags.get("in", ""));
   return generate(flags);
+}
+
+/// One-line workload summary: the base instance plus the retraction counts.
+/// Dropped records (could never take effect — typo'd instants, duplicate
+/// retractions) are surfaced so a silently-canonicalized input is visible.
+std::string trace_summary(const EventTrace& trace) {
+  std::string text = trace.base().summary();
+  if (trace.has_cancels())
+    text += "  cancels=" + std::to_string(trace.cancels().size());
+  if (trace.dropped_cancels() > 0)
+    text += "  dropped_cancels=" + std::to_string(trace.dropped_cancels());
+  return text;
 }
 
 /// Solver spec from --solver plus the flag shortcuts.
@@ -124,8 +158,12 @@ int cmd_list_solvers(const Flags& flags) {
   return 0;
 }
 
-int cmd_solve_all(const Instance& inst, const Flags& flags, const SolverSpec& base) {
-  const CostBounds bounds = compute_bounds(inst);
+int cmd_solve_all(const EventTrace& trace, const Flags& flags,
+                  const SolverSpec& base) {
+  // Applicability and the certified lower bound are judged on the residual
+  // instance — the workload that actually runs once retractions land.
+  const Instance& residual = trace.residual();
+  const CostBounds bounds = compute_bounds(residual);
   json::Value results = json::Value::array();
   json::Value skipped = json::Value::array();
   Table table({"solver", "kind", "cost", "lower_bound", "ratio", "tput", "machines",
@@ -144,7 +182,7 @@ int cmd_solve_all(const Instance& inst, const Flags& flags, const SolverSpec& ba
     std::string skip_reason;
     if (info->needs_budget && spec.options.budget < 0)
       skip_reason = "needs --budget";
-    else if (!info->applicable(inst))
+    else if (!info->applicable(residual))
       skip_reason = "not applicable";
     if (!skip_reason.empty()) {
       json::Value s = json::Value::object();
@@ -159,7 +197,11 @@ int cmd_solve_all(const Instance& inst, const Flags& flags, const SolverSpec& ba
 
   std::vector<SolveResult> solved(runnable.size());
   exec::parallel_for(/*threads=*/0, runnable.size(), [&](std::size_t i) {
-    solved[i] = run_solver(inst, specs[i]);
+    // Non-online solvers take the residual already computed above instead
+    // of letting run_solver(trace, ...) rebuild it once per solver.
+    solved[i] = runnable[i]->kind == SolverKind::kOnline
+                    ? run_solver(trace, specs[i])
+                    : run_solver(residual, specs[i]);
   });
 
   for (std::size_t i = 0; i < runnable.size(); ++i) {
@@ -176,15 +218,17 @@ int cmd_solve_all(const Instance& inst, const Flags& flags, const SolverSpec& ba
   }
   if (flags.get_bool("json")) {
     json::Value root = json::Value::object();
-    root.set("instance", inst.summary());
-    root.set("jobs", static_cast<std::int64_t>(inst.size()));
-    root.set("g", inst.g());
+    root.set("instance", trace_summary(trace));
+    root.set("jobs", static_cast<std::int64_t>(trace.size()));
+    root.set("g", trace.g());
+    root.set("cancels", static_cast<std::int64_t>(trace.cancels().size()));
     root.set("lower_bound", bounds.lower_bound());
     root.set("results", std::move(results));
     root.set("skipped", std::move(skipped));
     std::cout << root.dump(2) << "\n";
   } else {
-    std::cout << inst.summary() << "  lower_bound=" << bounds.lower_bound() << "\n";
+    std::cout << trace_summary(trace) << "  lower_bound=" << bounds.lower_bound()
+              << "\n";
     table.print(std::cout);
   }
   if (!all_valid) {
@@ -195,19 +239,20 @@ int cmd_solve_all(const Instance& inst, const Flags& flags, const SolverSpec& ba
 }
 
 int cmd_solve(const Flags& flags) {
-  const Instance inst = load_or_generate(flags);
+  const EventTrace trace = load_or_generate(flags);
   const SolverSpec spec = make_spec(flags);
-  if (spec.name == "all") return cmd_solve_all(inst, flags, spec);
+  if (spec.name == "all") return cmd_solve_all(trace, flags, spec);
 
-  const SolveResult result = run_solver(inst, spec);
+  const SolveResult result = run_solver(trace, spec);
   if (flags.get_bool("json")) {
     std::cout << result_to_json(result);
   } else {
-    std::cout << inst.summary() << "\n" << result.summary() << "\n";
+    std::cout << trace_summary(trace) << "\n" << result.summary() << "\n";
   }
   if (flags.has("json-out")) save_result_json(flags.get("json-out", ""), result);
   if (flags.has("out")) save_schedule(flags.get("out", ""), result.schedule);
-  if (flags.get_bool("gantt")) std::cout << render_gantt(inst, result.schedule);
+  if (flags.get_bool("gantt"))
+    std::cout << render_gantt(trace.residual(), result.schedule);
   if (!result.valid) {
     std::cerr << "error: solver produced an invalid schedule\n";
     return 1;
@@ -216,19 +261,20 @@ int cmd_solve(const Flags& flags) {
 }
 
 int cmd_gen(const Flags& flags) {
-  const Instance inst = generate(flags);
+  const EventTrace trace = generate(flags);
   const std::string out = flags.get("out", "");
   if (out.empty()) {
-    write_instance(std::cout, inst);
+    write_event_trace(std::cout, trace);
   } else {
-    save_instance(out, inst);
-    std::cout << "wrote " << inst.summary() << " to " << out << "\n";
+    save_event_trace(out, trace);
+    std::cout << "wrote " << trace_summary(trace) << " to " << out << "\n";
   }
   return 0;
 }
 
 int cmd_check(const Flags& flags) {
-  const Instance inst = load_instance(flags.get("in", ""));
+  const EventTrace trace = load_event_trace(flags.get("in", ""));
+  const Instance& inst = trace.residual();
   const Schedule s = load_schedule(flags.get("schedule", ""), inst.size());
   if (const auto violation = find_violation(inst, s)) {
     std::cout << "INVALID: " << violation->to_string() << "\n";

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Docs consistency checks, run by the CI docs job.
+
+1. Dead-link check: every relative markdown link in README.md and docs/*.md
+   must resolve to an existing file (anchors and external URLs are skipped).
+2. Registry cross-check: the solver names documented in docs/SOLVERS.md must
+   match `busytime_cli --list-solvers --json` exactly, so the catalog cannot
+   silently drift from the registry.
+
+Usage: check_docs.py [--cli=PATH_TO_BUSYTIME_CLI]
+       (omit --cli to run the link check only)
+"""
+
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# Backtick-quoted names in the first column of a markdown table row.
+SOLVER_ROW_RE = re.compile(r"^\|\s*`([a-z0-9_]+)`\s*\|")
+
+
+def check_links():
+    failures = []
+    files = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+    for md in files:
+        for line_no, line in enumerate(md.read_text().splitlines(), 1):
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                path = target.split("#")[0]
+                if not path:
+                    continue
+                resolved = (md.parent / path).resolve()
+                if not resolved.exists():
+                    failures.append(f"{md.relative_to(REPO)}:{line_no}: "
+                                    f"dead link -> {target}")
+    return failures
+
+
+def check_solver_catalog(cli):
+    documented = set()
+    for line in (REPO / "docs" / "SOLVERS.md").read_text().splitlines():
+        match = SOLVER_ROW_RE.match(line.strip())
+        if match:
+            documented.add(match.group(1))
+    # Option-table rows are not solver names; only count names the registry
+    # could know.  (The options table uses `key=value` cells, which the
+    # regex already rejects.)
+    out = subprocess.run([cli, "--list-solvers", "--json"],
+                         check=True, capture_output=True, text=True).stdout
+    registered = {entry["name"] for entry in json.loads(out)}
+
+    failures = []
+    for name in sorted(registered - documented):
+        failures.append(f"docs/SOLVERS.md: solver '{name}' is registered "
+                        f"but not documented")
+    for name in sorted(documented - registered):
+        failures.append(f"docs/SOLVERS.md: solver '{name}' is documented "
+                        f"but not registered")
+    if not failures:
+        print(f"solver catalog ok: {len(registered)} solvers documented")
+    return failures
+
+
+def main():
+    cli = None
+    for arg in sys.argv[1:]:
+        if arg.startswith("--cli="):
+            cli = arg[len("--cli="):]
+        else:
+            sys.exit(f"unknown argument: {arg}")
+
+    failures = check_links()
+    if not failures:
+        print("link check ok")
+    if cli:
+        failures += check_solver_catalog(cli)
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    sys.exit(1 if failures else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,7 @@
 #include "algo/local_search.hpp"
 #include "core/bounds.hpp"
 #include "core/validate.hpp"
+#include "online/event.hpp"
 
 namespace busytime {
 
@@ -98,6 +99,23 @@ const std::vector<const SolverInfo*>& SolverRegistry::dispatchable() const {
   return dispatchable_;
 }
 
+namespace {
+
+/// Uniform SolveResult epilogue shared by every run_solver path: derives
+/// cost, throughput, bounds, ratio, and validity from the schedule against
+/// the instance the result is measured on.
+void finalize_result(SolveResult& result, const Instance& inst) {
+  result.schedule.ensure_size(inst.size());
+  result.cost = result.schedule.cost(inst);
+  result.throughput = result.schedule.throughput();
+  result.bounds = compute_bounds(inst);
+  result.ratio_to_lower_bound =
+      inst.empty() ? 0 : ratio_to_lower_bound(inst, result.cost);
+  result.valid = is_valid(inst, result.schedule);
+}
+
+}  // namespace
+
 SolveResult run_solver(const Instance& inst, const SolverSpec& spec) {
   const SolverInfo& info = SolverRegistry::instance().at(spec.name);
 
@@ -133,13 +151,7 @@ SolveResult run_solver(const Instance& inst, const SolverSpec& spec) {
 
   result.solver = info.name;
   result.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
-  result.schedule.ensure_size(target->size());
-  result.cost = result.schedule.cost(*target);
-  result.throughput = result.schedule.throughput();
-  result.bounds = compute_bounds(*target);
-  result.ratio_to_lower_bound =
-      target->empty() ? 0 : ratio_to_lower_bound(*target, result.cost);
-  result.valid = is_valid(*target, result.schedule);
+  finalize_result(result, *target);
   // Offline solvers have no streaming pool; give their counters the offline
   // meaning so every SolveResult reports through the same fields.
   if (result.stats.jobs_assigned == 0 && result.throughput > 0) {
@@ -149,6 +161,39 @@ SolveResult run_solver(const Instance& inst, const SolverSpec& spec) {
     result.stats.peak_open_machines = result.stats.machines_opened;
     result.stats.online_cost = result.cost;
   }
+  return result;
+}
+
+SolveResult run_solver(const EventTrace& trace, const SolverSpec& spec) {
+  if (!trace.has_cancels()) return run_solver(trace.base(), spec);
+  const SolverInfo& info = SolverRegistry::instance().at(spec.name);
+
+  // Capacity override rebuilds the trace; everything downstream sees the
+  // requested g.
+  EventTrace overridden;
+  const EventTrace* target = &trace;
+  if (spec.options.g > 0 && spec.options.g != trace.g()) {
+    overridden = EventTrace(Instance(trace.base().jobs(), spec.options.g),
+                            trace.cancels());
+    target = &overridden;
+  }
+
+  const Instance& residual = target->residual();  // memoized on the trace
+  if (info.kind != SolverKind::kOnline) return run_solver(residual, spec);
+  if (!info.run_events)
+    throw NotApplicableError("online solver '" + info.name +
+                             "' cannot replay cancellation events");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  SolveResult result = info.run_events(*target, spec);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  result.solver = info.name;
+  result.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  // Everything downstream is measured against the residual instance — the
+  // workload that actually ran.  The engine's incrementally maintained
+  // online_cost equals the recomputed cost (refunds are exact).
+  finalize_result(result, residual);
   return result;
 }
 

@@ -30,6 +30,11 @@
 
 namespace busytime {
 
+// The registry only names the event-trace type (run_events hook,
+// run_solver overload); consumers that replay traces include
+// online/event.hpp themselves.
+class EventTrace;
+
 enum class SolverKind {
   kOffline,     ///< full MinBusy schedules (Section 3 + heuristics)
   kExact,       ///< exponential exact reference solvers
@@ -77,6 +82,14 @@ struct SolverInfo {
   /// under -Wmissing-field-initializers.)
   std::function<bool(const Instance&, const InstanceClass&)>
       applicable_classified = nullptr;
+  /// Optional event-trace runner for online solvers: replays arrivals
+  /// interleaved with cancellation/preemption events.  Fills schedule,
+  /// stats, and trace like `run`; run_solver(EventTrace) derives the
+  /// residual-measured cost, bounds, and validity uniformly.  Online
+  /// solvers without this hook are NotApplicable to traces with
+  /// retractions (the replay would silently drop them).
+  std::function<SolveResult(const EventTrace&, const SolverSpec&)> run_events =
+      nullptr;
 
   /// Applicability with a precomputed classification (see
   /// applicable_classified).
@@ -127,6 +140,16 @@ class NotApplicableError : public std::invalid_argument {
 };
 
 SolveResult run_solver(const Instance& inst, const SolverSpec& spec);
+
+/// Runs a solver on an event trace (arrivals + cancellations/preemptions).
+/// Online solvers replay the merged event stream — their SolveResult counts
+/// cancels, refunds, and a cost measured against the residual instance;
+/// every other solver kind solves the residual instance directly (the
+/// honest offline comparison: the workload that actually ran).  Traces
+/// without retraction records behave exactly like run_solver(trace.base()).
+/// Throws NotApplicableError for an online solver the event replay does not
+/// know how to drive (custom registrations outside the built-in policies).
+SolveResult run_solver(const EventTrace& trace, const SolverSpec& spec);
 
 namespace detail {
 // One registration unit per solver family (src/api/builtin_*.cpp).

@@ -83,6 +83,7 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "viz/gantt.hpp"
+#include "workload/cancellable.hpp"
 #include "workload/generators.hpp"
 #include "workload/rect_generators.hpp"
 #include "workload/trace.hpp"

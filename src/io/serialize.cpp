@@ -50,7 +50,12 @@ void write_instance(std::ostream& os, const Instance& inst) {
   }
 }
 
-Instance read_instance(std::istream& is) {
+namespace {
+
+/// Shared v1-container reader.  With `cancels` null, retraction records are
+/// rejected (the caller asked for a plain instance); otherwise they are
+/// collected for EventTrace canonicalization.
+Instance read_instance_impl(std::istream& is, std::vector<CancelRecord>* cancels) {
   LineReader reader(is);
   std::istringstream tokens;
 
@@ -60,8 +65,15 @@ Instance read_instance(std::istream& is) {
   if (magic != "busytime-instance" || version != "v1")
     throw ParseError(reader.line(), "expected 'busytime-instance v1' header");
 
+  struct PendingRecord {
+    int line = 0;
+    long long job = 0;  // validated against the job count before narrowing
+    Time at = 0;
+    bool preempt = false;
+  };
   int g = 0;
   std::vector<Job> jobs;
+  std::vector<PendingRecord> records;
   while (reader.next(tokens)) {
     std::string keyword;
     tokens >> keyword;
@@ -82,12 +94,50 @@ Instance read_instance(std::istream& is) {
         }
       }
       jobs.push_back(job);
+    } else if (keyword == "cancel" || keyword == "preempt") {
+      if (cancels == nullptr)
+        throw ParseError(reader.line(),
+                         "'" + keyword + "' records need read_event_trace");
+      long long job = -1;
+      Time at = 0;
+      if (!(tokens >> job >> at))
+        throw ParseError(reader.line(), keyword + " needs <job> <at>");
+      if (job < 0) throw ParseError(reader.line(), "job id must be >= 0");
+      records.push_back({reader.line(), job, at, keyword == "preempt"});
     } else {
       throw ParseError(reader.line(), "unknown keyword '" + keyword + "'");
     }
   }
   if (g < 1) throw ParseError(reader.line(), "missing 'g' line");
+  for (const PendingRecord& record : records) {
+    // Range-check the raw id before narrowing to JobId (int32): an
+    // oversized id must fail the load, not wrap onto a valid job.
+    if (record.job >= static_cast<long long>(jobs.size()))
+      throw ParseError(record.line,
+                       "retraction names job " + std::to_string(record.job) +
+                           " but the file defines " +
+                           std::to_string(jobs.size()) + " jobs");
+    cancels->push_back(CancelRecord{static_cast<JobId>(record.job), record.at,
+                                    record.preempt});
+  }
   return Instance(std::move(jobs), g);
+}
+
+}  // namespace
+
+Instance read_instance(std::istream& is) { return read_instance_impl(is, nullptr); }
+
+void write_event_trace(std::ostream& os, const EventTrace& trace) {
+  write_instance(os, trace.base());
+  for (const CancelRecord& record : trace.cancels())
+    os << (record.preempt ? "preempt " : "cancel ") << record.job << " "
+       << record.at << "\n";
+}
+
+EventTrace read_event_trace(std::istream& is) {
+  std::vector<CancelRecord> cancels;
+  Instance base = read_instance_impl(is, &cancels);
+  return EventTrace(std::move(base), std::move(cancels));
 }
 
 void write_schedule(std::ostream& os, const Schedule& s) {
@@ -181,6 +231,11 @@ json::Value result_to_json_value(const SolveResult& result) {
   stats.set("peak_open_machines", result.stats.peak_open_machines);
   stats.set("active_jobs", result.stats.active_jobs);
   stats.set("peak_active_jobs", result.stats.peak_active_jobs);
+  stats.set("jobs_cancelled", result.stats.jobs_cancelled);
+  stats.set("jobs_preempted", result.stats.jobs_preempted);
+  stats.set("cancels_ignored", result.stats.cancels_ignored);
+  stats.set("slots_recycled", result.stats.slots_recycled);
+  stats.set("busy_time_refunded", result.stats.busy_time_refunded);
   stats.set("clock", result.stats.clock);
   stats.set("online_cost", result.stats.online_cost);
   root.set("stats", std::move(stats));
@@ -227,6 +282,17 @@ SolveResult result_from_json(const std::string& text) {
   result.stats.peak_open_machines = stats.at("peak_open_machines").as_int();
   result.stats.active_jobs = stats.at("active_jobs").as_int();
   result.stats.peak_active_jobs = stats.at("peak_active_jobs").as_int();
+  // Retraction counters postdate the v1 format's first release; absent keys
+  // (documents written before cancellation support) default to zero.
+  const auto optional_int = [&stats](const char* key) -> std::int64_t {
+    const json::Value* value = stats.find(key);
+    return value == nullptr ? 0 : value->as_int();
+  };
+  result.stats.jobs_cancelled = optional_int("jobs_cancelled");
+  result.stats.jobs_preempted = optional_int("jobs_preempted");
+  result.stats.cancels_ignored = optional_int("cancels_ignored");
+  result.stats.slots_recycled = optional_int("slots_recycled");
+  result.stats.busy_time_refunded = optional_int("busy_time_refunded");
   result.stats.clock = stats.at("clock").as_int();
   result.stats.online_cost = stats.at("online_cost").as_int();
 
@@ -277,6 +343,16 @@ void save_instance(const std::string& path, const Instance& inst) {
 Instance load_instance(const std::string& path) {
   auto is = open_in(path);
   return read_instance(is);
+}
+
+void save_event_trace(const std::string& path, const EventTrace& trace) {
+  auto os = open_out(path);
+  write_event_trace(os, trace);
+}
+
+EventTrace load_event_trace(const std::string& path) {
+  auto is = open_in(path);
+  return read_event_trace(is);
 }
 
 void save_schedule(const std::string& path, const Schedule& s) {

@@ -1,14 +1,21 @@
-// Plain-text serialization of instances and schedules.
+// Plain-text serialization of instances, event traces, and schedules.
 //
 // Format (line-oriented, '#' comments, whitespace-separated):
 //
 //   busytime-instance v1
 //   g <capacity>
 //   job <start> <completion> [weight] [demand]     (one line per job)
+//   cancel <job> <at>              (optional retraction records; job ids
+//   preempt <job> <at>              index the job lines in file order)
 //
 //   busytime-schedule v1
 //   n <jobs>
 //   assign <job> <machine>                         (unscheduled jobs omitted)
+//
+// Job and retraction records may interleave; a retraction may name a job
+// defined later in the file.  read_instance rejects retraction records
+// (offline consumers must opt into the event model via read_event_trace,
+// which also accepts plain instances as traces with zero retractions).
 //
 // Designed for experiment reproducibility: dumps are deterministic, diffs
 // are reviewable, and loads validate invariants (positive lengths, g >= 1,
@@ -23,6 +30,7 @@
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
 #include "io/json.hpp"
+#include "online/event.hpp"
 
 namespace busytime {
 
@@ -40,6 +48,13 @@ class ParseError : public std::runtime_error {
 
 void write_instance(std::ostream& os, const Instance& inst);
 Instance read_instance(std::istream& is);
+
+/// Event-trace forms of the same v1 container: the instance lines plus the
+/// canonical cancel/preempt records.  read_event_trace accepts plain
+/// instance files too (zero retractions) and reports via
+/// EventTrace::dropped_cancels() how many records could never take effect.
+void write_event_trace(std::ostream& os, const EventTrace& trace);
+EventTrace read_event_trace(std::istream& is);
 
 void write_schedule(std::ostream& os, const Schedule& s);
 /// `expected_jobs` guards against pairing a schedule with the wrong
@@ -62,6 +77,8 @@ SolveResult read_result_json(std::istream& is);
 /// File-path conveniences (throw std::runtime_error on I/O failure).
 void save_instance(const std::string& path, const Instance& inst);
 Instance load_instance(const std::string& path);
+void save_event_trace(const std::string& path, const EventTrace& trace);
+EventTrace load_event_trace(const std::string& path);
 void save_schedule(const std::string& path, const Schedule& s);
 Schedule load_schedule(const std::string& path, std::size_t expected_jobs);
 void save_result_json(const std::string& path, const SolveResult& result);

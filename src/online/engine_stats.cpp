@@ -9,8 +9,14 @@ std::string EngineStats::summary() const {
   oss << "jobs=" << jobs_assigned << " cost=" << online_cost
       << " machines(open=" << open_machines << " peak=" << peak_open_machines
       << " opened=" << machines_opened << " closed=" << machines_closed
-      << ") load(active=" << active_jobs << " peak=" << peak_active_jobs
-      << ") clock=" << clock;
+      << " recycled=" << slots_recycled << ") load(active=" << active_jobs
+      << " peak=" << peak_active_jobs << ")";
+  if (jobs_cancelled + jobs_preempted + cancels_ignored > 0) {
+    oss << " cancels(jobs=" << jobs_cancelled << " preempted=" << jobs_preempted
+        << " ignored=" << cancels_ignored << " refunded=" << busy_time_refunded
+        << ")";
+  }
+  oss << " clock=" << clock;
   return oss.str();
 }
 

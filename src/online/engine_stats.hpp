@@ -5,7 +5,9 @@
 // time (the online analogue of cost(s), Section 2) incrementally, so the
 // engine never recomputes a union of intervals, and open/close events plus
 // peak load give capacity-planning signals that the offline solvers have no
-// notion of.
+// notion of.  Cancellation events subtract from the same accumulator (the
+// busy-time refund), so online_cost equals cost(s) of the engine's schedule
+// against the *residual* instance at every point of the stream.
 #pragma once
 
 #include <cstdint>
@@ -24,15 +26,50 @@ struct EngineStats {
   std::int64_t peak_open_machines = 0;
   std::int64_t active_jobs = 0;         ///< currently running across the pool
   std::int64_t peak_active_jobs = 0;    ///< peak concurrent load seen so far
+  /// Jobs truncated by an effective Cancel event (user retraction).
+  std::int64_t jobs_cancelled = 0;
+  /// Jobs truncated by an effective Preempt event (system-side stop).
+  std::int64_t jobs_preempted = 0;
+  /// Cancel/preempt events that had no effect: the job had already
+  /// completed, had not run yet, or was cancelled twice.
+  std::int64_t cancels_ignored = 0;
+  /// Machine-pool slot reuses: machines opened into a slot previously freed
+  /// by a closed machine (the id indirection keeps external MachineIds
+  /// stable).  Invariant: machines_opened - peak_open_machines.
+  std::int64_t slots_recycled = 0;
+  /// Busy time returned by truncations of *placed* jobs: the part of each
+  /// machine's busy tail no longer covered by any remaining job.  Pending
+  /// (not yet placed) jobs truncated inside an epoch batch never charged
+  /// their tail, so they refund nothing.
+  Time busy_time_refunded = 0;
   /// Latest stream time the engine has advanced to (lowest() before the
   /// first arrival).  Every placement happens at clock >= job start, which
   /// is the online "no assignment before arrival" invariant.
   Time clock = std::numeric_limits<Time>::lowest();
   /// Accumulated busy time of all machines — equals cost(s) of the engine's
-  /// schedule at every point of the stream.
+  /// schedule against the residual instance at every point of the stream.
   Time online_cost = 0;
 
   std::string summary() const;
+
+  friend bool operator==(const EngineStats& a, const EngineStats& b) noexcept {
+    return a.jobs_assigned == b.jobs_assigned &&
+           a.machines_opened == b.machines_opened &&
+           a.machines_closed == b.machines_closed &&
+           a.open_machines == b.open_machines &&
+           a.peak_open_machines == b.peak_open_machines &&
+           a.active_jobs == b.active_jobs &&
+           a.peak_active_jobs == b.peak_active_jobs &&
+           a.jobs_cancelled == b.jobs_cancelled &&
+           a.jobs_preempted == b.jobs_preempted &&
+           a.cancels_ignored == b.cancels_ignored &&
+           a.slots_recycled == b.slots_recycled &&
+           a.busy_time_refunded == b.busy_time_refunded &&
+           a.clock == b.clock && a.online_cost == b.online_cost;
+  }
+  friend bool operator!=(const EngineStats& a, const EngineStats& b) noexcept {
+    return !(a == b);
+  }
 };
 
 }  // namespace busytime

@@ -22,6 +22,18 @@ void EpochHybrid::flush() {
   if (!pending_.empty()) flush_batch();
 }
 
+bool EpochHybrid::handle_cancel(JobId id, const Job& job, Time at, bool preempt) {
+  for (ArrivalEvent& ev : pending_) {
+    if (ev.id != id) continue;
+    // The batch instance must keep positive lengths; the base class already
+    // rejected at <= start, so the truncated run [start, at) is non-empty.
+    ev.job.interval.completion = at;
+    pool_.note_pending_cancel(preempt);
+    return true;
+  }
+  return OnlineScheduler::handle_cancel(id, job, at, preempt);
+}
+
 void EpochHybrid::flush_batch() {
   // Re-optimize the batch with the offline dispatcher.  Batch jobs are
   // renumbered 0..k-1 in arrival order; groups come back as machine ids of

@@ -36,6 +36,11 @@ class EpochHybrid final : public OnlineScheduler {
  protected:
   void handle(JobId id, const Job& job) override;
 
+  /// Retractions of jobs still pending in the batch truncate the pending
+  /// copy before it is ever placed (no busy time was charged, so nothing is
+  /// refunded); jobs already materialized fall through to the pool path.
+  bool handle_cancel(JobId id, const Job& job, Time at, bool preempt) override;
+
  private:
   void flush_batch();
 

@@ -1,0 +1,74 @@
+#include "online/event.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace busytime {
+
+EventTrace::EventTrace(Instance base, std::vector<CancelRecord> cancels)
+    : base_(std::move(base)) {
+  for (const CancelRecord& record : cancels) {
+    if (record.job < 0 ||
+        static_cast<std::size_t>(record.job) >= base_.size()) {
+      throw std::invalid_argument("cancel record names job " +
+                                  std::to_string(record.job) + " but the trace has " +
+                                  std::to_string(base_.size()) + " jobs");
+    }
+  }
+  std::sort(cancels.begin(), cancels.end(),
+            [](const CancelRecord& a, const CancelRecord& b) {
+              return a.at != b.at ? a.at < b.at : a.job < b.job;
+            });
+  // Keep only records that will take effect: strictly mid-flight, first
+  // retraction per job.  (at, job) order makes "first" well-defined; every
+  // later record for the job targets an already-truncated run.
+  std::vector<char> retracted(base_.size(), 0);
+  cancels_.reserve(cancels.size());
+  for (const CancelRecord& record : cancels) {
+    const Job& job = base_.job(record.job);
+    if (record.at <= job.start() || record.at >= job.completion() ||
+        retracted[static_cast<std::size_t>(record.job)]) {
+      ++dropped_;
+      continue;
+    }
+    retracted[static_cast<std::size_t>(record.job)] = 1;
+    cancels_.push_back(record);
+  }
+}
+
+EventTrace::EventTrace(EventTrace&& other) noexcept
+    : base_(std::move(other.base_)),
+      cancels_(std::move(other.cancels_)),
+      dropped_(other.dropped_),
+      cache_(std::move(other.cache_)) {
+  other.dropped_ = 0;
+  other.cache_ = std::make_shared<ResidualCache>();
+}
+
+EventTrace& EventTrace::operator=(EventTrace&& other) noexcept {
+  if (this != &other) {
+    base_ = std::move(other.base_);
+    cancels_ = std::move(other.cancels_);
+    dropped_ = other.dropped_;
+    cache_ = std::move(other.cache_);
+    other.dropped_ = 0;
+    other.cache_ = std::make_shared<ResidualCache>();
+  }
+  return *this;
+}
+
+const Instance& EventTrace::residual() const {
+  if (cancels_.empty()) return base_;
+  std::call_once(cache_->once, [this] {
+    std::vector<Job> jobs = base_.jobs();
+    // Canonical records are each job's unique effective retraction, so the
+    // truncation is a direct assignment.
+    for (const CancelRecord& record : cancels_)
+      jobs[static_cast<std::size_t>(record.job)].interval.completion = record.at;
+    cache_->residual = Instance(std::move(jobs), base_.g());
+  });
+  return cache_->residual;
+}
+
+}  // namespace busytime

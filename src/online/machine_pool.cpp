@@ -8,6 +8,18 @@ namespace busytime {
 
 MachinePool::MachinePool(int g) : g_(g) { assert(g >= 1); }
 
+MachinePool::Machine& MachinePool::machine(MachineId id) {
+  const std::int32_t slot = slot_of_[static_cast<std::size_t>(id)];
+  assert(slot != kNoSlot);
+  return slots_[static_cast<std::size_t>(slot)];
+}
+
+const MachinePool::Machine& MachinePool::machine(MachineId id) const {
+  const std::int32_t slot = slot_of_[static_cast<std::size_t>(id)];
+  assert(slot != kNoSlot);
+  return slots_[static_cast<std::size_t>(slot)];
+}
+
 void MachinePool::advance(Time now) {
   assert(now >= stats_.clock || stats_.clock == std::numeric_limits<Time>::lowest());
   stats_.clock = now;
@@ -15,7 +27,7 @@ void MachinePool::advance(Time now) {
   std::size_t keep = 0;
   for (std::size_t i = 0; i < open_.size(); ++i) {
     const MachineId id = open_[i];
-    Machine& m = machines_[static_cast<std::size_t>(id)];
+    Machine& m = machine(id);
     // Retire jobs whose half-open interval has ended: [s, c) is no longer
     // running at time c, so completions <= now free a slot.
     while (!m.active.empty() && m.active.front() <= now) {
@@ -26,10 +38,11 @@ void MachinePool::advance(Time now) {
     if (m.active.empty() && m.has_jobs && !m.pinned) {
       ++stats_.machines_closed;
       --stats_.open_machines;
-      // Closed machines are never revisited; release the heap storage so
-      // long-lived streams hold memory proportional to current load, not to
-      // the total number of machines ever opened.
-      std::vector<Time>().swap(m.active);
+      // Closed machines are never revisited; return the slot (heap storage
+      // included) to the free list so the next opening reuses it — memory
+      // stays proportional to the peak concurrent load, not the history.
+      free_slots_.push_back(slot_of_[static_cast<std::size_t>(id)]);
+      slot_of_[static_cast<std::size_t>(id)] = kNoSlot;
       continue;  // drop from the open set
     }
     open_[keep++] = id;
@@ -38,21 +51,33 @@ void MachinePool::advance(Time now) {
 }
 
 bool MachinePool::fits(MachineId m) const {
-  return machines_[static_cast<std::size_t>(m)].active.size() <
-         static_cast<std::size_t>(g_);
+  return machine(m).active.size() < static_cast<std::size_t>(g_);
 }
 
 Time MachinePool::extension(MachineId m, const Interval& iv) const {
-  const Machine& machine = machines_[static_cast<std::size_t>(m)];
-  if (!machine.has_jobs) return iv.length();
-  if (iv.start >= machine.seg_end) return iv.length();  // idle gap: new segment
-  return std::max<Time>(0, iv.completion - machine.seg_end);
+  const Machine& mach = machine(m);
+  if (!mach.has_jobs) return iv.length();
+  if (iv.start >= mach.seg_end) return iv.length();  // idle gap: new segment
+  return std::max<Time>(0, iv.completion - mach.seg_end);
 }
 
 MachineId MachinePool::open_machine(bool pinned) {
-  const auto id = static_cast<MachineId>(machines_.size());
-  machines_.emplace_back();
-  machines_.back().pinned = pinned;
+  const auto id = static_cast<MachineId>(slot_of_.size());
+  std::int32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    Machine& reused = slots_[static_cast<std::size_t>(slot)];
+    assert(reused.active.empty());  // only idle machines close
+    reused.seg_end = 0;
+    reused.has_jobs = false;
+    ++stats_.slots_recycled;
+  } else {
+    slot = static_cast<std::int32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slot_of_.push_back(slot);
+  slots_[static_cast<std::size_t>(slot)].pinned = pinned;
   open_.push_back(id);
   if (pinned) pinned_.push_back(id);
   ++stats_.machines_opened;
@@ -64,15 +89,15 @@ MachineId MachinePool::open_machine(bool pinned) {
 
 void MachinePool::place(MachineId m, const Interval& iv) {
   assert(iv.start <= stats_.clock);
-  Machine& machine = machines_[static_cast<std::size_t>(m)];
+  Machine& mach = machine(m);
 
   stats_.online_cost += extension(m, iv);
-  if (!machine.has_jobs || iv.start >= machine.seg_end) {
-    machine.seg_end = iv.completion;  // first job or post-gap segment
+  if (!mach.has_jobs || iv.start >= mach.seg_end) {
+    mach.seg_end = iv.completion;  // first job or post-gap segment
   } else {
-    machine.seg_end = std::max(machine.seg_end, iv.completion);
+    mach.seg_end = std::max(mach.seg_end, iv.completion);
   }
-  machine.has_jobs = true;
+  mach.has_jobs = true;
   ++stats_.jobs_assigned;
 
   // Only jobs still running at the stream clock occupy a capacity slot.
@@ -81,17 +106,43 @@ void MachinePool::place(MachineId m, const Interval& iv) {
   // could over-fill the heap when a group legally chains more than g
   // non-overlapping jobs through the same slots.
   if (iv.completion > stats_.clock) {
-    assert(machine.active.size() < static_cast<std::size_t>(g_));
-    machine.active.push_back(iv.completion);
-    std::push_heap(machine.active.begin(), machine.active.end(), std::greater<Time>());
+    assert(mach.active.size() < static_cast<std::size_t>(g_));
+    mach.active.push_back(iv.completion);
+    std::push_heap(mach.active.begin(), mach.active.end(), std::greater<Time>());
     ++stats_.active_jobs;
     stats_.peak_active_jobs = std::max(stats_.peak_active_jobs, stats_.active_jobs);
   }
 }
 
+std::optional<Time> MachinePool::truncate(MachineId m, Time completion,
+                                          bool preempt) {
+  const Time now = stats_.clock;
+  Machine& mach = machine(m);
+
+  const auto it = std::find(mach.active.begin(), mach.active.end(), completion);
+  if (it == mach.active.end()) return std::nullopt;  // nothing is running
+  mach.active.erase(it);
+  std::make_heap(mach.active.begin(), mach.active.end(), std::greater<Time>());
+  --stats_.active_jobs;
+
+  // Every remaining running job spans the cancel instant (it started at or
+  // before now and completes after), so the machine's busy tail beyond now
+  // is exactly [now, max remaining completion) — and the old tail reached
+  // seg_end.  The difference is the busy time nobody covers any more.
+  Time covered = now;
+  for (const Time c : mach.active) covered = std::max(covered, c);
+  const Time refund = mach.seg_end - covered;
+  assert(refund >= 0);
+  mach.seg_end = covered;
+
+  stats_.online_cost -= refund;
+  stats_.busy_time_refunded += refund;
+  ++(preempt ? stats_.jobs_preempted : stats_.jobs_cancelled);
+  return refund;
+}
+
 void MachinePool::unpin_all() {
-  for (const MachineId id : pinned_)
-    machines_[static_cast<std::size_t>(id)].pinned = false;
+  for (const MachineId id : pinned_) machine(id).pinned = false;
   pinned_.clear();
 }
 

@@ -16,12 +16,26 @@
 //    that disconnected busy periods split into separate machines), so the
 //    scan set stays proportional to the *current* load, not the history.
 //
+// Cancellations run the accounting in reverse: truncate(m, c, ...) removes
+// one running job and refunds the part of the machine's busy tail no longer
+// covered by any remaining job — an O(g) incremental update, never a
+// from-scratch union recomputation.
+//
+// Machine ids are *stable* (dense, in opening order, never reused) but live
+// behind a slot indirection: closed machines return their storage slot to a
+// free list and the next open_machine() recycles it, so a long-lived stream
+// holds one Machine struct (with its heap allocation) per *concurrently*
+// open machine plus 4 bytes per machine ever opened — not a full struct per
+// machine ever opened.
+//
 // Pinned machines are the one exception to auto-closing: the epoch-hybrid
 // policy pre-assigns a whole batch to machines before replaying the batch's
 // arrivals, so those machines must survive idle gaps until the batch is
 // fully placed.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/schedule.hpp"
@@ -38,7 +52,8 @@ class MachinePool {
 
   /// Advances the stream clock to `now` (monotone; asserts otherwise):
   /// retires jobs with completion <= now and closes machines that became
-  /// idle.  Call once per arrival instant before querying fits/extension.
+  /// idle, returning their slots to the free list.  Call once per event
+  /// instant before querying fits/extension.
   void advance(Time now);
 
   /// Ids of the currently open machines, in ascending (opening) order.
@@ -52,18 +67,43 @@ class MachinePool {
   /// reaches past iv.start.
   Time extension(MachineId m, const Interval& iv) const;
 
-  /// Opens a fresh machine and returns its id.  Pinned machines are exempt
-  /// from idle auto-closing until unpin_all().
+  /// Opens a machine and returns its id.  Ids are dense and stable; the
+  /// backing slot is recycled from a closed machine when one is free.
+  /// Pinned machines are exempt from idle auto-closing until unpin_all().
   MachineId open_machine(bool pinned = false);
 
   /// Places `iv` on machine `m` at the current clock (advance(iv.start)
   /// must have been called).  Updates busy time incrementally.
   void place(MachineId m, const Interval& iv);
 
+  /// Truncates a running job on open machine `m` at the current clock: the
+  /// job previously placed with completion `completion` stops now.  Frees
+  /// its capacity slot, refunds the machine's busy tail that no other
+  /// running job covers, and returns the refund.  Returns nullopt — with no
+  /// stats touched — when no such running job exists on `m` (replay
+  /// guarantees one; direct API callers count the event as ignored).
+  /// Advance to the cancel instant first.
+  std::optional<Time> truncate(MachineId m, Time completion, bool preempt);
+
+  /// Counts a cancel/preempt event that had no effect (job already done,
+  /// not started, or already retracted).
+  void note_ignored_cancel() { ++stats_.cancels_ignored; }
+
+  /// Counts a retraction of a job that was never placed (epoch-hybrid
+  /// pending batch): the tail was never charged, so nothing is refunded.
+  void note_pending_cancel(bool preempt) {
+    ++(preempt ? stats_.jobs_preempted : stats_.jobs_cancelled);
+  }
+
   /// Clears all pins; idle pinned machines close on the next advance().
   void unpin_all();
 
   const EngineStats& stats() const noexcept { return stats_; }
+
+  /// Machines ever opened (== the id the next open_machine() returns).
+  std::size_t machines_ever() const noexcept { return slot_of_.size(); }
+  /// Backing Machine structs in existence (high-water of open machines).
+  std::size_t slot_count() const noexcept { return slots_.size(); }
 
  private:
   struct Machine {
@@ -75,8 +115,17 @@ class MachinePool {
     bool pinned = false;
   };
 
+  static constexpr std::int32_t kNoSlot = -1;
+
+  Machine& machine(MachineId id);
+  const Machine& machine(MachineId id) const;
+
   int g_ = 1;
-  std::vector<Machine> machines_;
+  std::vector<Machine> slots_;
+  /// External id -> slot index; kNoSlot once the machine has closed.  This
+  /// is the only per-machine-ever state (4 bytes each).
+  std::vector<std::int32_t> slot_of_;
+  std::vector<std::int32_t> free_slots_;  // LIFO: hottest storage first
   std::vector<MachineId> open_;
   std::vector<MachineId> pinned_;
   EngineStats stats_;

@@ -8,19 +8,58 @@
 
 namespace busytime {
 
+namespace {
+
+[[noreturn]] void throw_out_of_order(const char* what, JobId id, Time at,
+                                     Time stream_time) {
+  std::ostringstream oss;
+  oss << "out-of-order " << what << ": job " << id << " at " << at
+      << " but the stream is already at " << stream_time;
+  throw std::invalid_argument(oss.str());
+}
+
+}  // namespace
+
 void OnlineScheduler::on_arrival(JobId id, const Job& job) {
-  if (started_ && job.start() < last_start_) {
-    std::ostringstream oss;
-    oss << "out-of-order arrival: job " << id << " starts at " << job.start()
-        << " but the stream is already at " << last_start_;
-    throw std::invalid_argument(oss.str());
-  }
+  if (started_ && job.start() < last_time_)
+    throw_out_of_order("arrival", id, job.start(), last_time_);
   started_ = true;
-  last_start_ = job.start();
+  last_time_ = job.start();
 
   schedule_.ensure_size(static_cast<std::size_t>(id) + 1);
   pool_.advance(job.start());
   handle(id, job);
+}
+
+void OnlineScheduler::on_cancel(JobId id, const Job& job, Time at, bool preempt) {
+  if (started_ && at < last_time_)
+    throw_out_of_order(preempt ? "preemption" : "cancellation", id, at, last_time_);
+  started_ = true;
+  last_time_ = at;
+
+  schedule_.ensure_size(static_cast<std::size_t>(id) + 1);
+  if (retracted_.size() < schedule_.size()) retracted_.resize(schedule_.size(), 0);
+  pool_.advance(at);
+
+  // No-op retractions: the job already finished (at >= completion), never
+  // started its run (at <= start), or was retracted before.
+  if (at <= job.start() || at >= job.completion() ||
+      retracted_[static_cast<std::size_t>(id)]) {
+    pool_.note_ignored_cancel();
+    return;
+  }
+  if (handle_cancel(id, job, at, preempt)) {
+    retracted_[static_cast<std::size_t>(id)] = 1;
+  } else {
+    pool_.note_ignored_cancel();
+  }
+}
+
+bool OnlineScheduler::handle_cancel(JobId id, const Job& job, Time /*at*/,
+                                    bool preempt) {
+  const MachineId m = schedule_.machine_of(id);
+  if (m == Schedule::kUnscheduled) return false;  // never arrived: nothing to undo
+  return pool_.truncate(m, job.completion(), preempt).has_value();
 }
 
 void OnlineFirstFit::handle(JobId id, const Job& job) {

@@ -1,9 +1,10 @@
 // OnlineScheduler interface and the greedy online policies.
 //
-// An OnlineScheduler consumes a time-ordered arrival stream and commits each
-// job to a machine; the resulting Schedule is index-compatible with the
-// originating Instance, so offline cost accounting, validation and the
-// Observation 2.1 bounds all apply unchanged.
+// An OnlineScheduler consumes a time-ordered event stream — arrivals plus
+// cancellations/preemptions — and commits each job to a machine; the
+// resulting Schedule is index-compatible with the originating Instance, so
+// offline cost accounting, validation and the Observation 2.1 bounds all
+// apply unchanged (against the residual instance when jobs were retracted).
 //
 // Policies:
 //   first-fit     arrival-order FirstFit — the paper's 4-approximation
@@ -16,13 +17,21 @@
 //   epoch-hybrid  delayed commitment (online/epoch_hybrid.hpp): batches
 //                 arrivals into epochs and re-optimizes each batch with the
 //                 offline dispatcher.
+//
+// All policies process retractions the same way once a job is placed: the
+// machine's capacity slot frees at the cancel instant and the busy tail no
+// remaining job covers is refunded (MachinePool::truncate).  The hybrid
+// additionally truncates jobs still pending in its epoch batch before they
+// are ever placed.
 #pragma once
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/schedule.hpp"
 #include "online/engine_stats.hpp"
+#include "online/event.hpp"
 #include "online/machine_pool.hpp"
 
 namespace busytime {
@@ -37,14 +46,31 @@ class OnlineScheduler {
   explicit OnlineScheduler(int g) : pool_(g), schedule_(0) {}
   virtual ~OnlineScheduler() = default;
 
-  /// Feeds the next arrival.  Starts must be non-decreasing across calls;
-  /// out-of-order arrivals throw std::invalid_argument.  `id` indexes the
-  /// job in the originating instance (ids may arrive in any order as long
-  /// as starts are monotone).
+  /// Feeds the next arrival.  Event times must be non-decreasing across
+  /// on_arrival/on_cancel calls; out-of-order events throw
+  /// std::invalid_argument.  `id` indexes the job in the originating
+  /// instance (ids may arrive in any order as long as times are monotone).
   void on_arrival(JobId id, const Job& job);
 
+  /// Feeds a cancellation (preempt = false) or preemption (preempt = true):
+  /// job `id` — which previously arrived as `job` — stops at `at`, its
+  /// remaining run is retracted, and the uncovered busy tail is refunded.
+  /// Events outside the job's run (at <= start, at >= completion, or a
+  /// second retraction) are counted as ignored.  `at` must be monotone with
+  /// the other events.
+  void on_cancel(JobId id, const Job& job, Time at, bool preempt = false);
+
+  /// Feeds one merged stream event (arrival or retraction).
+  void on_event(const StreamEvent& ev) {
+    if (ev.kind == EventKind::kArrival) {
+      on_arrival(ev.id, ev.job);
+    } else {
+      on_cancel(ev.id, ev.job, ev.time, ev.kind == EventKind::kPreempt);
+    }
+  }
+
   /// Commits any deferred jobs (no-op for the pure greedy policies).  Must
-  /// be called once after the last arrival before reading the schedule.
+  /// be called once after the last event before reading the schedule.
   virtual void flush() {}
 
   /// Advances the pool clock without an arrival: retires completed jobs and
@@ -65,6 +91,13 @@ class OnlineScheduler {
   /// has already been advanced to job.start().
   virtual void handle(JobId id, const Job& job) = 0;
 
+  /// Policy hook for an effective retraction (the pool clock is at `at`,
+  /// which lies strictly inside the job's run, and the job has not been
+  /// retracted before).  Returns true when the retraction took effect.  The
+  /// base implementation truncates the placed job on its machine; policies
+  /// that defer commitment override it to retract pending jobs first.
+  virtual bool handle_cancel(JobId id, const Job& job, Time at, bool preempt);
+
   /// Places `job` on machine `m` and records the assignment.
   void commit(JobId id, MachineId m, const Job& job) {
     pool_.place(m, job.interval);
@@ -76,7 +109,9 @@ class OnlineScheduler {
 
  private:
   bool started_ = false;
-  Time last_start_ = 0;
+  Time last_time_ = 0;
+  /// Jobs already effectively retracted (second retractions are no-ops).
+  std::vector<char> retracted_;
 };
 
 /// Online first-fit: first open machine with a free slot, in opening order.

@@ -14,10 +14,14 @@ namespace busytime {
 
 namespace {
 
-/// One shard: a contiguous range [begin, end) of the start-sorted order.
+/// One shard: a contiguous range [begin, end) of the start-sorted order,
+/// plus the contiguous range [cancel_begin, cancel_end) of the canonical
+/// cancel list whose jobs fall in this shard.
 struct ShardRange {
   std::size_t begin = 0;
   std::size_t end = 0;
+  std::size_t cancel_begin = 0;
+  std::size_t cancel_end = 0;
 };
 
 /// Cuts the start-sorted stream into shards.  A cut is legal only at a
@@ -34,7 +38,7 @@ std::vector<ShardRange> plan_shards(const Instance& trace, int threads,
   std::vector<ShardRange> shards;
   if (n == 0) return shards;
   if (threads <= 1 || n < 2 * std::max<std::size_t>(min_shard_jobs, 2)) {
-    shards.push_back({0, n});
+    shards.push_back({0, n, 0, 0});
     return shards;
   }
 
@@ -48,24 +52,46 @@ std::vector<ShardRange> plan_shards(const Instance& trace, int threads,
     const auto& iv = trace.job(order[k]).interval;
     if (iv.start >= frontier && iv.start - frontier >= min_gap &&
         k - shard_begin >= target) {
-      shards.push_back({shard_begin, k});
+      shards.push_back({shard_begin, k, 0, 0});
       shard_begin = k;
     }
     frontier = std::max(frontier, iv.completion);
   }
-  shards.push_back({shard_begin, n});
+  shards.push_back({shard_begin, n, 0, 0});
   return shards;
 }
 
-}  // namespace
+/// Assigns each canonical cancel record to the shard holding its job's
+/// arrival.  An effective record's time lies strictly inside its job's
+/// interval, so it is strictly earlier than every event of any later shard
+/// and strictly later than its shard's first arrival: the canonical
+/// (time-sorted) cancel list decomposes into contiguous per-shard runs, and
+/// each shard's run replays in the exact position the sequential stream
+/// processes it.
+void bucket_cancels(const std::vector<CancelRecord>& cancels,
+                    const std::vector<std::size_t>& pos_by_id,
+                    std::vector<ShardRange>& shards) {
+  std::size_t next = 0;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    shards[s].cancel_begin = next;
+    while (next < cancels.size()) {
+      const std::size_t pos =
+          pos_by_id[static_cast<std::size_t>(cancels[next].job)];
+      if (pos >= shards[s].end) break;
+      ++next;
+    }
+    shards[s].cancel_end = next;
+  }
+}
 
-ReplayResult replay_stream(const Instance& trace, OnlinePolicy policy,
-                           const PolicyParams& params, int threads,
-                           std::size_t min_shard_jobs) {
+ReplayResult replay_events(const Instance& trace,
+                           const std::vector<CancelRecord>& cancels,
+                           OnlinePolicy policy, const PolicyParams& params,
+                           int threads, std::size_t min_shard_jobs) {
   const int t = exec::resolve_threads(threads);
   const Time min_gap =
       policy == OnlinePolicy::kEpochHybrid ? params.epoch_length : 0;
-  const auto shards = plan_shards(trace, t, min_shard_jobs, min_gap);
+  auto shards = plan_shards(trace, t, min_shard_jobs, min_gap);
 
   ReplayResult result;
   result.threads = t;
@@ -74,6 +100,13 @@ ReplayResult replay_stream(const Instance& trace, OnlinePolicy policy,
   if (shards.empty()) return result;
 
   const auto& order = trace.ids_by_start();
+  std::vector<std::size_t> pos_by_id;
+  if (!cancels.empty()) {
+    pos_by_id.resize(trace.size());
+    for (std::size_t k = 0; k < order.size(); ++k)
+      pos_by_id[static_cast<std::size_t>(order[k])] = k;
+    bucket_cancels(cancels, pos_by_id, shards);
+  }
 
   struct ShardRun {
     Schedule part;  // over shard-local job ids (position within the shard)
@@ -82,9 +115,28 @@ ReplayResult replay_stream(const Instance& trace, OnlinePolicy policy,
   std::vector<ShardRun> runs(shards.size());
   exec::parallel_for(t, shards.size(), [&](std::size_t s) {
     const auto sched = make_scheduler(policy, trace.g(), params);
-    for (std::size_t k = shards[s].begin; k < shards[s].end; ++k)
-      sched->on_arrival(static_cast<JobId>(k - shards[s].begin),
-                        trace.job(order[k]));
+    // Merge the shard's arrivals with its retractions in the canonical
+    // stream order (the same rule EventStream applies).
+    std::size_t a = shards[s].begin;
+    std::size_t c = shards[s].cancel_begin;
+    while (a < shards[s].end || c < shards[s].cancel_end) {
+      const bool take_cancel =
+          c < shards[s].cancel_end &&
+          (a >= shards[s].end ||
+           retraction_precedes_arrival(cancels[c].at,
+                                       trace.job(order[a]).start()));
+      if (take_cancel) {
+        const CancelRecord& record = cancels[c++];
+        const std::size_t pos =
+            pos_by_id[static_cast<std::size_t>(record.job)];
+        sched->on_cancel(static_cast<JobId>(pos - shards[s].begin),
+                         trace.job(record.job), record.at, record.preempt);
+      } else {
+        sched->on_arrival(static_cast<JobId>(a - shards[s].begin),
+                          trace.job(order[a]));
+        ++a;
+      }
+    }
     if (s + 1 < shards.size()) {
       // Finalize exactly as the sequential stream does around the next
       // shard's first arrival: advance (closing machines gone idle), flush
@@ -103,10 +155,10 @@ ReplayResult replay_stream(const Instance& trace, OnlinePolicy policy,
   });
 
   // Stitch in shard order.  Shards are time-disjoint and a sequential pool
-  // never reuses a closed machine, so offsetting each shard's machine ids
-  // by the openings before it reproduces the sequential numbering; counters
-  // add, peaks max (only one shard is ever active at a time), and the final
-  // clock / open set are the last shard's.
+  // never reuses a closed machine's id, so offsetting each shard's machine
+  // ids by the openings before it reproduces the sequential numbering;
+  // counters add, peaks max (only one shard is ever active at a time), and
+  // the final clock / open set are the last shard's.
   EngineStats merged;
   MachineId base = 0;
   for (std::size_t s = 0; s < shards.size(); ++s) {
@@ -129,18 +181,30 @@ ReplayResult replay_stream(const Instance& trace, OnlinePolicy policy,
         std::max(merged.peak_open_machines, run.stats.peak_open_machines);
     merged.peak_active_jobs =
         std::max(merged.peak_active_jobs, run.stats.peak_active_jobs);
+    merged.jobs_cancelled += run.stats.jobs_cancelled;
+    merged.jobs_preempted += run.stats.jobs_preempted;
+    merged.cancels_ignored += run.stats.cancels_ignored;
+    merged.busy_time_refunded += run.stats.busy_time_refunded;
     merged.online_cost += run.stats.online_cost;
   }
+  // Slot recycling is a per-pool storage effect: a sequential pool recycles
+  // across shard boundaries where per-shard pools start fresh, so the count
+  // is reconstructed from its invariant (a fresh slot is allocated exactly
+  // when the open count tops its previous high water) rather than summed.
+  merged.slots_recycled = merged.machines_opened - merged.peak_open_machines;
   merged.clock = runs.back().stats.clock;
   result.stats = merged;
   return result;
 }
 
-StreamReport run_stream(const Instance& trace, OnlinePolicy policy,
+StreamReport run_events(const Instance& trace,
+                        const std::vector<CancelRecord>& cancels,
+                        const Instance& residual, OnlinePolicy policy,
                         const StreamOptions& options) {
   StreamReport report;
   report.policy = policy;
   report.jobs = trace.size();
+  report.cancels = cancels.size();
 
   // Warm the memoized arrival order outside the timed region (the
   // sequential driver's JobStream constructor historically sorted before
@@ -148,7 +212,7 @@ StreamReport run_stream(const Instance& trace, OnlinePolicy policy,
   if (!trace.empty()) trace.ids_by_start();
 
   const auto t0 = std::chrono::steady_clock::now();
-  ReplayResult replay = replay_stream(trace, policy, options.policy,
+  ReplayResult replay = replay_events(trace, cancels, policy, options.policy,
                                       options.threads, options.min_shard_jobs);
   const auto t1 = std::chrono::steady_clock::now();
 
@@ -160,24 +224,44 @@ StreamReport run_stream(const Instance& trace, OnlinePolicy policy,
   report.jobs_per_sec = report.elapsed_sec > 0
                             ? static_cast<double>(report.jobs) / report.elapsed_sec
                             : 0;
-  report.ratio_to_lb = ratio_to_lower_bound(trace, report.online_cost);
-  if (options.validate) report.valid = is_valid(trace, replay.schedule);
+  report.ratio_to_lb = ratio_to_lower_bound(residual, report.online_cost);
+  if (options.validate) report.valid = is_valid(residual, replay.schedule);
 
-  // Offline comparison on a prefix of the same stream.
+  // Offline comparison on a prefix of the same stream, against the residual
+  // workload (what actually ran).
   const std::size_t k = std::min(options.offline_prefix, trace.size());
   if (k > 0) {
     std::vector<JobId> prefix_order = trace.ids_by_start();
     prefix_order.resize(k);
-    const Instance prefix = trace.restricted_to(prefix_order);
     report.prefix_jobs = k;
-    // A full-trace prefix needs no second replay: its online cost is the
-    // one just measured.
-    report.prefix_online_cost =
-        k == trace.size()
-            ? report.online_cost
-            : replay_stream(prefix, policy, options.policy, 1).stats.online_cost;
-    report.prefix_offline_cost =
-        solve_minbusy_auto(prefix).schedule.cost(prefix);
+    if (k == trace.size()) {
+      // A full-trace prefix needs no second replay: its online cost is the
+      // one just measured.
+      report.prefix_online_cost = report.online_cost;
+      report.prefix_offline_cost =
+          solve_minbusy_auto(residual).schedule.cost(residual);
+    } else {
+      const Instance prefix = trace.restricted_to(prefix_order);
+      // Renumber the prefix's retractions: restricted_to assigns new id k to
+      // the job at position k of the start order.
+      std::vector<std::size_t> pos_by_id(trace.size(),
+                                         std::numeric_limits<std::size_t>::max());
+      const auto& order = trace.ids_by_start();
+      for (std::size_t p = 0; p < k; ++p)
+        pos_by_id[static_cast<std::size_t>(order[p])] = p;
+      std::vector<CancelRecord> prefix_cancels;
+      for (const CancelRecord& record : cancels) {
+        const std::size_t pos = pos_by_id[static_cast<std::size_t>(record.job)];
+        if (pos >= k) continue;
+        prefix_cancels.push_back({static_cast<JobId>(pos), record.at, record.preempt});
+      }
+      const EventTrace prefix_trace(prefix, std::move(prefix_cancels));
+      report.prefix_online_cost =
+          replay_stream(prefix_trace, policy, options.policy, 1).stats.online_cost;
+      const Instance prefix_residual = prefix_trace.residual();
+      report.prefix_offline_cost =
+          solve_minbusy_auto(prefix_residual).schedule.cost(prefix_residual);
+    }
     if (report.prefix_offline_cost > 0) {
       report.competitive_ratio =
           static_cast<double>(report.prefix_online_cost) /
@@ -187,11 +271,41 @@ StreamReport run_stream(const Instance& trace, OnlinePolicy policy,
   return report;
 }
 
+}  // namespace
+
+ReplayResult replay_stream(const Instance& trace, OnlinePolicy policy,
+                           const PolicyParams& params, int threads,
+                           std::size_t min_shard_jobs) {
+  return replay_events(trace, {}, policy, params, threads, min_shard_jobs);
+}
+
+ReplayResult replay_stream(const EventTrace& trace, OnlinePolicy policy,
+                           const PolicyParams& params, int threads,
+                           std::size_t min_shard_jobs) {
+  return replay_events(trace.base(), trace.cancels(), policy, params, threads,
+                       min_shard_jobs);
+}
+
+StreamReport run_stream(const Instance& trace, OnlinePolicy policy,
+                        const StreamOptions& options) {
+  return run_events(trace, {}, trace, policy, options);
+}
+
+StreamReport run_stream(const EventTrace& trace, OnlinePolicy policy,
+                        const StreamOptions& options) {
+  return run_events(trace.base(), trace.cancels(), trace.residual(), policy,
+                    options);
+}
+
 std::string StreamReport::summary() const {
   std::ostringstream oss;
-  oss << to_string(policy) << ": jobs=" << jobs << " cost=" << online_cost
+  oss << to_string(policy) << ": jobs=" << jobs;
+  if (cancels > 0) oss << " cancels=" << cancels;
+  oss << " cost=" << online_cost
       << " jobs/sec=" << static_cast<std::int64_t>(jobs_per_sec)
       << " ratio_to_lb=" << ratio_to_lb;
+  if (stats.busy_time_refunded > 0)
+    oss << " refunded=" << stats.busy_time_refunded;
   if (threads > 1) oss << " threads=" << threads << " shards=" << shards;
   if (prefix_offline_cost > 0)
     oss << " competitive_ratio@" << prefix_jobs << "=" << competitive_ratio;

@@ -12,21 +12,31 @@
 //                       competitive ratio; the offline solve is super-linear,
 //                       so the prefix keeps million-job runs tractable).
 //
+// Traces may carry cancellation/preemption records (EventTrace): the replay
+// feeds the merged event stream to the policy, and every comparison — lower
+// bound, validation, offline prefix — is made against the *residual*
+// instance (retracted jobs truncated), the workload that actually ran.
+//
 // Sharded replay: interval-graph components are totally ordered in time (the
 // sweep starts a new component exactly when an arrival misses the running
 // frontier), so the arrival stream splits at component boundaries into
 // time-disjoint shards that replay concurrently, one MachinePool per shard.
-// Stitched in shard order, the result — assignments, cost, EngineStats —
-// is identical to the sequential replay at every thread count; for the
-// epoch-hybrid policy, shard cuts are restricted to boundaries whose idle
-// gap is at least the epoch length (where the sequential run provably
-// flushes its batch), which preserves the equivalence.
+// Cancellations shard with their component: an effective record's time lies
+// strictly inside its job's interval, hence strictly before any later
+// component boundary, so each shard replays its own retractions in stream
+// order.  Stitched in shard order, the result — assignments, cost,
+// EngineStats — is identical to the sequential replay at every thread
+// count; for the epoch-hybrid policy, shard cuts are restricted to
+// boundaries whose idle gap is at least the epoch length (where the
+// sequential run provably flushes its batch), which preserves the
+// equivalence.
 #pragma once
 
 #include <cstddef>
 #include <string>
 
 #include "core/instance.hpp"
+#include "online/event.hpp"
 #include "online/scheduler.hpp"
 
 namespace busytime {
@@ -49,6 +59,7 @@ struct StreamOptions {
 struct StreamReport {
   OnlinePolicy policy = OnlinePolicy::kFirstFit;
   std::size_t jobs = 0;
+  std::size_t cancels = 0;   ///< retraction records replayed
   Time online_cost = 0;
   EngineStats stats;
   bool valid = true;
@@ -84,8 +95,22 @@ ReplayResult replay_stream(const Instance& trace, OnlinePolicy policy,
                            const PolicyParams& params, int threads = 1,
                            std::size_t min_shard_jobs = 4096);
 
+/// Replays an event trace — arrivals interleaved with cancellations and
+/// preemptions in time order (retractions first at equal times).  Same
+/// determinism contract: schedule, cost, and stats are bit-identical at
+/// every thread count, and the final online_cost equals
+/// schedule.cost(trace.residual()).
+ReplayResult replay_stream(const EventTrace& trace, OnlinePolicy policy,
+                           const PolicyParams& params, int threads = 1,
+                           std::size_t min_shard_jobs = 4096);
+
 /// Replays `trace` (jobs in start order) through `policy` and reports.
 StreamReport run_stream(const Instance& trace, OnlinePolicy policy,
+                        const StreamOptions& options = {});
+
+/// Replays an event trace through `policy` and reports against the residual
+/// instance (lower bound, validation, offline prefix comparison).
+StreamReport run_stream(const EventTrace& trace, OnlinePolicy policy,
                         const StreamOptions& options = {});
 
 }  // namespace busytime

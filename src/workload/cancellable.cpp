@@ -1,0 +1,46 @@
+#include "workload/cancellable.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace busytime {
+
+namespace {
+
+void require_probability(const char* name, double value) {
+  if (!(value >= 0.0 && value <= 1.0))
+    throw std::invalid_argument(std::string(name) + " must be in [0, 1], got " +
+                                std::to_string(value));
+}
+
+}  // namespace
+
+EventTrace with_random_cancels(Instance inst, const CancelParams& p) {
+  // Params flow straight from CLI flags; reject rather than assert so the
+  // error is the same in every build type.
+  require_probability("cancel_rate", p.cancel_rate);
+  require_probability("preempt_fraction", p.preempt_fraction);
+  Rng rng(p.seed);
+  std::vector<CancelRecord> cancels;
+  for (std::size_t j = 0; j < inst.size(); ++j) {
+    const Job& job = inst.job(static_cast<JobId>(j));
+    if (job.length() < 2) continue;  // no instant strictly inside the run
+    if (!rng.bernoulli(p.cancel_rate)) continue;
+    CancelRecord record;
+    record.job = static_cast<JobId>(j);
+    record.at = rng.uniform_int(job.start() + 1, job.completion() - 1);
+    record.preempt = rng.bernoulli(p.preempt_fraction);
+    cancels.push_back(record);
+  }
+  return EventTrace(std::move(inst), std::move(cancels));
+}
+
+EventTrace gen_cancellable(const TraceParams& trace, const CancelParams& cancels) {
+  return with_random_cancels(gen_trace(trace), cancels);
+}
+
+}  // namespace busytime

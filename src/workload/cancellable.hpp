@@ -1,0 +1,39 @@
+// Cancellable workload generator: arrival traces with retraction events.
+//
+// Production serving streams retract work — users abort requests, the
+// system preempts jobs for higher-priority tenants.  This generator layers
+// seed-deterministic cancellation/preemption records over any arrival
+// instance: each job (long enough to be caught mid-flight) is retracted
+// with probability `cancel_rate`, at a uniform instant strictly inside its
+// run, and a `preempt_fraction` share of the retractions are counted as
+// system-side preemptions.  Deterministic in (params, seed), like every
+// other generator.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+#include "online/event.hpp"
+#include "workload/trace.hpp"
+
+namespace busytime {
+
+struct CancelParams {
+  /// Probability that a (cancellable) job gets a retraction record.
+  double cancel_rate = 0.1;
+  /// Share of retractions that are preemptions rather than cancels.
+  double preempt_fraction = 0.25;
+  std::uint64_t seed = 1;
+};
+
+/// Layers retraction records over an existing instance.  Only jobs with
+/// length >= 2 can be retracted (an effective instant must lie strictly
+/// inside the half-open run).  Records are drawn in job-id order, so the
+/// result is independent of how `inst` was produced.
+EventTrace with_random_cancels(Instance inst, const CancelParams& p);
+
+/// Poisson/bounded-Pareto cluster trace (workload/trace.hpp) plus random
+/// retractions: the full cancellable serving workload in one call.
+EventTrace gen_cancellable(const TraceParams& trace, const CancelParams& cancels);
+
+}  // namespace busytime

@@ -237,8 +237,14 @@ void expect_stats_eq(const EngineStats& a, const EngineStats& b,
   EXPECT_EQ(a.peak_open_machines, b.peak_open_machines) << context;
   EXPECT_EQ(a.active_jobs, b.active_jobs) << context;
   EXPECT_EQ(a.peak_active_jobs, b.peak_active_jobs) << context;
+  EXPECT_EQ(a.jobs_cancelled, b.jobs_cancelled) << context;
+  EXPECT_EQ(a.jobs_preempted, b.jobs_preempted) << context;
+  EXPECT_EQ(a.cancels_ignored, b.cancels_ignored) << context;
+  EXPECT_EQ(a.slots_recycled, b.slots_recycled) << context;
+  EXPECT_EQ(a.busy_time_refunded, b.busy_time_refunded) << context;
   EXPECT_EQ(a.clock, b.clock) << context;
   EXPECT_EQ(a.online_cost, b.online_cost) << context;
+  EXPECT_TRUE(a == b) << context;  // full EngineStats equality
 }
 
 Instance sharding_trace(int n = 20000) {
