@@ -1,0 +1,199 @@
+// PERF — Service facade: sustained request throughput against the long-lived
+// busytime::Service.  Three measurements:
+//
+//   cold   — the one-shot shape: blocking borrow-path solves (what the free
+//            run_solver shim does), components + classification rebuilt
+//            every request;
+//   warm   — blocking solves against one loaded InstanceHandle: identical
+//            call pattern, but every request reuses the cached InstanceView.
+//            warm_speedup = cold/warm therefore isolates exactly what the
+//            decomposition cache buys;
+//   mixed  — a five-solver portfolio submitted asynchronously against the
+//            warm handle (the serve-mode shape; adds worker parallelism).
+//
+// Every result is verified bit-identical to sequential run_solver, and the
+// run emits BENCH_service.json for the perf trajectory.
+//
+// Flags:
+//   --n=N          jobs in the trace                   (default 20000)
+//   --g=G          machine capacity                    (default 8)
+//   --seed=S       trace seed                          (default 2012)
+//   --rate=R       mean arrivals per time unit         (default 0.5)
+//   --requests=K   requests per measurement            (default 100)
+//   --workers=W    Service worker count                (default 2)
+//   --out=FILE     JSON output path                    (default BENCH_service.json)
+//   --smoke        CI mode: n=5000, 30 requests
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "io/json.hpp"
+#include "service/service.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "workload/trace.hpp"
+
+namespace busytime {
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool same_result(const SolveResult& a, const SolveResult& b) {
+  return a.solver == b.solver && a.status == b.status && a.cost == b.cost &&
+         a.throughput == b.throughput && a.valid == b.valid &&
+         a.schedule.assignment() == b.schedule.assignment() &&
+         a.trace == b.trace && a.stats == b.stats;
+}
+
+struct Measurement {
+  double wall_ms = 0;
+  double requests_per_sec = 0;
+  bool identical = true;
+};
+
+json::Value to_json(const Measurement& m) {
+  json::Value v = json::Value::object();
+  v.set("wall_ms", m.wall_ms);
+  v.set("requests_per_sec", m.requests_per_sec);
+  v.set("identical", m.identical);
+  return v;
+}
+
+int main_impl(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const bool smoke = flags.get_bool("smoke");
+
+  TraceParams tp;
+  tp.n = static_cast<int>(flags.get_int("n", smoke ? 5000 : 20000));
+  tp.g = static_cast<int>(flags.get_int("g", 8));
+  tp.arrival_rate = flags.get_double("rate", 0.5);
+  tp.diurnal = true;
+  tp.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2012));
+  const int requests =
+      static_cast<int>(flags.get_int("requests", smoke ? 30 : 100));
+  const int workers = static_cast<int>(flags.get_int("workers", 2));
+  const std::string out_path = flags.get("out", "BENCH_service.json");
+
+  const Instance trace = gen_trace(tp);
+  trace.ids_by_start();  // warm the memoized order outside every timing
+  const SolverSpec spec = SolverSpec::parse("auto");
+  const SolveResult baseline = run_solver(trace, spec);
+
+  Service service(ServiceConfig{workers});
+
+  // --------------------------------------------------------- cold solves ---
+  // Borrow-path blocking solves: no handle, every request rebuilds
+  // components and classification — exactly the one-shot run_solver shape.
+  Measurement cold;
+  {
+    const double t0 = now_ms();
+    for (int r = 0; r < requests; ++r)
+      cold.identical =
+          cold.identical && same_result(service.solve(trace, spec), baseline);
+    cold.wall_ms = now_ms() - t0;
+    cold.requests_per_sec = requests / (cold.wall_ms / 1000.0);
+  }
+
+  // --------------------------------------------------------- warm solves ---
+  // Same blocking call pattern against one loaded handle: the only delta
+  // vs cold is the cached decomposition, so cold/warm is the cache's win.
+  Measurement warm;
+  const InstanceHandle handle = service.load(trace);
+  {
+    const double t0 = now_ms();
+    for (int r = 0; r < requests; ++r)
+      warm.identical =
+          warm.identical && same_result(service.solve(handle, spec), baseline);
+    warm.wall_ms = now_ms() - t0;
+    warm.requests_per_sec = requests / (warm.wall_ms / 1000.0);
+  }
+
+  // ---------------------------------------------- mixed sustained batch ---
+  // A portfolio of specs against the shared warm handle, the serve-mode
+  // shape; identity checked against sequential run_solver per spec.
+  Measurement mixed;
+  std::size_t mixed_requests = 0;
+  std::vector<SolverSpec> portfolio;
+  for (const char* name : {"auto", "first_fit", "online_first_fit",
+                           "online_best_fit", "epoch_hybrid"})
+    portfolio.push_back(SolverSpec::parse(name));
+  std::vector<SolveResult> portfolio_baseline;
+  for (const SolverSpec& s : portfolio)
+    portfolio_baseline.push_back(run_solver(trace, s));
+  {
+    const int rounds = (requests + static_cast<int>(portfolio.size()) - 1) /
+                       static_cast<int>(portfolio.size());
+    const double t0 = now_ms();
+    std::vector<std::future<SolveResult>> futures;
+    for (int round = 0; round < rounds; ++round)
+      for (const SolverSpec& s : portfolio)
+        futures.push_back(service.submit(handle, s));
+    for (std::size_t i = 0; i < futures.size(); ++i)
+      mixed.identical = mixed.identical &&
+                        same_result(futures[i].get(),
+                                    portfolio_baseline[i % portfolio.size()]);
+    mixed.wall_ms = now_ms() - t0;
+    mixed_requests = futures.size();
+    mixed.requests_per_sec =
+        static_cast<double>(mixed_requests) / (mixed.wall_ms / 1000.0);
+  }
+
+  // ---------------------------------------------------------------- emit ---
+  json::Value root = json::Value::object();
+  root.set("bench", "service");
+  root.set("smoke", smoke);
+  root.set("hardware_threads", exec::hardware_threads());
+  root.set("jobs", static_cast<std::int64_t>(trace.size()));
+  root.set("g", tp.g);
+  root.set("seed", static_cast<std::int64_t>(tp.seed));
+  root.set("requests", requests);
+  root.set("workers", service.workers());
+  root.set("cold", to_json(cold));
+  root.set("warm", to_json(warm));
+  root.set("mixed", to_json(mixed));
+  root.set("warm_speedup", cold.wall_ms / warm.wall_ms);
+  root.set("view_builds", static_cast<std::int64_t>(handle->view_builds()));
+  root.set("view_hits", static_cast<std::int64_t>(handle->view_hits()));
+
+  std::ofstream out(out_path);
+  out << root.dump(2) << "\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  Table table({"path", "requests", "wall_ms", "requests/sec", "identical"});
+  table.add_row({"cold (no handle)", Table::fmt(static_cast<long long>(requests)),
+                 Table::fmt(cold.wall_ms), Table::fmt(cold.requests_per_sec),
+                 cold.identical ? "yes" : "NO"});
+  table.add_row({"warm (shared handle)", Table::fmt(static_cast<long long>(requests)),
+                 Table::fmt(warm.wall_ms), Table::fmt(warm.requests_per_sec),
+                 warm.identical ? "yes" : "NO"});
+  table.add_row({"mixed async portfolio",
+                 Table::fmt(static_cast<long long>(mixed_requests)),
+                 Table::fmt(mixed.wall_ms), Table::fmt(mixed.requests_per_sec),
+                 mixed.identical ? "yes" : "NO"});
+  table.print(std::cout);
+  std::cout << "warm speedup vs cold: " << Table::fmt(cold.wall_ms / warm.wall_ms)
+            << "x  (view_builds=" << handle->view_builds()
+            << " view_hits=" << handle->view_hits() << ")\n";
+
+  if (!cold.identical || !warm.identical || !mixed.identical) {
+    std::cerr << "error: a facade result diverged from sequential run_solver\n";
+    return 1;
+  }
+  if (handle->view_builds() != 1) {
+    std::cerr << "error: warm handle rebuilt its view "
+              << handle->view_builds() << " times\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace busytime
+
+int main(int argc, char** argv) { return busytime::main_impl(argc, argv); }

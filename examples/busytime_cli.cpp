@@ -1,10 +1,13 @@
-// Command-line driver over the unified solver API.
+// Command-line driver over the unified solver API and the Service facade.
 //
 //   busytime_cli --list-solvers [--json]
 //   busytime_cli solve (--in=FILE | --family=NAME --n=N --g=G --seed=S)
 //                [--solver=SPEC|all] [--budget=T] [--epoch=T] [--max_batch=K]
-//                [--threads=N] [--improve] [--json] [--json-out=FILE]
-//                [--out=FILE] [--gantt]
+//                [--threads=N] [--improve] [--deadline_ms=D] [--json]
+//                [--json-out=FILE] [--out=FILE] [--gantt]
+//   busytime_cli serve (--in=FILE | --family=NAME --n=N --g=G --seed=S)
+//                --specs=FILE [--workers=N] [--deadline_ms=D] [--json]
+//   busytime_cli diff  a.json b.json [--tol=R]
 //   busytime_cli gen   --family=NAME --n=N --g=G --seed=S [--out=FILE]
 //                [--cancel_rate=P] [--preempt_frac=P]
 //   busytime_cli check --in=FILE --schedule=FILE
@@ -13,7 +16,22 @@
 // "auto", "best_cut", "epoch_hybrid:epoch=256", "tput_clique:budget=500";
 // "--solver=all" runs every applicable registered solver side by side and
 // reports each cost next to the Observation 2.1 lower bound.  "--json"
-// emits machine-readable busytime-result-v1 documents.
+// emits machine-readable busytime-result-v1 documents.  Non-default
+// options the chosen solver never reads are warned about on stderr (they
+// are also recorded in the result's ignored_options).
+//
+// "serve" is the batch mode over the long-lived Service facade: one
+// workload is loaded into an InstanceHandle once (components and
+// per-component classification cached), then every spec in --specs (one
+// per line, '#' comments) is submitted asynchronously against it;
+// --deadline_ms is the per-request default for specs without their own
+// deadline_ms, and expired requests report status "deadline" instead of
+// failing the batch.
+//
+// "diff" compares two busytime-result-v1 files (e.g. --json-out of two
+// builds) and exits nonzero when the second regresses the first: higher
+// cost, lower throughput, lost validity, or a degraded request status —
+// the check that turns saved result files into dashboardable artifacts.
 //
 // Input files may carry interleaved cancel/preempt records (docs/FORMATS.md)
 // and "gen --cancel_rate=P" produces them: online solvers replay the merged
@@ -31,12 +49,15 @@
 //
 // Instance families: general, clique, proper, proper_clique, one_sided,
 // trace.
+#include <chrono>
+#include <fstream>
 #include <iostream>
 
 #include "api/registry.hpp"
 #include "busytime.hpp"
 #include "exec/thread_pool.hpp"
 #include "io/serialize.hpp"
+#include "service/service.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 #include "viz/gantt.hpp"
@@ -51,8 +72,11 @@ int usage() {
       << "  --list-solvers [--json]                      enumerate the registry\n"
       << "  solve (--in=FILE | --family=F --n=N --g=G --seed=S)\n"
       << "        [--solver=SPEC|all] [--budget=T] [--epoch=T] [--max_batch=K]\n"
-      << "        [--threads=N] [--improve] [--json] [--json-out=FILE]\n"
-      << "        [--out=FILE] [--gantt]\n"
+      << "        [--threads=N] [--improve] [--deadline_ms=D] [--json]\n"
+      << "        [--json-out=FILE] [--out=FILE] [--gantt]\n"
+      << "  serve (--in=FILE | --family=F --n=N --g=G --seed=S)\n"
+      << "        --specs=FILE [--workers=N] [--deadline_ms=D] [--json]\n"
+      << "  diff  a.json b.json [--tol=R]\n"
       << "  gen   --family=F --n=N --g=G --seed=S [--out=FILE]\n"
       << "        [--cancel_rate=P] [--preempt_frac=P]\n"
       << "  check --in=FILE --schedule=FILE\n"
@@ -121,8 +145,21 @@ SolverSpec make_spec(const Flags& flags) {
   if (flags.has("epoch")) spec.options.set("epoch", flags.get("epoch", ""));
   if (flags.has("max_batch")) spec.options.set("max_batch", flags.get("max_batch", ""));
   if (flags.has("threads")) spec.options.set("threads", flags.get("threads", ""));
+  if (flags.has("deadline_ms"))
+    spec.options.set("deadline_ms", flags.get("deadline_ms", ""));
   if (flags.get_bool("improve")) spec.options.improve = true;
   return spec;
+}
+
+/// Surfaces options the solver never read; silent acceptance is how typos
+/// like --epoch on an offline solver go unnoticed.
+void warn_ignored(const SolveResult& result) {
+  if (result.ignored_options.empty()) return;
+  std::cerr << "warning: solver '" << result.solver << "' ignored option"
+            << (result.ignored_options.size() > 1 ? "s" : "") << ": ";
+  for (std::size_t i = 0; i < result.ignored_options.size(); ++i)
+    std::cerr << (i ? ", " : "") << result.ignored_options[i];
+  std::cerr << "\n";
 }
 
 int cmd_list_solvers(const Flags& flags) {
@@ -206,14 +243,21 @@ int cmd_solve_all(const EventTrace& trace, const Flags& flags,
 
   for (std::size_t i = 0; i < runnable.size(); ++i) {
     const SolveResult& result = solved[i];
-    all_valid = all_valid && result.valid;
+    warn_ignored(result);
+    // Deadline/cancel-tripped requests are a request outcome, not a solver
+    // correctness failure; only a completed-but-invalid schedule is an
+    // error.
+    all_valid = all_valid && (result.status != SolveStatus::kOk || result.valid);
     table.add_row({result.solver, to_string(runnable[i]->kind),
                    Table::fmt(static_cast<long long>(result.cost)),
                    Table::fmt(bounds.lower_bound()),
                    Table::fmt(result.ratio_to_lower_bound),
                    Table::fmt(result.throughput),
                    Table::fmt(static_cast<long long>(result.stats.machines_opened)),
-                   Table::fmt(result.wall_ms), result.valid ? "yes" : "NO"});
+                   Table::fmt(result.wall_ms),
+                   result.status != SolveStatus::kOk ? to_string(result.status)
+                   : result.valid                    ? "yes"
+                                                     : "NO"});
     results.push_back(result_to_json_value(result));
   }
   if (flags.get_bool("json")) {
@@ -244,6 +288,7 @@ int cmd_solve(const Flags& flags) {
   if (spec.name == "all") return cmd_solve_all(trace, flags, spec);
 
   const SolveResult result = run_solver(trace, spec);
+  warn_ignored(result);
   if (flags.get_bool("json")) {
     std::cout << result_to_json(result);
   } else {
@@ -253,10 +298,202 @@ int cmd_solve(const Flags& flags) {
   if (flags.has("out")) save_schedule(flags.get("out", ""), result.schedule);
   if (flags.get_bool("gantt"))
     std::cout << render_gantt(trace.residual(), result.schedule);
+  if (result.status != SolveStatus::kOk) {
+    std::cerr << "error: request did not complete: " << to_string(result.status)
+              << "\n";
+    return 1;
+  }
   if (!result.valid) {
     std::cerr << "error: solver produced an invalid schedule\n";
     return 1;
   }
+  return 0;
+}
+
+/// Parses a specs file for serve mode: one solver spec per line, blank
+/// lines and '#' comments skipped.
+std::vector<SolverSpec> load_specs(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open specs file: " + path);
+  std::vector<SolverSpec> specs;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    const std::size_t end = line.find_last_not_of(" \t\r");
+    specs.push_back(SolverSpec::parse(line.substr(begin, end - begin + 1)));
+  }
+  if (specs.empty())
+    throw std::runtime_error("specs file has no specs: " + path);
+  return specs;
+}
+
+int cmd_serve(const Flags& flags) {
+  if (!flags.has("specs")) {
+    std::cerr << "error: serve needs --specs=FILE (one solver spec per line)\n";
+    return 2;
+  }
+  std::vector<SolverSpec> specs = load_specs(flags.get("specs", ""));
+  // Batch-level default only: a spec that set its own deadline_ms keeps it.
+  if (flags.has("deadline_ms"))
+    for (SolverSpec& spec : specs)
+      if (spec.options.deadline_ms == 0)
+        spec.options.set("deadline_ms", flags.get("deadline_ms", ""));
+
+  const EventTrace trace = load_or_generate(flags);
+  ServiceConfig config;
+  config.workers = static_cast<int>(flags.get_int("workers", 0));
+  Service service(config);
+  const InstanceHandle handle = service.load(trace);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::future<SolveResult>> futures =
+      service.submit_all(handle, specs);
+  std::vector<SolveResult> results;
+  results.reserve(futures.size());
+  for (auto& future : futures) results.push_back(future.get());
+  const double batch_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+
+  bool failed = false;
+  Table table({"spec", "status", "cost", "ratio", "tput", "machines", "wall_ms",
+               "valid"});
+  json::Value out = json::Value::array();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SolveResult& result = results[i];
+    warn_ignored(result);
+    if (result.status == SolveStatus::kOk && !result.valid) failed = true;
+    table.add_row({specs[i].to_string(), to_string(result.status),
+                   Table::fmt(static_cast<long long>(result.cost)),
+                   Table::fmt(result.ratio_to_lower_bound),
+                   Table::fmt(result.throughput),
+                   Table::fmt(static_cast<long long>(result.stats.machines_opened)),
+                   Table::fmt(result.wall_ms),
+                   result.status != SolveStatus::kOk ? "-"
+                   : result.valid                    ? "yes"
+                                                     : "NO"});
+    out.push_back(result_to_json_value(result));
+  }
+
+  const ServiceStats stats = service.stats();
+  if (flags.get_bool("json")) {
+    json::Value root = json::Value::object();
+    root.set("instance", trace_summary(trace));
+    root.set("jobs", static_cast<std::int64_t>(trace.size()));
+    root.set("g", trace.g());
+    root.set("workers", service.workers());
+    root.set("batch_ms", batch_ms);
+    json::Value svc = json::Value::object();
+    svc.set("requests", static_cast<std::int64_t>(stats.requests));
+    svc.set("ok", static_cast<std::int64_t>(stats.ok));
+    svc.set("deadline_expired", static_cast<std::int64_t>(stats.deadline_expired));
+    svc.set("cancelled", static_cast<std::int64_t>(stats.cancelled));
+    svc.set("view_builds", static_cast<std::int64_t>(handle->view_builds()));
+    svc.set("view_hits", static_cast<std::int64_t>(handle->view_hits()));
+    root.set("service", std::move(svc));
+    root.set("results", std::move(out));
+    std::cout << root.dump(2) << "\n";
+  } else {
+    std::cout << trace_summary(trace) << "\n";
+    table.print(std::cout);
+    std::cout << results.size() << " requests on " << service.workers()
+              << " workers in " << Table::fmt(batch_ms) << " ms  (ok=" << stats.ok
+              << " deadline=" << stats.deadline_expired
+              << " view_builds=" << handle->view_builds()
+              << " view_hits=" << handle->view_hits() << ")\n";
+  }
+  if (failed) {
+    std::cerr << "error: some solver produced an invalid schedule\n";
+    return 1;
+  }
+  return 0;
+}
+
+/// One row of the diff report; regressions flip the exit code.
+struct DiffRow {
+  std::string field, a, b, note;
+  bool regression = false;
+};
+
+int cmd_diff(const Flags& flags) {
+  const auto& files = flags.positional();
+  if (files.size() != 2) {
+    std::cerr << "error: diff needs exactly two busytime-result-v1 files\n";
+    return 2;
+  }
+  const SolveResult a = load_result_json(files[0]);
+  const SolveResult b = load_result_json(files[1]);
+  const double tol = flags.get_double("tol", 1e-9);
+
+  std::vector<DiffRow> rows;
+  const auto num = [&](const std::string& field, double va, double vb,
+                       bool worse_if_higher, bool is_regression_field) {
+    DiffRow row;
+    row.field = field;
+    row.a = Table::fmt(va);
+    row.b = Table::fmt(vb);
+    const double delta = vb - va;
+    if (delta != 0) row.note = (delta > 0 ? "+" : "") + Table::fmt(delta);
+    const bool worse = worse_if_higher ? delta > tol : delta < -tol;
+    row.regression = is_regression_field && worse;
+    rows.push_back(std::move(row));
+  };
+
+  {
+    DiffRow row{"solver", a.solver, b.solver, "", false};
+    if (a.solver != b.solver) row.note = "DIFFERENT SOLVERS";
+    rows.push_back(std::move(row));
+  }
+  {
+    DiffRow row{"status", to_string(a.status), to_string(b.status), "", false};
+    row.regression =
+        a.status == SolveStatus::kOk && b.status != SolveStatus::kOk;
+    if (row.regression) row.note = "request no longer completes";
+    rows.push_back(std::move(row));
+  }
+  {
+    DiffRow row{"valid", a.valid ? "yes" : "no", b.valid ? "yes" : "no", "", false};
+    row.regression = a.valid && !b.valid;
+    if (row.regression) row.note = "validity lost";
+    rows.push_back(std::move(row));
+  }
+  num("cost", static_cast<double>(a.cost), static_cast<double>(b.cost),
+      /*worse_if_higher=*/true, /*is_regression_field=*/true);
+  num("throughput", static_cast<double>(a.throughput),
+      static_cast<double>(b.throughput), /*worse_if_higher=*/false,
+      /*is_regression_field=*/true);
+  num("ratio_to_lower_bound", a.ratio_to_lower_bound, b.ratio_to_lower_bound,
+      /*worse_if_higher=*/true, /*is_regression_field=*/true);
+  num("lower_bound", a.bounds.lower_bound(), b.bounds.lower_bound(),
+      /*worse_if_higher=*/false, /*is_regression_field=*/false);
+  num("machines_opened", static_cast<double>(a.stats.machines_opened),
+      static_cast<double>(b.stats.machines_opened), /*worse_if_higher=*/true,
+      /*is_regression_field=*/false);
+  num("peak_open_machines", static_cast<double>(a.stats.peak_open_machines),
+      static_cast<double>(b.stats.peak_open_machines), /*worse_if_higher=*/true,
+      /*is_regression_field=*/false);
+  num("busy_time_refunded", static_cast<double>(a.stats.busy_time_refunded),
+      static_cast<double>(b.stats.busy_time_refunded), /*worse_if_higher=*/true,
+      /*is_regression_field=*/false);
+  num("wall_ms", a.wall_ms, b.wall_ms, /*worse_if_higher=*/true,
+      /*is_regression_field=*/false);
+
+  bool regressed = false;
+  Table table({"field", files[0], files[1], "note"});
+  for (const DiffRow& row : rows) {
+    regressed = regressed || row.regression;
+    table.add_row({row.field, row.a, row.b,
+                   row.regression ? "REGRESSION " + row.note : row.note});
+  }
+  table.print(std::cout);
+  if (regressed) {
+    std::cerr << "error: " << files[1] << " regresses " << files[0] << "\n";
+    return 1;
+  }
+  std::cout << "no regression\n";
   return 0;
 }
 
@@ -309,6 +546,8 @@ int main(int argc, char** argv) {
   try {
     if (command == "list-solvers") return cmd_list_solvers(flags);
     if (command == "solve") return cmd_solve(flags);
+    if (command == "serve") return cmd_serve(flags);
+    if (command == "diff") return cmd_diff(flags);
     if (command == "gen") return cmd_gen(flags);
     if (command == "check") return cmd_check(flags);
   } catch (const std::exception& e) {

@@ -1,9 +1,9 @@
-// Quickstart: build an instance, solve MinBusy through the unified solver
-// API, inspect the schedule, then solve a MaxThroughput variant.
+// Quickstart: build an instance, solve MinBusy through the Service facade,
+// inspect the schedule, then solve a MaxThroughput variant.
 //
 //   $ ./quickstart
 //
-// Walks through the core API in ~60 lines; see README.md for the narrative.
+// Walks through the core API in ~80 lines; see README.md for the narrative.
 #include <iostream>
 
 #include "busytime.hpp"
@@ -32,9 +32,14 @@ int main() {
   std::cout << "bounds: span=" << bounds.span << " len=" << bounds.length
             << " len/g=" << bounds.lower_bound() << "\n";
 
-  // MinBusy through the unified solver API: "auto" routes each connected
-  // component to the strongest applicable registered algorithm.
-  const SolveResult result = run_solver(inst, SolverSpec::parse("auto"));
+  // MinBusy through the Service facade: load() caches the instance's
+  // decomposition in a ref-counted handle, and "auto" routes each connected
+  // component to the strongest applicable registered algorithm.  (The
+  // one-shot run_solver(inst, spec) free function is a shim over the
+  // process-default Service — same results, no handle to keep.)
+  Service service;
+  const InstanceHandle handle = service.load(inst);
+  const SolveResult result = service.solve(handle, SolverSpec::parse("auto"));
   std::cout << "algorithms used:";
   for (const auto& entry : result.trace)
     std::cout << " " << entry.algo << "(" << entry.jobs << " jobs)";
@@ -53,13 +58,26 @@ int main() {
               << "\n";
 
   // MaxThroughput: with budget T, how many jobs can run?  Budgeted solvers
-  // take the budget as a spec option.
-  for (const Time budget : {10, 15, 20, 40}) {
-    const SolveResult tput = run_solver(
-        inst, SolverSpec::parse("tput_exact:budget=" + std::to_string(budget)));
-    std::cout << "budget " << budget << " -> throughput " << tput.throughput
-              << " (cost " << tput.cost << ")\n";
+  // take the budget as a spec option.  submit() returns a future; the four
+  // budgets run asynchronously against the same warm handle (its cached
+  // classification is reused — no re-decomposition per request).
+  std::vector<SolverSpec> budgeted;
+  for (const Time budget : {10, 15, 20, 40})
+    budgeted.push_back(
+        SolverSpec::parse("tput_exact:budget=" + std::to_string(budget)));
+  std::vector<std::future<SolveResult>> futures =
+      service.submit_all(handle, budgeted);
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const SolveResult tput = futures[i].get();
+    std::cout << "budget " << budgeted[i].options.budget << " -> throughput "
+              << tput.throughput << " (cost " << tput.cost << ")\n";
   }
+
+  // Per-request controls: a deadline of 0.000001ms trips before the solve
+  // starts — the request completes with status "deadline", it never throws.
+  const SolveResult expired =
+      service.solve(handle, SolverSpec::parse("auto:deadline_ms=0.000001"));
+  std::cout << "expired request status: " << to_string(expired.status) << "\n";
 
   // Replay the MinBusy schedule through the event simulator.
   const SimulationResult sim = simulate(inst, schedule);

@@ -6,9 +6,12 @@
 2. Registry cross-check: the solver names documented in docs/SOLVERS.md must
    match `busytime_cli --list-solvers --json` exactly, so the catalog cannot
    silently drift from the registry.
+3. Bench-catalog cross-check: every bench/*.cpp binary must have a
+   backtick-quoted row in docs/EXPERIMENTS.md, and every binary the catalog
+   names must exist, so the experiment catalog cannot drift either.
 
 Usage: check_docs.py [--cli=PATH_TO_BUSYTIME_CLI]
-       (omit --cli to run the link check only)
+       (omit --cli to run the link and bench-catalog checks only)
 """
 
 import json
@@ -66,6 +69,23 @@ def check_solver_catalog(cli):
     return failures
 
 
+def check_bench_catalog():
+    text = (REPO / "docs" / "EXPERIMENTS.md").read_text()
+    documented = set(re.findall(r"`((?:tbl_|fig|perf_)[a-z0-9_]+)`", text))
+    built = {src.stem for src in (REPO / "bench").glob("*.cpp")}
+
+    failures = []
+    for name in sorted(built - documented):
+        failures.append(f"docs/EXPERIMENTS.md: bench binary '{name}' exists "
+                        f"but is not catalogued")
+    for name in sorted(documented - built):
+        failures.append(f"docs/EXPERIMENTS.md: '{name}' is catalogued but "
+                        f"bench/{name}.cpp does not exist")
+    if not failures:
+        print(f"bench catalog ok: {len(built)} binaries catalogued")
+    return failures
+
+
 def main():
     cli = None
     for arg in sys.argv[1:]:
@@ -77,6 +97,7 @@ def main():
     failures = check_links()
     if not failures:
         print("link check ok")
+    failures += check_bench_catalog()
     if cli:
         failures += check_solver_catalog(cli)
     for failure in failures:

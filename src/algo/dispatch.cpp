@@ -32,16 +32,21 @@ std::optional<MinBusyAlgo> minbusy_algo_from_name(const std::string& name) {
   return std::nullopt;
 }
 
-DispatchResult solve_minbusy_auto(const Instance& inst, int threads) {
+DispatchResult solve_minbusy_auto(const InstanceView& view, int threads,
+                                  const RequestContext* context) {
   // Resolve the registry before fanning out: registration is not expected
   // under a running dispatch, and the dispatch order must be one snapshot.
   const auto& candidates = SolverRegistry::instance().dispatchable();
-  const InstanceView view(inst, threads);
+  const Instance& inst = view.instance();
   const std::size_t count = view.component_count();
 
   std::vector<Schedule> parts(count);
   std::vector<std::string> names(count);
   exec::parallel_for(threads, count, [&](std::size_t i) {
+    // The component boundary is the deadline/cancellation granularity: a
+    // control that trips here aborts the dispatch (parallel_for skips the
+    // remaining components and rethrows), never a running solver.
+    if (context != nullptr) context->check();
     const Instance& sub = view.component_instance(i);
     const InstanceClass& cls = view.component_class(i);
     for (const SolverInfo* info : candidates) {
@@ -72,8 +77,18 @@ DispatchResult solve_minbusy_auto(const Instance& inst, int threads) {
   return result;
 }
 
+DispatchResult solve_minbusy_auto(const Instance& inst, int threads,
+                                  const RequestContext* context) {
+  const InstanceView view(inst, threads);
+  return solve_minbusy_auto(view, threads, context);
+}
+
+DispatchResult solve_minbusy_auto(const Instance& inst, int threads) {
+  return solve_minbusy_auto(inst, threads, nullptr);
+}
+
 DispatchResult solve_minbusy_auto(const Instance& inst) {
-  return solve_minbusy_auto(inst, 0);
+  return solve_minbusy_auto(inst, 0, nullptr);
 }
 
 }  // namespace busytime

@@ -25,6 +25,9 @@
 
 namespace busytime {
 
+class InstanceView;
+struct RequestContext;
+
 /// Which built-in algorithm the dispatcher picked (legacy reporting enum;
 /// prefer DispatchResult::names, which also covers application-registered
 /// solvers).
@@ -64,5 +67,20 @@ DispatchResult solve_minbusy_auto(const Instance& inst, int threads);
 
 /// Overload using the exec process default thread count.
 DispatchResult solve_minbusy_auto(const Instance& inst);
+
+/// Dispatch over a prebuilt InstanceView (the Service facade's cached
+/// decomposition) with optional per-request controls: `context` (may be
+/// null) is checked before each component is solved — the component-boundary
+/// granularity of the deadline/cancellation contract — throwing
+/// DeadlineExceededError / RequestCancelledError out of the dispatch.
+/// Results are bit-identical to the Instance overloads for every view of
+/// the same instance, at every thread count.
+DispatchResult solve_minbusy_auto(const InstanceView& view, int threads,
+                                  const RequestContext* context);
+
+/// Context-aware overload that builds its own view (run_solver's path when
+/// no cached view applies but a deadline/cancel token is set).
+DispatchResult solve_minbusy_auto(const Instance& inst, int threads,
+                                  const RequestContext* context);
 
 }  // namespace busytime

@@ -11,6 +11,7 @@
 #include "algo/proper_clique_dp.hpp"
 #include "api/registry.hpp"
 #include "core/classify.hpp"
+#include "core/instance_view.hpp"
 
 namespace busytime::detail {
 
@@ -183,7 +184,7 @@ void register_offline_solvers(SolverRegistry& registry) {
       },
   });
 
-  registry.add({
+  SolverInfo auto_info{
       "auto",
       SolverKind::kOffline,
       OptimalityClass::kApprox,
@@ -192,15 +193,31 @@ void register_offline_solvers(SolverRegistry& registry) {
       [](const Instance&) { return true; },
       /*needs_budget=*/false,
       /*dispatch_priority=*/-1,
-      [](const Instance& inst, const SolverSpec&) {
-        DispatchResult d = solve_minbusy_auto(inst);
+      [](const Instance& inst, const SolverSpec& spec) {
+        // threads=1 is the option's default and here means "the exec
+        // process default" (the historical dispatch behavior, which the
+        // BUSYTIME_THREADS / --threads knobs steer); an explicit other
+        // value pins this request's worker count.  Either way results are
+        // identical — the determinism contract.
+        const int threads = spec.options.threads == 1 ? 0 : spec.options.threads;
+        const RequestContext* context = spec.context.get();
+        // A Service InstanceHandle may have cached the decomposition; the
+        // provider returns it only when it describes this exact instance.
+        const InstanceView* view =
+            context != nullptr && context->view_provider ? context->view_provider(inst)
+                                                         : nullptr;
+        DispatchResult d = view != nullptr
+                               ? solve_minbusy_auto(*view, threads, context)
+                               : solve_minbusy_auto(inst, threads, context);
         SolveResult r;
         r.schedule = std::move(d.schedule);
         for (std::size_t i = 0; i < d.names.size(); ++i)
           r.trace.push_back({d.component_jobs[i], d.names[i]});
         return r;
       },
-  });
+  };
+  auto_info.consumes = {"threads"};
+  registry.add(std::move(auto_info));
 
   registry.add({
       "exact",

@@ -53,6 +53,11 @@ SolverInfo stream_policy_info(std::string name, OnlinePolicy policy,
         replay_stream(trace, policy, params_from(spec), spec.options.threads),
         trace.size(), name);
   };
+  info.consumes = {"threads"};
+  if (policy == OnlinePolicy::kEpochHybrid) {
+    info.consumes.push_back("epoch");
+    info.consumes.push_back("max_batch");
+  }
   return info;
 }
 

@@ -101,9 +101,9 @@ const std::vector<const SolverInfo*>& SolverRegistry::dispatchable() const {
 
 namespace {
 
-/// Uniform SolveResult epilogue shared by every run_solver path: derives
-/// cost, throughput, bounds, ratio, and validity from the schedule against
-/// the instance the result is measured on.
+/// Uniform SolveResult epilogue shared by every run path: derives cost,
+/// throughput, bounds, ratio, and validity from the schedule against the
+/// instance the result is measured on.
 void finalize_result(SolveResult& result, const Instance& inst) {
   result.schedule.ensure_size(inst.size());
   result.cost = result.schedule.cost(inst);
@@ -114,10 +114,61 @@ void finalize_result(SolveResult& result, const Instance& inst) {
   result.valid = is_valid(inst, result.schedule);
 }
 
+/// Installs the runtime RequestContext when per-request controls are set and
+/// no Service already installed one (the free-function path with
+/// options.deadline_ms or a cancel token: the deadline clock starts here).
+void ensure_context(SolverSpec& spec) {
+  if (spec.context) return;
+  if (spec.options.deadline_ms <= 0 && !spec.cancel.cancellable()) return;
+  auto context = std::make_shared<RequestContext>();
+  context->set_deadline(std::chrono::steady_clock::now(),
+                        spec.options.deadline_ms);
+  context->cancel = spec.cancel;
+  spec.context = std::move(context);
+}
+
+/// Non-default options the chosen solver never reads (see
+/// SolverInfo::consumes); g and deadline_ms are consumed by the run path
+/// itself, budget by every budgeted solver, improve by the offline/exact
+/// post-pass.  threads is a run-path parallelism knob too (the CLI copies
+/// --threads into every spec while exec::set_default_threads already
+/// honors it globally): it never changes results, so a solver with nothing
+/// to parallelize is not "ignoring" it.
+std::vector<std::string> ignored_options_for(const SolverInfo& info,
+                                             const SolverOptions& options) {
+  std::vector<std::string> ignored;
+  for (const std::string& key : options.non_default_keys()) {
+    if (key == "g" || key == "deadline_ms" || key == "threads") continue;
+    if (key == "budget" && info.needs_budget) continue;
+    if (key == "improve" && (info.kind == SolverKind::kOffline ||
+                             info.kind == SolverKind::kExact))
+      continue;
+    if (std::find(info.consumes.begin(), info.consumes.end(), key) !=
+        info.consumes.end())
+      continue;
+    ignored.push_back(key);
+  }
+  return ignored;
+}
+
+/// The kDeadline / kCancelled result shape: empty schedule sized to the
+/// instance, nothing solved, nothing valid.
+SolveResult control_tripped(const SolverInfo& info, SolveStatus status,
+                            std::size_t jobs) {
+  SolveResult result;
+  result.solver = info.name;
+  result.status = status;
+  result.schedule.ensure_size(jobs);
+  return result;
+}
+
 }  // namespace
 
-SolveResult run_solver(const Instance& inst, const SolverSpec& spec) {
-  const SolverInfo& info = SolverRegistry::instance().at(spec.name);
+SolveResult detail::solve_request(const Instance& inst,
+                                  const SolverSpec& request) {
+  const SolverInfo& info = SolverRegistry::instance().at(request.name);
+  SolverSpec spec = request;
+  ensure_context(spec);
 
   // Capacity override rebuilds the instance; everything downstream sees the
   // requested g.
@@ -136,21 +187,33 @@ SolveResult run_solver(const Instance& inst, const SolverSpec& spec) {
                              target->summary() + ")");
 
   const auto t0 = std::chrono::steady_clock::now();
-  SolveResult result = info.run(*target, spec);
-  // Local-search post-pass: only for solver families whose validity notion
-  // is the base capacity count that improve_schedule preserves (extension
-  // solvers may obey stricter rules, e.g. per-job demands).
-  if (spec.options.improve &&
-      (info.kind == SolverKind::kOffline || info.kind == SolverKind::kExact)) {
-    result.schedule.ensure_size(target->size());
-    const LocalSearchStats ls = improve_schedule(*target, result.schedule);
-    if (ls.relocations + ls.swaps > 0)
-      result.trace.push_back({target->size(), "local_search"});
+  SolveResult result;
+  try {
+    // Entry checkpoint (a whole-instance solver is one "component"); the
+    // per-component dispatcher re-checks between components.
+    if (spec.context) spec.context->check();
+    result = info.run(*target, spec);
+    // Local-search post-pass: only for solver families whose validity notion
+    // is the base capacity count that improve_schedule preserves (extension
+    // solvers may obey stricter rules, e.g. per-job demands).
+    if (spec.options.improve &&
+        (info.kind == SolverKind::kOffline || info.kind == SolverKind::kExact)) {
+      result.schedule.ensure_size(target->size());
+      const LocalSearchStats ls = improve_schedule(*target, result.schedule);
+      if (ls.relocations + ls.swaps > 0)
+        result.trace.push_back({target->size(), "local_search"});
+    }
+  } catch (const DeadlineExceededError&) {
+    result = control_tripped(info, SolveStatus::kDeadline, target->size());
+  } catch (const RequestCancelledError&) {
+    result = control_tripped(info, SolveStatus::kCancelled, target->size());
   }
   const auto t1 = std::chrono::steady_clock::now();
 
   result.solver = info.name;
   result.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  result.ignored_options = ignored_options_for(info, spec.options);
+  if (result.status != SolveStatus::kOk) return result;
   finalize_result(result, *target);
   // Offline solvers have no streaming pool; give their counters the offline
   // meaning so every SolveResult reports through the same fields.
@@ -164,9 +227,12 @@ SolveResult run_solver(const Instance& inst, const SolverSpec& spec) {
   return result;
 }
 
-SolveResult run_solver(const EventTrace& trace, const SolverSpec& spec) {
-  if (!trace.has_cancels()) return run_solver(trace.base(), spec);
-  const SolverInfo& info = SolverRegistry::instance().at(spec.name);
+SolveResult detail::solve_request(const EventTrace& trace,
+                                  const SolverSpec& request) {
+  if (!trace.has_cancels()) return solve_request(trace.base(), request);
+  const SolverInfo& info = SolverRegistry::instance().at(request.name);
+  SolverSpec spec = request;
+  ensure_context(spec);
 
   // Capacity override rebuilds the trace; everything downstream sees the
   // requested g.
@@ -179,17 +245,29 @@ SolveResult run_solver(const EventTrace& trace, const SolverSpec& spec) {
   }
 
   const Instance& residual = target->residual();  // memoized on the trace
-  if (info.kind != SolverKind::kOnline) return run_solver(residual, spec);
+  if (info.kind != SolverKind::kOnline) return solve_request(residual, spec);
   if (!info.run_events)
     throw NotApplicableError("online solver '" + info.name +
                              "' cannot replay cancellation events");
 
   const auto t0 = std::chrono::steady_clock::now();
-  SolveResult result = info.run_events(*target, spec);
+  SolveResult result;
+  try {
+    // Event replays check controls once, at the start: shards replay whole
+    // components anyway, so this is the same component-boundary contract.
+    if (spec.context) spec.context->check();
+    result = info.run_events(*target, spec);
+  } catch (const DeadlineExceededError&) {
+    result = control_tripped(info, SolveStatus::kDeadline, target->size());
+  } catch (const RequestCancelledError&) {
+    result = control_tripped(info, SolveStatus::kCancelled, target->size());
+  }
   const auto t1 = std::chrono::steady_clock::now();
 
   result.solver = info.name;
   result.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  result.ignored_options = ignored_options_for(info, spec.options);
+  if (result.status != SolveStatus::kOk) return result;
   // Everything downstream is measured against the residual instance — the
   // workload that actually ran.  The engine's incrementally maintained
   // online_cost equals the recomputed cost (refunds are exact).

@@ -90,6 +90,12 @@ struct SolverInfo {
   /// retractions (the replay would silently drop them).
   std::function<SolveResult(const EventTrace&, const SolverSpec&)> run_events =
       nullptr;
+  /// Option keys this solver's run hook reads, beyond the ones every run
+  /// consumes uniformly (g, deadline_ms, the threads parallelism knob,
+  /// budget when needs_budget, improve for offline/exact solvers).  Any
+  /// other non-default option on a request is recorded in
+  /// SolveResult::ignored_options instead of silently accepted.
+  std::vector<std::string> consumes = {};
 
   /// Applicability with a precomputed classification (see
   /// applicable_classified).
@@ -139,6 +145,9 @@ class NotApplicableError : public std::invalid_argument {
   using std::invalid_argument::invalid_argument;
 };
 
+/// A thin shim over the process-default busytime::Service (see
+/// service/service.hpp), which owns the thread pool and per-request
+/// bookkeeping; defined in service/service.cpp.
 SolveResult run_solver(const Instance& inst, const SolverSpec& spec);
 
 /// Runs a solver on an event trace (arrivals + cancellations/preemptions).
@@ -157,6 +166,15 @@ void register_offline_solvers(SolverRegistry& registry);
 void register_throughput_solvers(SolverRegistry& registry);
 void register_online_solvers(SolverRegistry& registry);
 void register_extension_solvers(SolverRegistry& registry);
+
+// The context-aware solve cores behind run_solver and Service::submit:
+// resolve the spec, install the runtime RequestContext (deadline instant,
+// cancel token) when controls are set, run the solver with control
+// checkpoints at component boundaries, record ignored options, and fill
+// the uniform SolveResult fields.  Deadline/cancel trips surface as
+// SolveStatus, every other failure as the exceptions run_solver documents.
+SolveResult solve_request(const Instance& inst, const SolverSpec& spec);
+SolveResult solve_request(const EventTrace& trace, const SolverSpec& spec);
 }  // namespace detail
 
 }  // namespace busytime

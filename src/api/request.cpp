@@ -1,0 +1,14 @@
+#include "api/request.hpp"
+
+namespace busytime {
+
+std::string to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOk: return "ok";
+    case SolveStatus::kDeadline: return "deadline";
+    case SolveStatus::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+}  // namespace busytime

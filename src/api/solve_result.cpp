@@ -6,6 +6,10 @@ namespace busytime {
 
 std::string SolveResult::summary() const {
   std::ostringstream oss;
+  if (status != SolveStatus::kOk) {
+    oss << solver << ": " << to_string(status) << " wall=" << wall_ms << "ms";
+    return oss.str();
+  }
   oss << solver << ": cost=" << cost << " tput=" << throughput
       << " machines=" << stats.machines_opened
       << " lb=" << bounds.lower_bound() << " ratio=" << ratio_to_lower_bound
@@ -15,6 +19,11 @@ std::string SolveResult::summary() const {
     for (std::size_t i = 0; i < trace.size(); ++i)
       oss << (i ? " " : "") << trace[i].algo << "(" << trace[i].jobs << ")";
     oss << "]";
+  }
+  if (!ignored_options.empty()) {
+    oss << " ignored=";
+    for (std::size_t i = 0; i < ignored_options.size(); ++i)
+      oss << (i ? "," : "") << ignored_options[i];
   }
   return oss.str();
 }

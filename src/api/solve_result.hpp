@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "api/request.hpp"
 #include "core/bounds.hpp"
 #include "core/schedule.hpp"
 #include "online/engine_stats.hpp"
@@ -32,6 +33,11 @@ struct ComponentTrace {
 struct SolveResult {
   /// Registry name of the solver that produced this result.
   std::string solver;
+  /// Request outcome.  kDeadline / kCancelled results carry an empty
+  /// schedule (valid == false): controls are honored at component
+  /// boundaries, never mid-algorithm, so there is no partial schedule to
+  /// report.
+  SolveStatus status = SolveStatus::kOk;
   /// The computed (possibly partial, for throughput solvers) schedule.
   Schedule schedule;
   /// cost(s): total busy time of the schedule.
@@ -52,6 +58,11 @@ struct SolveResult {
   EngineStats stats;
   /// Wall-clock time of the solver proper (excludes validation/bounds).
   double wall_ms = 0;
+  /// Non-default spec options the chosen solver never looked at (e.g.
+  /// budget= on an offline solver, epoch= on first-fit), in option-key
+  /// order.  Callers asking for behavior the solver cannot deliver find out
+  /// here instead of silently; the CLI surfaces them as warnings.
+  std::vector<std::string> ignored_options;
 
   /// One-line human-readable summary for CLIs and logs.
   std::string summary() const;

@@ -1,6 +1,9 @@
 #include "api/solver_spec.hpp"
 
+#include <cmath>
+#include <iomanip>
 #include <limits>
+#include <sstream>
 
 #include "exec/thread_pool.hpp"
 
@@ -59,9 +62,38 @@ void SolverOptions::set(const std::string& key, const std::string& value) {
       throw SpecError("option 'threads' must be in [0, " +
                       std::to_string(exec::kMaxThreads) + "]");
     threads = static_cast<int>(v);
+  } else if (key == "deadline_ms") {
+    double parsed = 0;
+    std::size_t consumed = 0;
+    try {
+      parsed = std::stod(value, &consumed);
+    } catch (const std::exception&) {
+      throw SpecError("option 'deadline_ms': '" + value + "' is not a number");
+    }
+    if (consumed != value.size())
+      throw SpecError("option 'deadline_ms': trailing garbage in '" + value + "'");
+    // inf/nan would reach the deadline duration_cast as UB (and an
+    // "infinite" deadline means no deadline, which is spelled 0).
+    if (!std::isfinite(parsed) || parsed < 0)
+      throw SpecError("option 'deadline_ms' must be a finite number >= 0");
+    deadline_ms = parsed;
   } else {
     throw SpecError("unknown solver option '" + key + "'");
   }
+}
+
+std::vector<std::string> SolverOptions::non_default_keys() const {
+  const SolverOptions defaults;
+  std::vector<std::string> keys;
+  if (g != defaults.g) keys.push_back("g");
+  if (budget != defaults.budget) keys.push_back("budget");
+  if (epoch_length != defaults.epoch_length) keys.push_back("epoch");
+  if (max_batch != defaults.max_batch) keys.push_back("max_batch");
+  if (seed != defaults.seed) keys.push_back("seed");
+  if (improve != defaults.improve) keys.push_back("improve");
+  if (threads != defaults.threads) keys.push_back("threads");
+  if (deadline_ms != defaults.deadline_ms) keys.push_back("deadline_ms");
+  return keys;
 }
 
 SolverOptions SolverOptions::parse(const std::string& text) {
@@ -107,6 +139,14 @@ std::string SolverSpec::to_string() const {
   if (options.improve != defaults.improve) add("improve=1");
   if (options.threads != defaults.threads)
     add("threads=" + std::to_string(options.threads));
+  if (options.deadline_ms != defaults.deadline_ms) {
+    // Default ostream formatting switches to scientific notation for tiny
+    // values (std::to_string would render 1e-7 as "0.000000", silently
+    // turning a guaranteed-to-trip deadline into "no deadline" on reparse).
+    std::ostringstream ms;
+    ms << std::setprecision(15) << options.deadline_ms;
+    add("deadline_ms=" + ms.str());
+  }
   return opts.empty() ? name : name + ":" + opts;
 }
 

@@ -12,6 +12,11 @@
 //   threads=N     sharded-replay workers for the online policies
 //                 (0 = exec process default, 1 = sequential; results are
 //                 identical at every thread count)
+//   deadline_ms=D per-request deadline, honored at component boundaries
+//                 (0 = none); expired requests return status kDeadline
+//
+// Options a chosen solver never looks at are recorded in
+// SolveResult::ignored_options rather than silently accepted.
 //
 // Specs parse from "name" or "name:key=value,key=value" strings, the format
 // the busytime_cli accepts via --solver; malformed input throws SpecError
@@ -19,9 +24,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "api/request.hpp"
 #include "core/time_types.hpp"
 
 namespace busytime {
@@ -53,6 +61,11 @@ struct SolverOptions {
   /// Sharded-replay worker count for the online policies: 1 = sequential,
   /// 0 = exec::default_threads().  Never changes results, only speed.
   int threads = 1;
+  /// Per-request deadline in milliseconds, measured from request start
+  /// (Service::submit resolves it at submission, so queue wait counts);
+  /// 0 = no deadline.  Honored at component boundaries: an expired request
+  /// returns a SolveResult with status kDeadline and an empty schedule.
+  double deadline_ms = 0;
 
   /// Applies one "key=value" assignment; throws SpecError on unknown keys,
   /// non-numeric values, or out-of-range values.
@@ -60,12 +73,26 @@ struct SolverOptions {
 
   /// Parses a comma-separated "k=v,k=v" option list ("" is valid and empty).
   static SolverOptions parse(const std::string& text);
+
+  /// Option keys holding non-default values, in the documented key order.
+  /// The run path diffs this against what the chosen solver consumes to
+  /// fill SolveResult::ignored_options.
+  std::vector<std::string> non_default_keys() const;
 };
 
-/// A solver invocation request: registry name + options.
+/// A solver invocation request: registry name + options + per-request
+/// controls.
 struct SolverSpec {
   std::string name = "auto";
   SolverOptions options;
+  /// Cooperative cancellation handle for this request (inert by default).
+  /// Callers keep a copy and trigger it; the run path checks it at
+  /// component boundaries.  Never serialized.
+  CancelToken cancel;
+  /// Runtime context installed by the run path / Service (resolved deadline
+  /// instant, cancel token, cached-view hook).  Internal: callers set
+  /// options.deadline_ms and `cancel` instead.  Never serialized.
+  std::shared_ptr<const RequestContext> context;
 
   /// Parses "name" or "name:k=v,k=v".  Throws SpecError on an empty name or
   /// malformed option list.

@@ -14,6 +14,7 @@
 //   throughput/     MaxThroughput algorithms (Section 4) + reduction
 //   rect/           2-D rectangular jobs (Section 3.4)
 //   online/         streaming scheduler engine (arrival-order policies)
+//   service/        long-lived serving facade (async submits, cached handles)
 //   workload/       seeded synthetic instance generators
 //   sim/            event-driven machine/energy simulator + app mappings
 //   extensions/     Section 5 extensions (weighted, demands, ring, tree)
@@ -30,6 +31,7 @@
 #include "algo/one_sided.hpp"
 #include "algo/proper_clique_dp.hpp"
 #include "api/registry.hpp"
+#include "api/request.hpp"
 #include "api/solve_result.hpp"
 #include "api/solver_spec.hpp"
 #include "core/bounds.hpp"
@@ -68,6 +70,7 @@
 #include "rect/rect_schedule.hpp"
 #include "rect/rect_types.hpp"
 #include "rect/union_area.hpp"
+#include "service/service.hpp"
 #include "setcover/greedy_setcover.hpp"
 #include "sim/billing.hpp"
 #include "sim/machine_sim.hpp"

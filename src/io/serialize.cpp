@@ -201,11 +201,16 @@ json::Value result_to_json_value(const SolveResult& result) {
   json::Value root = json::Value::object();
   root.set("format", kResultFormat);
   root.set("solver", result.solver);
+  root.set("status", to_string(result.status));
   root.set("cost", result.cost);
   root.set("throughput", result.throughput);
   root.set("valid", result.valid);
   root.set("ratio_to_lower_bound", result.ratio_to_lower_bound);
   root.set("wall_ms", result.wall_ms);
+  json::Value ignored = json::Value::array();
+  for (const std::string& key : result.ignored_options)
+    ignored.push_back(key);
+  root.set("ignored_options", std::move(ignored));
 
   json::Value bounds = json::Value::object();
   bounds.set("length", result.bounds.length);
@@ -255,6 +260,19 @@ SolveResult result_from_json(const std::string& text) {
                              "', got '" + root.at("format").as_string() + "'");
   SolveResult result;
   result.solver = root.at("solver").as_string();
+  // Request-status fields postdate the v1 format's first release; absent
+  // keys (documents written before the Service facade) mean an ordinary
+  // completed solve.
+  if (const json::Value* status = root.find("status")) {
+    const std::string& text = status->as_string();
+    if (text == "ok") result.status = SolveStatus::kOk;
+    else if (text == "deadline") result.status = SolveStatus::kDeadline;
+    else if (text == "cancelled") result.status = SolveStatus::kCancelled;
+    else throw std::runtime_error("unknown result status '" + text + "'");
+  }
+  if (const json::Value* ignored = root.find("ignored_options"))
+    for (const json::Value& key : ignored->as_array())
+      result.ignored_options.push_back(key.as_string());
   result.cost = root.at("cost").as_int();
   result.throughput = root.at("throughput").as_int();
   result.valid = root.at("valid").as_bool();

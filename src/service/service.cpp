@@ -1,0 +1,138 @@
+#include "service/service.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace busytime {
+
+Service::Service(ServiceConfig config)
+    : config_(config), workers_(exec::resolve_threads(config.workers)) {}
+
+InstanceHandle Service::load(Instance inst) {
+  return load(EventTrace(std::move(inst)));
+}
+
+InstanceHandle Service::load(EventTrace trace) {
+  handles_loaded_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_shared<const InstanceState>(std::move(trace),
+                                               config_.view_threads);
+}
+
+SolveResult Service::record(SolveResult result) noexcept {
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  switch (result.status) {
+    case SolveStatus::kOk: ok_.fetch_add(1, std::memory_order_relaxed); break;
+    case SolveStatus::kDeadline:
+      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case SolveStatus::kCancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  return result;
+}
+
+template <typename Fn>
+SolveResult Service::count_failures(Fn&& fn) {
+  try {
+    return record(fn());
+  } catch (...) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  }
+}
+
+SolveResult Service::run_request(const InstanceHandle& handle, SolverSpec spec,
+                                 std::chrono::steady_clock::time_point start) {
+  auto context = std::make_shared<RequestContext>();
+  context->set_deadline(start, spec.options.deadline_ms);
+  context->cancel = spec.cancel;
+  // The request closure keeps the handle alive, so the raw pointer the
+  // provider captures outlives every checkpoint that can call it.  The
+  // provider hands out the cached view only for the handle's own solve
+  // target (a g= override rebuilds the instance, and the mismatch must
+  // neither build nor count anything).
+  const InstanceState* state = handle.get();
+  context->view_provider = [state](const Instance& inst) -> const InstanceView* {
+    return &inst == &state->solve_target() ? &state->view() : nullptr;
+  };
+  spec.context = std::move(context);
+  return count_failures(
+      [&] { return detail::solve_request(handle->trace(), spec); });
+}
+
+std::future<SolveResult> Service::submit(InstanceHandle handle,
+                                         SolverSpec spec) {
+  if (!handle)
+    throw std::invalid_argument("Service::submit: null InstanceHandle");
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const auto start = std::chrono::steady_clock::now();
+  auto task = std::make_shared<std::packaged_task<SolveResult()>>(
+      [this, handle = std::move(handle), spec = std::move(spec), start] {
+        return run_request(handle, spec, start);
+      });
+  std::future<SolveResult> future = task->get_future();
+  pool_.ensure_size(workers_);
+  pool_.submit([task] { (*task)(); });
+  return future;
+}
+
+std::vector<std::future<SolveResult>> Service::submit_all(
+    InstanceHandle handle, std::vector<SolverSpec> specs) {
+  std::vector<std::future<SolveResult>> futures;
+  futures.reserve(specs.size());
+  for (SolverSpec& spec : specs) futures.push_back(submit(handle, std::move(spec)));
+  return futures;
+}
+
+SolveResult Service::solve(const InstanceHandle& handle,
+                           const SolverSpec& spec) {
+  if (!handle)
+    throw std::invalid_argument("Service::solve: null InstanceHandle");
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  return run_request(handle, spec, std::chrono::steady_clock::now());
+}
+
+SolveResult Service::solve(const Instance& inst, const SolverSpec& spec) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  return count_failures([&] { return detail::solve_request(inst, spec); });
+}
+
+SolveResult Service::solve(const EventTrace& trace, const SolverSpec& spec) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  return count_failures([&] { return detail::solve_request(trace, spec); });
+}
+
+ServiceStats Service::stats() const noexcept {
+  ServiceStats s;
+  s.handles_loaded = handles_loaded_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.ok = ok_.load(std::memory_order_relaxed);
+  s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Service& Service::process_default() {
+  // Intentionally leaked, like exec::ThreadPool::shared(): the facade must
+  // stay usable from any static's lifetime, and its parked workers are
+  // reclaimed by the OS at process exit.
+  static Service* service = new Service();
+  return *service;
+}
+
+// The one-shot entry points are thin shims over the process-default
+// Service (declared in api/registry.hpp; defined here so api/ stays below
+// service/ in the layer map).
+SolveResult run_solver(const Instance& inst, const SolverSpec& spec) {
+  return Service::process_default().solve(inst, spec);
+}
+
+SolveResult run_solver(const EventTrace& trace, const SolverSpec& spec) {
+  return Service::process_default().solve(trace, spec);
+}
+
+}  // namespace busytime

@@ -1,0 +1,215 @@
+// The serving facade: a long-lived busytime::Service that owns the worker
+// pool and the registry handle, and turns the one-shot run_solver free
+// functions into a request path shaped for sustained traffic.
+//
+// The one-shot entry points rebuild everything per call — classification,
+// component decomposition, pool state.  A Service instead keeps that state
+// alive across requests:
+//
+//  * load() wraps a workload into a ref-counted InstanceHandle whose
+//    decomposition (components + per-component core/classify, the
+//    InstanceView) is computed once, on first use, and shared read-only by
+//    every subsequent request — warm re-solves skip re-classification
+//    entirely (observable via the handle's cache counters);
+//  * submit() enqueues a request onto the Service's own exec::ThreadPool
+//    and returns a std::future<SolveResult>; submit_all() batches; solve()
+//    is the blocking wrapper (inline on the caller thread, no pool hop);
+//  * per-request controls — SolverOptions::deadline_ms and
+//    SolverSpec::cancel — are resolved at submission (queue wait counts
+//    against the deadline) and honored at component boundaries; tripped
+//    requests complete with SolveStatus::kDeadline / kCancelled instead of
+//    throwing.
+//
+// Concurrency contract (the determinism contract extended to the facade):
+// concurrent submits against shared handles produce results bit-identical
+// to sequential run_solver calls, for every registered solver, at every
+// worker count.  Handles are immutable after load; every mutable Service
+// member is an atomic counter or the pool's own queue.
+//
+// The free run_solver(...) functions are thin shims over
+// Service::process_default(), so existing callers get the same facade
+// (and its request accounting) without holding a Service themselves.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "api/solve_result.hpp"
+#include "api/solver_spec.hpp"
+#include "core/instance_view.hpp"
+#include "exec/thread_pool.hpp"
+#include "online/event.hpp"
+
+namespace busytime {
+
+/// Immutable per-workload state cached across requests: the event trace
+/// (base instance + retractions) and the lazily-built InstanceView of the
+/// solve target.  Shared read-only by every request thread; the only
+/// mutation is the one-time view build (std::call_once) and the counters.
+class InstanceState {
+ public:
+  /// `view_threads` is the worker count for the one-time view build
+  /// (0 = exec process default; never changes the view's contents).
+  explicit InstanceState(EventTrace trace, int view_threads = 0)
+      : trace_(std::move(trace)), view_threads_(view_threads) {}
+
+  InstanceState(const InstanceState&) = delete;
+  InstanceState& operator=(const InstanceState&) = delete;
+
+  const EventTrace& trace() const noexcept { return trace_; }
+  const Instance& base() const noexcept { return trace_.base(); }
+  /// The instance requests are measured against: the residual workload
+  /// (base() when the trace carries no retractions).
+  const Instance& solve_target() const { return trace_.residual(); }
+
+  std::size_t jobs() const noexcept { return trace_.size(); }
+  int g() const noexcept { return trace_.g(); }
+
+  /// The memoized decomposition (components, sub-instances, per-component
+  /// classification) of solve_target().  Built exactly once, on first use;
+  /// concurrent callers block on the build and then share it read-only.
+  const InstanceView& view() const {
+    bool built_now = false;
+    std::call_once(view_once_, [&] {
+      view_ = std::make_unique<const InstanceView>(solve_target(), view_threads_);
+      built_now = true;
+    });
+    if (built_now)
+      view_builds_.fetch_add(1, std::memory_order_relaxed);
+    else
+      view_hits_.fetch_add(1, std::memory_order_relaxed);
+    return *view_;
+  }
+
+  /// Times view() found the decomposition already cached — each warm
+  /// re-solve that skipped re-classification counts one hit.
+  std::uint64_t view_hits() const noexcept {
+    return view_hits_.load(std::memory_order_relaxed);
+  }
+  /// Times view() actually built the decomposition (0 until first use,
+  /// 1 after — the view is never rebuilt).
+  std::uint64_t view_builds() const noexcept {
+    return view_builds_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  EventTrace trace_;
+  int view_threads_ = 0;
+  mutable std::once_flag view_once_;
+  mutable std::unique_ptr<const InstanceView> view_;
+  mutable std::atomic<std::uint64_t> view_hits_{0};
+  mutable std::atomic<std::uint64_t> view_builds_{0};
+};
+
+/// Ref-counted handle to cached instance state.  Copies share the state;
+/// the state (and the InstanceView inside it) lives until the last handle
+/// and the last in-flight request referencing it are gone.
+using InstanceHandle = std::shared_ptr<const InstanceState>;
+
+struct ServiceConfig {
+  /// Request-execution workers of the Service's own pool (0 = the exec
+  /// process default).  Workers start lazily on the first submit();
+  /// blocking solve() calls never spawn threads.  Worker count never
+  /// changes results, only throughput.
+  int workers = 0;
+  /// Worker count for the one-time InstanceView build of each handle
+  /// (0 = exec process default).
+  int view_threads = 0;
+};
+
+/// Aggregate request accounting; a consistent-enough snapshot for
+/// monitoring (counters are individually atomic, not read under one lock).
+struct ServiceStats {
+  std::uint64_t handles_loaded = 0;
+  std::uint64_t requests = 0;   ///< submitted + blocking, incl. in-flight
+  /// Requests that reached a terminal state: produced a SolveResult (any
+  /// status) or threw.  Invariant once idle:
+  /// completed == ok + deadline_expired + cancelled + failed.
+  std::uint64_t completed = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t failed = 0;  ///< threw (unknown solver, not applicable, ...)
+};
+
+class Service {
+ public:
+  explicit Service(ServiceConfig config = {});
+  /// Drains the queue: every submitted request runs to completion (its
+  /// future becomes ready) before the workers join.
+  ~Service() = default;
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Wraps a workload into cached instance state.  load(Instance) is the
+  /// no-retractions case.
+  InstanceHandle load(Instance inst);
+  InstanceHandle load(EventTrace trace);
+
+  /// Enqueues one request.  The deadline clock starts now — queue wait
+  /// counts — and the handle is kept alive by the request.  Errors
+  /// (unknown solver, NotApplicableError, SpecError) surface from
+  /// future.get(); deadline/cancel trips complete normally with the
+  /// corresponding SolveResult::status.  Do not block on the future from
+  /// inside another request of the same Service (the worker executing the
+  /// waiter would be the one needed to run the waitee).
+  std::future<SolveResult> submit(InstanceHandle handle, SolverSpec spec);
+
+  /// Batch submission: one future per spec, all against the same handle.
+  std::vector<std::future<SolveResult>> submit_all(InstanceHandle handle,
+                                                   std::vector<SolverSpec> specs);
+
+  /// Blocking wrapper: runs the request inline on the calling thread (no
+  /// pool hop), same semantics as submit(...).get().
+  SolveResult solve(const InstanceHandle& handle, const SolverSpec& spec);
+
+  /// Non-owning one-shot paths: solve a borrowed workload without building
+  /// handle state (what the free run_solver shims call).  No decomposition
+  /// is cached across calls.
+  SolveResult solve(const Instance& inst, const SolverSpec& spec);
+  SolveResult solve(const EventTrace& trace, const SolverSpec& spec);
+
+  ServiceStats stats() const noexcept;
+  const ServiceConfig& config() const noexcept { return config_; }
+  /// Resolved worker count of the request pool.
+  int workers() const noexcept { return workers_; }
+
+  /// The process-wide Service behind the free run_solver functions.
+  /// Never destroyed (same discipline as exec::ThreadPool::shared()).
+  static Service& process_default();
+
+ private:
+  /// Builds the RequestContext (deadline resolved against `start`, cancel
+  /// token, cached-view hook) and runs the request through the api/ core.
+  SolveResult run_request(const InstanceHandle& handle, SolverSpec spec,
+                          std::chrono::steady_clock::time_point start);
+  /// Status bookkeeping on the way out.
+  SolveResult record(SolveResult result) noexcept;
+
+  template <typename Fn>
+  SolveResult count_failures(Fn&& fn);
+
+  ServiceConfig config_;
+  int workers_ = 1;
+
+  std::atomic<std::uint64_t> handles_loaded_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> ok_{0};
+  std::atomic<std::uint64_t> deadline_expired_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> failed_{0};
+
+  /// Declared last: destroyed first, so the pool drains and joins while
+  /// every counter the in-flight requests touch is still alive.
+  exec::ThreadPool pool_;
+};
+
+}  // namespace busytime

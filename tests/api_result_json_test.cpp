@@ -73,6 +73,8 @@ TEST(ResultJson, RoundTripPreservesEveryField) {
   const SolveResult result = golden_result();
   const SolveResult reloaded = result_from_json(result_to_json(result));
   EXPECT_EQ(reloaded.solver, result.solver);
+  EXPECT_EQ(reloaded.status, result.status);
+  EXPECT_EQ(reloaded.ignored_options, result.ignored_options);
   EXPECT_EQ(reloaded.cost, result.cost);
   EXPECT_EQ(reloaded.throughput, result.throughput);
   EXPECT_EQ(reloaded.valid, result.valid);
@@ -109,6 +111,32 @@ TEST(ResultJson, MatchesGoldenFile) {
   const SolveResult reloaded = result_from_json(golden);
   EXPECT_EQ(reloaded.cost, golden_result().cost);
   EXPECT_EQ(reloaded.trace, golden_result().trace);
+}
+
+TEST(ResultJson, StatusAndIgnoredOptionsRoundTrip) {
+  // A deadline-tripped request with ignored options survives the round
+  // trip; pre-facade documents without the keys still load as plain "ok".
+  SolveResult result = golden_result();
+  result.status = SolveStatus::kDeadline;
+  result.ignored_options = {"epoch", "seed"};
+  const SolveResult reloaded = result_from_json(result_to_json(result));
+  EXPECT_EQ(reloaded.status, SolveStatus::kDeadline);
+  EXPECT_EQ(reloaded.ignored_options, result.ignored_options);
+  EXPECT_EQ(result_to_json(reloaded), result_to_json(result));
+
+  json::Value doc = json::Value::parse(result_to_json(golden_result()));
+  json::Value pruned = json::Value::object();
+  for (const auto& [key, value] : doc.as_object())
+    if (key != "status" && key != "ignored_options") pruned.set(key, value);
+  const SolveResult legacy = result_from_json(pruned.dump());
+  EXPECT_EQ(legacy.status, SolveStatus::kOk);
+  EXPECT_TRUE(legacy.ignored_options.empty());
+
+  // set() appends (first key wins on read), so rebuild to replace status.
+  json::Value bad = json::Value::object();
+  for (const auto& [key, value] : doc.as_object())
+    bad.set(key, key == "status" ? json::Value("exploded") : value);
+  EXPECT_THROW(result_from_json(bad.dump()), std::runtime_error);
 }
 
 TEST(ResultJson, RejectsOutOfRangeMachineIds) {

@@ -1,0 +1,354 @@
+// Service facade: async submits against cached InstanceHandles must be
+// bit-identical to sequential run_solver for every registered solver at
+// every worker count (the determinism contract extended to the serving
+// layer), warm handles must skip re-classification (cache counters), and
+// per-request deadlines / cancellation tokens must complete requests with
+// the right SolveStatus instead of throwing.  The ServiceFacade suite is a
+// ThreadSanitizer CI target.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "online/event.hpp"
+#include "service/service.hpp"
+#include "workload/cancellable.hpp"
+#include "workload/generators.hpp"
+#include "workload/trace.hpp"
+
+namespace busytime {
+namespace {
+
+Instance test_trace(int n = 150, std::uint64_t seed = 7) {
+  TraceParams p;
+  p.n = n;
+  p.g = 3;
+  p.arrival_rate = 0.4;
+  p.diurnal = true;
+  p.seed = seed;
+  return gen_trace(p);
+}
+
+/// Every registered solver that can run on `inst` with the given budget
+/// default, as ready-to-submit specs.
+std::vector<SolverSpec> runnable_specs(const Instance& inst, Time budget) {
+  std::vector<SolverSpec> specs;
+  for (const SolverInfo* info : SolverRegistry::instance().all()) {
+    if (!info->applicable(inst)) continue;
+    SolverSpec spec;
+    spec.name = info->name;
+    if (info->needs_budget) spec.options.budget = budget;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+/// Bit-identity modulo wall_ms (the only timing-dependent field).
+void expect_same_result(const SolveResult& got, const SolveResult& want,
+                        const std::string& label) {
+  EXPECT_EQ(got.solver, want.solver) << label;
+  EXPECT_EQ(got.status, want.status) << label;
+  EXPECT_EQ(got.schedule.assignment(), want.schedule.assignment()) << label;
+  EXPECT_EQ(got.cost, want.cost) << label;
+  EXPECT_EQ(got.throughput, want.throughput) << label;
+  EXPECT_EQ(got.valid, want.valid) << label;
+  EXPECT_EQ(got.trace, want.trace) << label;
+  EXPECT_TRUE(got.stats == want.stats) << label;
+  EXPECT_EQ(got.ignored_options, want.ignored_options) << label;
+  EXPECT_DOUBLE_EQ(got.ratio_to_lower_bound, want.ratio_to_lower_bound) << label;
+}
+
+// ------------------------------------------------ concurrency determinism ---
+
+/// Instance families that together make every registered solver applicable
+/// (trace for the general/online portfolio, small clique for the matching /
+/// set-cover / exact / throughput solvers, proper staircase for BestCut,
+/// one-sided for the Observation 3.1 greedy).
+std::vector<Instance> family_instances() {
+  std::vector<Instance> out;
+  out.push_back(test_trace());
+  GenParams clique;
+  clique.n = 14;
+  clique.g = 2;
+  clique.seed = 3;
+  out.push_back(gen_clique(clique));
+  GenParams proper;
+  proper.n = 60;
+  proper.g = 3;
+  proper.seed = 4;
+  out.push_back(gen_proper(proper));
+  GenParams proper_clique;
+  proper_clique.n = 30;
+  proper_clique.g = 3;
+  proper_clique.seed = 6;
+  out.push_back(gen_proper_clique(proper_clique));
+  GenParams one_sided;
+  one_sided.n = 40;
+  one_sided.g = 4;
+  one_sided.seed = 5;
+  out.push_back(gen_one_sided(one_sided));
+  return out;
+}
+
+TEST(ServiceFacade, ConcurrentSubmitsMatchSequentialRunSolver) {
+  const std::vector<Instance> instances = family_instances();
+
+  // Every registered solver must be exercised by at least one family.
+  std::size_t covered = 0;
+  for (const SolverInfo* info : SolverRegistry::instance().all())
+    for (const Instance& inst : instances)
+      if (info->applicable(inst)) {
+        ++covered;
+        break;
+      }
+  EXPECT_EQ(covered, SolverRegistry::instance().size())
+      << "some registered solver is applicable to no test family";
+
+  for (const Instance& inst : instances) {
+    const std::vector<SolverSpec> specs = runnable_specs(inst, /*budget=*/800);
+    std::vector<SolveResult> baseline;
+    for (const SolverSpec& spec : specs) baseline.push_back(run_solver(inst, spec));
+
+    for (const int workers : {1, 2, 8}) {
+      Service service(ServiceConfig{workers});
+      const InstanceHandle handle = service.load(inst);
+      // Two rounds through the shared handle: the second is fully warm.
+      for (int round = 0; round < 2; ++round) {
+        std::vector<std::future<SolveResult>> futures =
+            service.submit_all(handle, specs);
+        ASSERT_EQ(futures.size(), specs.size());
+        for (std::size_t i = 0; i < futures.size(); ++i)
+          expect_same_result(futures[i].get(), baseline[i],
+                            specs[i].name + " workers=" + std::to_string(workers) +
+                                " round=" + std::to_string(round));
+      }
+      const ServiceStats stats = service.stats();
+      EXPECT_EQ(stats.requests, 2 * specs.size());
+      EXPECT_EQ(stats.completed, 2 * specs.size());
+      EXPECT_EQ(stats.ok, 2 * specs.size());
+      EXPECT_EQ(stats.failed, 0u);
+    }
+  }
+}
+
+TEST(ServiceFacade, ManyClientThreadsShareOneHandle) {
+  const Instance inst = test_trace(120, /*seed=*/11);
+  const std::vector<SolverSpec> specs = runnable_specs(inst, /*budget=*/600);
+
+  std::vector<SolveResult> baseline;
+  for (const SolverSpec& spec : specs) baseline.push_back(run_solver(inst, spec));
+
+  Service service(ServiceConfig{4});
+  const InstanceHandle handle = service.load(inst);
+  constexpr int kClients = 8;
+  std::vector<std::vector<SolveResult>> per_client(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c)
+    clients.emplace_back([&, c] {
+      // Every client walks the portfolio from a different offset, so
+      // distinct solvers run concurrently against the shared handle.
+      for (std::size_t k = 0; k < specs.size(); ++k) {
+        const std::size_t i = (k + static_cast<std::size_t>(c)) % specs.size();
+        per_client[c].push_back(service.solve(handle, specs[i]));
+      }
+    });
+  for (std::thread& t : clients) t.join();
+
+  for (int c = 0; c < kClients; ++c)
+    for (std::size_t k = 0; k < specs.size(); ++k) {
+      const std::size_t i = (k + static_cast<std::size_t>(c)) % specs.size();
+      expect_same_result(per_client[c][k], baseline[i],
+                        specs[i].name + " client=" + std::to_string(c));
+    }
+}
+
+TEST(ServiceFacade, EventTraceHandlesMatchRunSolver) {
+  CancelParams cp;
+  cp.cancel_rate = 0.2;
+  cp.seed = 5;
+  const EventTrace trace = with_random_cancels(test_trace(140, /*seed=*/5), cp);
+  ASSERT_TRUE(trace.has_cancels());
+
+  Service service(ServiceConfig{2});
+  const InstanceHandle handle = service.load(trace);
+  for (const char* name : {"online_first_fit", "online_best_fit", "epoch_hybrid",
+                           "auto", "first_fit"}) {
+    SolverSpec spec;
+    spec.name = name;
+    expect_same_result(service.submit(handle, spec).get(),
+                      run_solver(trace, spec), name);
+  }
+}
+
+// --------------------------------------------------- cached instance state ---
+
+TEST(ServiceFacade, WarmHandleSkipsReclassification) {
+  const Instance inst = test_trace(100, /*seed=*/3);
+  Service service(ServiceConfig{2});
+  const InstanceHandle handle = service.load(inst);
+  EXPECT_EQ(handle->view_builds(), 0u) << "view must be lazy";
+
+  const SolverSpec auto_spec = SolverSpec::parse("auto");
+  const SolveResult cold = service.solve(handle, auto_spec);
+  EXPECT_EQ(handle->view_builds(), 1u);
+  const std::uint64_t hits_after_cold = handle->view_hits();
+
+  const SolveResult warm = service.solve(handle, auto_spec);
+  EXPECT_EQ(handle->view_builds(), 1u) << "warm re-solve must not re-classify";
+  EXPECT_GT(handle->view_hits(), hits_after_cold);
+  expect_same_result(warm, cold, "warm vs cold");
+
+  // A g= override rebuilds the instance, so the cached view must NOT be
+  // used (its classification describes the original capacity).
+  const SolveResult overridden =
+      service.solve(handle, SolverSpec::parse("auto:g=2"));
+  EXPECT_EQ(overridden.bounds.g, 2);
+  EXPECT_EQ(handle->view_builds(), 1u);
+}
+
+TEST(ServiceFacade, HandlesAreIndependent) {
+  Service service;
+  const InstanceHandle a = service.load(test_trace(60, /*seed=*/1));
+  const InstanceHandle b = service.load(test_trace(60, /*seed=*/2));
+  service.solve(a, SolverSpec::parse("auto"));
+  EXPECT_EQ(a->view_builds(), 1u);
+  EXPECT_EQ(b->view_builds(), 0u);
+  EXPECT_EQ(service.stats().handles_loaded, 2u);
+}
+
+// ------------------------------------------------------- request controls ---
+
+TEST(ServiceFacade, ExpiredDeadlineCompletesWithDeadlineStatus) {
+  const Instance inst = test_trace(100, /*seed=*/9);
+  Service service(ServiceConfig{2});
+  const InstanceHandle handle = service.load(inst);
+
+  SolverSpec spec = SolverSpec::parse("auto:deadline_ms=0.000001");
+  const SolveResult result = service.submit(handle, spec).get();
+  EXPECT_EQ(result.status, SolveStatus::kDeadline);
+  EXPECT_FALSE(result.valid);
+  EXPECT_EQ(result.cost, 0);
+  EXPECT_EQ(result.schedule.throughput(), 0);
+  EXPECT_EQ(result.schedule.assignment().size(), inst.size());
+  EXPECT_NE(result.summary().find("deadline"), std::string::npos);
+  EXPECT_EQ(service.stats().deadline_expired, 1u);
+
+  // A generous deadline never trips.
+  spec.options.deadline_ms = 60000;
+  EXPECT_EQ(service.submit(handle, spec).get().status, SolveStatus::kOk);
+}
+
+TEST(ServiceFacade, CancelTokenCompletesWithCancelledStatus) {
+  const Instance inst = test_trace(100, /*seed=*/13);
+  Service service(ServiceConfig{1});
+  const InstanceHandle handle = service.load(inst);
+
+  SolverSpec spec = SolverSpec::parse("auto");
+  spec.cancel = CancelToken::make();
+  spec.cancel.request_cancel();
+  const SolveResult result = service.submit(handle, spec).get();
+  EXPECT_EQ(result.status, SolveStatus::kCancelled);
+  EXPECT_FALSE(result.valid);
+  EXPECT_EQ(service.stats().cancelled, 1u);
+
+  // Cancellation wins over an expired deadline (it is checked first).
+  SolverSpec both = SolverSpec::parse("first_fit:deadline_ms=0.000001");
+  both.cancel = spec.cancel;
+  EXPECT_EQ(service.solve(handle, both).status, SolveStatus::kCancelled);
+
+  // An inert (default) token never cancels; an untriggered one either.
+  SolverSpec fresh = SolverSpec::parse("auto");
+  fresh.cancel = CancelToken::make();
+  EXPECT_EQ(service.solve(handle, fresh).status, SolveStatus::kOk);
+}
+
+TEST(ServiceFacade, DeadlineWorksThroughFreeRunSolver) {
+  const Instance inst = test_trace(80, /*seed=*/21);
+  const SolveResult result =
+      run_solver(inst, SolverSpec::parse("first_fit:deadline_ms=0.000001"));
+  EXPECT_EQ(result.status, SolveStatus::kDeadline);
+  EXPECT_FALSE(result.valid);
+}
+
+// ------------------------------------------------------------- error paths ---
+
+TEST(ServiceFacade, ErrorsPropagateThroughFutures) {
+  Service service(ServiceConfig{1});
+  const InstanceHandle handle = service.load(test_trace(40, /*seed=*/2));
+
+  EXPECT_THROW(service.submit(handle, SolverSpec::parse("no_such_solver")).get(),
+               std::invalid_argument);
+  SolverSpec budgetless = SolverSpec::parse("tput_clique");
+  EXPECT_THROW(service.submit(handle, budgetless).get(), SpecError);
+  EXPECT_EQ(service.stats().failed, 2u);
+
+  EXPECT_THROW(service.submit(nullptr, SolverSpec::parse("auto")),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------- ignored options ---
+
+TEST(ServiceFacade, IgnoredOptionsAreRecorded) {
+  const Instance inst = test_trace(50, /*seed=*/4);
+
+  // Options a solver never reads are recorded, in documented key order.
+  const SolveResult offline =
+      run_solver(inst, SolverSpec::parse("first_fit:epoch=256,seed=9"));
+  EXPECT_EQ(offline.ignored_options,
+            (std::vector<std::string>{"epoch", "seed"}));
+
+  // budget= on a non-budgeted solver is ignored; on a budgeted one consumed.
+  EXPECT_EQ(run_solver(inst, SolverSpec::parse("first_fit:budget=500"))
+                .ignored_options,
+            std::vector<std::string>{"budget"});
+  GenParams clique;
+  clique.n = 20;
+  clique.g = 3;
+  clique.seed = 8;
+  EXPECT_TRUE(run_solver(gen_clique(clique),
+                         SolverSpec::parse("tput_clique:budget=500"))
+                  .ignored_options.empty());
+
+  // epoch= is consumed by the epoch-hybrid policy but ignored by first-fit
+  // streaming; improve= only applies to offline/exact solvers.
+  EXPECT_TRUE(run_solver(inst, SolverSpec::parse("epoch_hybrid:epoch=256"))
+                  .ignored_options.empty());
+  EXPECT_EQ(run_solver(inst, SolverSpec::parse("online_first_fit:epoch=256,improve=1"))
+                .ignored_options,
+            (std::vector<std::string>{"epoch", "improve"}));
+
+  // Universally consumed keys never show up — including the threads
+  // parallelism knob, which the CLI copies into every spec while the exec
+  // process default already honors it.
+  EXPECT_TRUE(run_solver(inst, SolverSpec::parse("auto:g=2,threads=2,deadline_ms=60000"))
+                  .ignored_options.empty());
+  EXPECT_TRUE(run_solver(inst, SolverSpec::parse("first_fit:improve=1,threads=2"))
+                  .ignored_options.empty());
+}
+
+TEST(ServiceFacade, SpecRoundTripsDeadline) {
+  const SolverSpec spec = SolverSpec::parse("auto:deadline_ms=250");
+  EXPECT_DOUBLE_EQ(spec.options.deadline_ms, 250);
+  EXPECT_EQ(spec.to_string(), "auto:deadline_ms=250");
+  EXPECT_THROW(SolverSpec::parse("auto:deadline_ms=-1"), SpecError);
+  EXPECT_THROW(SolverSpec::parse("auto:deadline_ms=abc"), SpecError);
+  EXPECT_THROW(SolverSpec::parse("auto:deadline_ms=inf"), SpecError);
+  EXPECT_THROW(SolverSpec::parse("auto:deadline_ms=nan"), SpecError);
+  // Absurdly large finite deadlines mean "no deadline", never overflow.
+  EXPECT_EQ(run_solver(test_trace(30, /*seed=*/1),
+                       SolverSpec::parse("first_fit:deadline_ms=1e300"))
+                .status,
+            SolveStatus::kOk);
+  // Sub-microsecond deadlines must survive the round trip (a formatter
+  // that truncates to "0" would turn them into "no deadline").
+  const SolverSpec tiny = SolverSpec::parse("auto:deadline_ms=0.000001");
+  EXPECT_DOUBLE_EQ(SolverSpec::parse(tiny.to_string()).options.deadline_ms,
+                   1e-6);
+}
+
+}  // namespace
+}  // namespace busytime
