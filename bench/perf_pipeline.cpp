@@ -44,6 +44,8 @@ struct Run {
   double speedup = 1;
   bool identical = true;
   std::size_t shards = 1;
+  double utilization = 0;    ///< pool busy/(busy+idle) over the timed window
+  double queue_wait_us = 0;  ///< pool task queue wait accrued in the window
 };
 
 json::Value run_to_json(const Run& run) {
@@ -54,7 +56,20 @@ json::Value run_to_json(const Run& run) {
   v.set("jobs_per_sec", run.jobs_per_sec);
   v.set("speedup", run.speedup);
   v.set("identical", run.identical);
+  v.set("utilization", run.utilization);
+  v.set("queue_wait_us", run.queue_wait_us);
   return v;
+}
+
+/// Pool utilization between two cumulative samples; 0 when the pool never
+/// ran in the window (the threads=1 sequential path submits no tasks).
+double utilization_between(const exec::PoolStats& before,
+                           const exec::PoolStats& after) {
+  const double busy =
+      static_cast<double>(after.busy_ns_total - before.busy_ns_total);
+  const double idle =
+      static_cast<double>(after.idle_ns_total - before.idle_ns_total);
+  return busy + idle > 0 ? busy / (busy + idle) : 0.0;
 }
 
 int main_impl(int argc, char** argv) {
@@ -86,6 +101,10 @@ int main_impl(int argc, char** argv) {
     Run run;
     run.threads = t;
     run.wall_ms = 1e300;
+    // Untimed warm-up: wakes parked workers so the stale park time between
+    // thread counts lands outside the sampled utilization window.
+    solve_minbusy_auto(trace, t);
+    const exec::PoolStats before = exec::ThreadPool::shared().stats();
     for (int rep = 0; rep < repeats; ++rep) {
       const double t0 = now_ms();
       const DispatchResult d = solve_minbusy_auto(trace, t);
@@ -94,6 +113,10 @@ int main_impl(int argc, char** argv) {
                       d.schedule.assignment() == baseline.schedule.assignment() &&
                       d.names == baseline.names;
     }
+    const exec::PoolStats after = exec::ThreadPool::shared().stats();
+    run.utilization = utilization_between(before, after);
+    run.queue_wait_us =
+        (after.queue_wait_ns_total - before.queue_wait_ns_total) / 1000.0;
     run.jobs_per_sec = trace.size() / (run.wall_ms / 1000.0);
     run.speedup = offline_runs.empty()
                       ? 1.0
@@ -118,6 +141,9 @@ int main_impl(int argc, char** argv) {
     Run run;
     run.threads = t;
     run.wall_ms = 1e300;
+    replay_stream(trace, OnlinePolicy::kFirstFit, params, t,
+                  /*min_shard_jobs=*/smoke ? 1024 : 4096);  // warm-up
+    const exec::PoolStats before = exec::ThreadPool::shared().stats();
     for (int rep = 0; rep < repeats; ++rep) {
       const double t0 = now_ms();
       const ReplayResult r =
@@ -130,6 +156,10 @@ int main_impl(int argc, char** argv) {
           r.schedule.assignment() == online_baseline.schedule.assignment() &&
           r.stats.online_cost == online_baseline.stats.online_cost;
     }
+    const exec::PoolStats after = exec::ThreadPool::shared().stats();
+    run.utilization = utilization_between(before, after);
+    run.queue_wait_us =
+        (after.queue_wait_ns_total - before.queue_wait_ns_total) / 1000.0;
     run.jobs_per_sec = trace.size() / (run.wall_ms / 1000.0);
     run.speedup =
         online_runs.empty() ? 1.0 : online_runs.front().wall_ms / run.wall_ms;
@@ -175,17 +205,19 @@ int main_impl(int argc, char** argv) {
   std::cout << "wrote " << out_path << "\n";
 
   Table table({"path", "threads", "shards", "wall_ms", "jobs/sec", "speedup",
-               "identical"});
+               "util", "identical"});
   for (const Run& r : offline_runs)
     table.add_row({"offline/auto", Table::fmt(static_cast<long long>(r.threads)),
                    "-", Table::fmt(r.wall_ms), Table::fmt(r.jobs_per_sec, 0),
-                   Table::fmt(r.speedup), r.identical ? "yes" : "NO"});
+                   Table::fmt(r.speedup), Table::fmt(r.utilization),
+                   r.identical ? "yes" : "NO"});
   for (const Run& r : online_runs)
     table.add_row({"online/first-fit",
                    Table::fmt(static_cast<long long>(r.threads)),
                    Table::fmt(static_cast<long long>(r.shards)),
                    Table::fmt(r.wall_ms), Table::fmt(r.jobs_per_sec, 0),
-                   Table::fmt(r.speedup), r.identical ? "yes" : "NO"});
+                   Table::fmt(r.speedup), Table::fmt(r.utilization),
+                   r.identical ? "yes" : "NO"});
   table.print(std::cout);
 
   for (const Run& r : offline_runs)

@@ -160,6 +160,12 @@ int main_impl(int argc, char** argv) {
   root.set("warm_speedup", cold.wall_ms / warm.wall_ms);
   root.set("view_builds", static_cast<std::int64_t>(handle->view_builds()));
   root.set("view_hits", static_cast<std::int64_t>(handle->view_hits()));
+  // Full busytime-metrics-v1 snapshot of the Service registry (request
+  // counters, latency histograms, worker-pool utilization gauges), plus the
+  // headline utilization number for the trajectory dashboard.
+  const exec::PoolStats pool = service.pool_stats();
+  root.set("utilization", pool.utilization());
+  root.set("metrics", service.metrics_snapshot().to_json());
 
   std::ofstream out(out_path);
   out << root.dump(2) << "\n";
@@ -179,7 +185,8 @@ int main_impl(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "warm speedup vs cold: " << Table::fmt(cold.wall_ms / warm.wall_ms)
             << "x  (view_builds=" << handle->view_builds()
-            << " view_hits=" << handle->view_hits() << ")\n";
+            << " view_hits=" << handle->view_hits()
+            << " utilization=" << Table::fmt(pool.utilization()) << ")\n";
 
   if (!cold.identical || !warm.identical || !mixed.identical) {
     std::cerr << "error: a facade result diverged from sequential run_solver\n";

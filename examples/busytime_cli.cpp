@@ -1,12 +1,14 @@
 // Command-line driver over the unified solver API and the Service facade.
 //
 //   busytime_cli --list-solvers [--json]
+//   busytime_cli --list-metrics [--json]
 //   busytime_cli solve (--in=FILE | --family=NAME --n=N --g=G --seed=S)
 //                [--solver=SPEC|all] [--budget=T] [--epoch=T] [--max_batch=K]
-//                [--threads=N] [--improve] [--deadline_ms=D] [--json]
+//                [--threads=N] [--improve] [--deadline_ms=D] [--trace] [--json]
 //                [--json-out=FILE] [--out=FILE] [--gantt]
 //   busytime_cli serve (--in=FILE | --family=NAME --n=N --g=G --seed=S)
-//                --specs=FILE [--workers=N] [--deadline_ms=D] [--json]
+//                --specs=FILE [--workers=N] [--deadline_ms=D]
+//                [--stats-every=N] [--metrics-out=FILE] [--json]
 //   busytime_cli diff  a.json b.json [--tol=R]
 //   busytime_cli gen   --family=NAME --n=N --g=G --seed=S [--out=FILE]
 //                [--cancel_rate=P] [--preempt_frac=P]
@@ -32,6 +34,18 @@
 // builds) and exits nonzero when the second regresses the first: higher
 // cost, lower throughput, lost validity, or a degraded request status —
 // the check that turns saved result files into dashboardable artifacts.
+// Given two BENCH_*.json files (any document with a "bench" key) it instead
+// diffs them structurally, ignoring timing-only fields (wall_ms, *_per_sec,
+// speedup, utilization, *_us/*_ns, hardware_threads) while gating the
+// deterministic fields — counters, shard counts, costs, and above all
+// "identical", whose true→false flip is always a regression.
+//
+// Observability surface: "solve --trace" records a request-scoped span tree
+// (busytime-trace-v1) and prints it after the summary (embedded under
+// "trace" with --json); "--list-metrics" enumerates the metric catalog;
+// "serve --stats-every=N" emits a compact busytime-metrics-v1 snapshot to
+// stderr every N completed requests, "serve --metrics-out=FILE" saves the
+// final snapshot, and "serve --json" embeds it under "metrics".
 //
 // Input files may carry interleaved cancel/preempt records (docs/FORMATS.md)
 // and "gen --cancel_rate=P" produces them: online solvers replay the merged
@@ -52,11 +66,14 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "api/registry.hpp"
 #include "busytime.hpp"
 #include "exec/thread_pool.hpp"
 #include "io/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/service.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -70,13 +87,15 @@ int usage() {
   std::cerr
       << "usage: busytime_cli <command> [--flags]\n"
       << "  --list-solvers [--json]                      enumerate the registry\n"
+      << "  --list-metrics [--json]                      enumerate the metric catalog\n"
       << "  solve (--in=FILE | --family=F --n=N --g=G --seed=S)\n"
       << "        [--solver=SPEC|all] [--budget=T] [--epoch=T] [--max_batch=K]\n"
-      << "        [--threads=N] [--improve] [--deadline_ms=D] [--json]\n"
+      << "        [--threads=N] [--improve] [--deadline_ms=D] [--trace] [--json]\n"
       << "        [--json-out=FILE] [--out=FILE] [--gantt]\n"
       << "  serve (--in=FILE | --family=F --n=N --g=G --seed=S)\n"
-      << "        --specs=FILE [--workers=N] [--deadline_ms=D] [--json]\n"
-      << "  diff  a.json b.json [--tol=R]\n"
+      << "        --specs=FILE [--workers=N] [--deadline_ms=D]\n"
+      << "        [--stats-every=N] [--metrics-out=FILE] [--json]\n"
+      << "  diff  a.json b.json [--tol=R]       result-v1 or BENCH_*.json files\n"
       << "  gen   --family=F --n=N --g=G --seed=S [--out=FILE]\n"
       << "        [--cancel_rate=P] [--preempt_frac=P]\n"
       << "  check --in=FILE --schedule=FILE\n"
@@ -195,6 +214,30 @@ int cmd_list_solvers(const Flags& flags) {
   return 0;
 }
 
+/// Enumerates the builtin metric catalog — the machine-readable source of
+/// truth that docs/OBSERVABILITY.md and scripts/check_docs.py diff against.
+int cmd_list_metrics(const Flags& flags) {
+  const std::vector<obs::MetricDef>& defs = obs::builtin_metric_defs();
+  if (flags.get_bool("json")) {
+    json::Value out = json::Value::array();
+    for (const obs::MetricDef& def : defs) {
+      json::Value entry = json::Value::object();
+      entry.set("name", def.name);
+      entry.set("kind", obs::to_string(def.kind));
+      entry.set("help", def.help);
+      out.push_back(std::move(entry));
+    }
+    std::cout << out.dump(2) << "\n";
+    return 0;
+  }
+  Table table({"metric", "kind", "help"});
+  for (const obs::MetricDef& def : defs)
+    table.add_row({def.name, obs::to_string(def.kind), def.help});
+  table.print(std::cout);
+  std::cout << defs.size() << " metrics registered\n";
+  return 0;
+}
+
 int cmd_solve_all(const EventTrace& trace, const Flags& flags,
                   const SolverSpec& base) {
   // Applicability and the certified lower bound are judged on the residual
@@ -284,15 +327,36 @@ int cmd_solve_all(const EventTrace& trace, const Flags& flags,
 
 int cmd_solve(const Flags& flags) {
   const EventTrace trace = load_or_generate(flags);
-  const SolverSpec spec = make_spec(flags);
-  if (spec.name == "all") return cmd_solve_all(trace, flags, spec);
+  SolverSpec spec = make_spec(flags);
+  if (spec.name == "all") {
+    if (flags.get_bool("trace"))
+      std::cerr << "warning: --trace applies to single-solver runs; ignored "
+                   "with --solver=all\n";
+    return cmd_solve_all(trace, flags, spec);
+  }
+
+  // --trace attaches a request-scoped span recorder to this one solve; the
+  // resulting tree (view/classify, per-component solves, merge, shards) is
+  // printed after the summary, or embedded under "trace" with --json.
+  std::shared_ptr<obs::TraceContext> spans;
+  if (flags.get_bool("trace")) {
+    spans = std::make_shared<obs::TraceContext>();
+    spec.trace = spans;
+  }
 
   const SolveResult result = run_solver(trace, spec);
   warn_ignored(result);
   if (flags.get_bool("json")) {
-    std::cout << result_to_json(result);
+    if (spans != nullptr) {
+      json::Value root = result_to_json_value(result);
+      root.set("trace", spans->to_json());
+      std::cout << root.dump(2) << "\n";
+    } else {
+      std::cout << result_to_json(result);
+    }
   } else {
     std::cout << trace_summary(trace) << "\n" << result.summary() << "\n";
+    if (spans != nullptr) std::cout << "\n" << spans->to_text();
   }
   if (flags.has("json-out")) save_result_json(flags.get("json-out", ""), result);
   if (flags.has("out")) save_schedule(flags.get("out", ""), result.schedule);
@@ -348,12 +412,22 @@ int cmd_serve(const Flags& flags) {
   Service service(config);
   const InstanceHandle handle = service.load(trace);
 
+  // --stats-every=N streams a compact busytime-metrics-v1 snapshot to
+  // stderr after every N completed requests (one JSON document per line),
+  // so a long batch is observable while it runs without disturbing the
+  // stdout report.
+  const std::int64_t stats_every = flags.get_int("stats-every", 0);
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::future<SolveResult>> futures =
       service.submit_all(handle, specs);
   std::vector<SolveResult> results;
   results.reserve(futures.size());
-  for (auto& future : futures) results.push_back(future.get());
+  for (auto& future : futures) {
+    results.push_back(future.get());
+    if (stats_every > 0 &&
+        results.size() % static_cast<std::size_t>(stats_every) == 0)
+      std::cerr << service.metrics_snapshot().to_json().dump() << "\n";
+  }
   const double batch_ms = std::chrono::duration<double, std::milli>(
                               std::chrono::steady_clock::now() - t0)
                               .count();
@@ -379,6 +453,16 @@ int cmd_serve(const Flags& flags) {
   }
 
   const ServiceStats stats = service.stats();
+  // The full registry snapshot (counters, latency histograms, pool
+  // utilization gauges) taken once, after the batch drained.
+  const obs::MetricsSnapshot snapshot = service.metrics_snapshot();
+  if (flags.has("metrics-out")) {
+    const std::string path = flags.get("metrics-out", "");
+    std::ofstream metrics_file(path);
+    if (!metrics_file)
+      throw std::runtime_error("cannot write metrics file: " + path);
+    metrics_file << snapshot.to_json().dump(2) << "\n";
+  }
   if (flags.get_bool("json")) {
     json::Value root = json::Value::object();
     root.set("instance", trace_summary(trace));
@@ -394,6 +478,7 @@ int cmd_serve(const Flags& flags) {
     svc.set("view_builds", static_cast<std::int64_t>(handle->view_builds()));
     svc.set("view_hits", static_cast<std::int64_t>(handle->view_hits()));
     root.set("service", std::move(svc));
+    root.set("metrics", snapshot.to_json());
     root.set("results", std::move(out));
     std::cout << root.dump(2) << "\n";
   } else {
@@ -403,7 +488,8 @@ int cmd_serve(const Flags& flags) {
               << " workers in " << Table::fmt(batch_ms) << " ms  (ok=" << stats.ok
               << " deadline=" << stats.deadline_expired
               << " view_builds=" << handle->view_builds()
-              << " view_hits=" << handle->view_hits() << ")\n";
+              << " view_hits=" << handle->view_hits() << " utilization="
+              << Table::fmt(service.pool_stats().utilization()) << ")\n";
   }
   if (failed) {
     std::cerr << "error: some solver produced an invalid schedule\n";
@@ -418,15 +504,173 @@ struct DiffRow {
   bool regression = false;
 };
 
+json::Value load_json_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return json::Value::parse(buffer.str());
+}
+
+/// Fields whose values legitimately vary run to run (wall time, rates,
+/// utilization, scheduling-dependent peaks) or machine to machine
+/// (hardware_threads).  A key matching here — including whole subtrees like
+/// the "_us" latency histograms and the pool "gauges" — is excluded from
+/// the bench diff; everything else is a deterministic-by-construction
+/// quantity the diff gates.
+bool timing_only_field(const std::string& key) {
+  static const char* const kSuffixes[] = {"_ms", "_us", "_ns", "_sec",
+                                          "_per_sec", "_speedup"};
+  for (const char* suffix : kSuffixes) {
+    const std::size_t n = std::string(suffix).size();
+    if (key.size() >= n && key.compare(key.size() - n, n, suffix) == 0)
+      return true;
+  }
+  return key == "speedup" || key == "utilization" ||
+         key == "hardware_threads" || key == "queue_depth_peak" ||
+         key == "gauges" || key == "smoke";
+}
+
+/// Structural diff of two bench documents.  Recurses through objects and
+/// arrays; numbers compare within `tol`, "identical" flips from true to
+/// false are regressions, and any other deterministic mismatch (counter,
+/// shard count, cost, missing field) regresses too.  Timing-only keys are
+/// skipped and counted.
+void diff_bench_value(const std::string& path, const json::Value& a,
+                      const json::Value& b, double tol,
+                      std::vector<DiffRow>& rows, std::size_t& ignored) {
+  const auto leaf = [](const json::Value& v) {
+    switch (v.type()) {
+      case json::Value::Type::kNull: return std::string("null");
+      case json::Value::Type::kBool: return std::string(v.as_bool() ? "true" : "false");
+      case json::Value::Type::kInt: return std::to_string(v.as_int());
+      case json::Value::Type::kDouble: return Table::fmt(v.as_double());
+      case json::Value::Type::kString: return v.as_string();
+      case json::Value::Type::kArray: return std::string("[array]");
+      case json::Value::Type::kObject: return std::string("{object}");
+    }
+    return std::string("?");
+  };
+  if (a.type() == json::Value::Type::kObject &&
+      b.type() == json::Value::Type::kObject) {
+    for (const auto& [key, value] : a.as_object()) {
+      if (timing_only_field(key)) {
+        ++ignored;
+        continue;
+      }
+      const std::string child = path.empty() ? key : path + "." + key;
+      if (const json::Value* other = b.find(key)) {
+        diff_bench_value(child, value, *other, tol, rows, ignored);
+      } else {
+        rows.push_back({child, leaf(value), "(missing)", "field lost", true});
+      }
+    }
+    for (const auto& [key, value] : b.as_object())
+      if (!timing_only_field(key) && a.find(key) == nullptr)
+        rows.push_back({path.empty() ? key : path + "." + key, "(missing)",
+                        leaf(value), "new field", false});
+    return;
+  }
+  if (a.type() == json::Value::Type::kArray &&
+      b.type() == json::Value::Type::kArray) {
+    const auto& av = a.as_array();
+    const auto& bv = b.as_array();
+    if (av.size() != bv.size()) {
+      rows.push_back({path + ".length", std::to_string(av.size()),
+                      std::to_string(bv.size()), "element count changed", true});
+      return;
+    }
+    for (std::size_t i = 0; i < av.size(); ++i)
+      diff_bench_value(path + "[" + std::to_string(i) + "]", av[i], bv[i], tol,
+                       rows, ignored);
+    return;
+  }
+  if (a.type() == json::Value::Type::kBool &&
+      b.type() == json::Value::Type::kBool) {
+    if (a.as_bool() != b.as_bool()) {
+      // identical true→false means the run stopped being deterministic —
+      // the one flag the bench diff exists to catch.  false→true is an
+      // improvement, reported but not fatal.
+      const bool regressed = a.as_bool() && !b.as_bool();
+      rows.push_back({path, leaf(a), leaf(b),
+                      regressed ? "determinism lost" : "changed", regressed});
+    }
+    return;
+  }
+  if (a.is_number() && b.is_number()) {
+    const double da = a.as_double();
+    const double db = b.as_double();
+    if (da < db - tol || da > db + tol)
+      rows.push_back({path, leaf(a), leaf(b),
+                      "deterministic value changed", true});
+    return;
+  }
+  if (a.type() == json::Value::Type::kString &&
+      b.type() == json::Value::Type::kString) {
+    if (a.as_string() != b.as_string())
+      rows.push_back({path, leaf(a), leaf(b), "changed", true});
+    return;
+  }
+  if (a.type() != b.type())
+    rows.push_back({path, leaf(a), leaf(b), "type changed", true});
+}
+
+/// Bench-mode diff: both inputs carry a "bench" key (BENCH_pipeline.json,
+/// BENCH_service.json).  Exit 1 when a deterministic field differs.
+int cmd_diff_bench(const std::string& file_a, const json::Value& a,
+                   const std::string& file_b, const json::Value& b,
+                   double tol) {
+  std::vector<DiffRow> rows;
+  std::size_t ignored = 0;
+  diff_bench_value("", a, b, tol, rows, ignored);
+  bool regressed = false;
+  if (!rows.empty()) {
+    Table table({"field", file_a, file_b, "note"});
+    for (const DiffRow& row : rows) {
+      regressed = regressed || row.regression;
+      table.add_row({row.field, row.a, row.b,
+                     row.regression ? "REGRESSION " + row.note : row.note});
+    }
+    table.print(std::cout);
+  }
+  std::cout << rows.size() << " differing field" << (rows.size() == 1 ? "" : "s")
+            << ", " << ignored << " timing-only field"
+            << (ignored == 1 ? "" : "s") << " ignored\n";
+  if (regressed) {
+    std::cerr << "error: " << file_b << " regresses " << file_a << "\n";
+    return 1;
+  }
+  std::cout << "no regression\n";
+  return 0;
+}
+
 int cmd_diff(const Flags& flags) {
   const auto& files = flags.positional();
   if (files.size() != 2) {
-    std::cerr << "error: diff needs exactly two busytime-result-v1 files\n";
+    std::cerr << "error: diff needs exactly two busytime-result-v1 or "
+                 "BENCH json files\n";
     return 2;
   }
+  const double tol = flags.get_double("tol", 1e-9);
+
+  // BENCH_*.json documents (perf_pipeline / perf_service output) carry a
+  // "bench" key; result files are busytime-result-v1.  Mixing the two is a
+  // usage error, not a regression.
+  const json::Value doc_a = load_json_file(files[0]);
+  const json::Value doc_b = load_json_file(files[1]);
+  const bool bench_a =
+      doc_a.type() == json::Value::Type::kObject && doc_a.find("bench") != nullptr;
+  const bool bench_b =
+      doc_b.type() == json::Value::Type::kObject && doc_b.find("bench") != nullptr;
+  if (bench_a != bench_b) {
+    std::cerr << "error: cannot diff a bench document against a result "
+                 "document\n";
+    return 2;
+  }
+  if (bench_a) return cmd_diff_bench(files[0], doc_a, files[1], doc_b, tol);
+
   const SolveResult a = load_result_json(files[0]);
   const SolveResult b = load_result_json(files[1]);
-  const double tol = flags.get_double("tol", 1e-9);
 
   std::vector<DiffRow> rows;
   const auto num = [&](const std::string& field, double va, double vb,
@@ -540,11 +784,13 @@ int main(int argc, char** argv) {
   std::string command = has_subcommand ? argv[1] : "";
   if (command.empty()) {
     if (flags.get_bool("list-solvers")) command = "list-solvers";
+    else if (flags.get_bool("list-metrics")) command = "list-metrics";
     else if (flags.has("solver") || flags.has("in") || flags.has("family"))
       command = "solve";
   }
   try {
     if (command == "list-solvers") return cmd_list_solvers(flags);
+    if (command == "list-metrics") return cmd_list_metrics(flags);
     if (command == "solve") return cmd_solve(flags);
     if (command == "serve") return cmd_serve(flags);
     if (command == "diff") return cmd_diff(flags);

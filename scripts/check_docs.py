@@ -9,6 +9,10 @@
 3. Bench-catalog cross-check: every bench/*.cpp binary must have a
    backtick-quoted row in docs/EXPERIMENTS.md, and every binary the catalog
    names must exist, so the experiment catalog cannot drift either.
+4. Metric-catalog cross-check: the metric names documented in
+   docs/OBSERVABILITY.md must match `busytime_cli --list-metrics --json`
+   exactly (both directions), so the observability catalog cannot drift
+   from obs::builtin_metric_defs().
 
 Usage: check_docs.py [--cli=PATH_TO_BUSYTIME_CLI]
        (omit --cli to run the link and bench-catalog checks only)
@@ -24,6 +28,8 @@ REPO = Path(__file__).resolve().parent.parent
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 # Backtick-quoted names in the first column of a markdown table row.
 SOLVER_ROW_RE = re.compile(r"^\|\s*`([a-z0-9_]+)`\s*\|")
+# Metric names are dotted (service.requests, exec.busy_us_total).
+METRIC_ROW_RE = re.compile(r"^\|\s*`([a-z0-9_.]+)`\s*\|")
 
 
 def check_links():
@@ -69,6 +75,28 @@ def check_solver_catalog(cli):
     return failures
 
 
+def check_metric_catalog(cli):
+    documented = set()
+    for line in (REPO / "docs" / "OBSERVABILITY.md").read_text().splitlines():
+        match = METRIC_ROW_RE.match(line.strip())
+        if match and "." in match.group(1):  # dotted names only: skip
+            documented.add(match.group(1))   # span/option table rows
+    out = subprocess.run([cli, "--list-metrics", "--json"],
+                         check=True, capture_output=True, text=True).stdout
+    registered = {entry["name"] for entry in json.loads(out)}
+
+    failures = []
+    for name in sorted(registered - documented):
+        failures.append(f"docs/OBSERVABILITY.md: metric '{name}' is "
+                        f"registered but not documented")
+    for name in sorted(documented - registered):
+        failures.append(f"docs/OBSERVABILITY.md: metric '{name}' is "
+                        f"documented but not registered")
+    if not failures:
+        print(f"metric catalog ok: {len(registered)} metrics documented")
+    return failures
+
+
 def check_bench_catalog():
     text = (REPO / "docs" / "EXPERIMENTS.md").read_text()
     documented = set(re.findall(r"`((?:tbl_|fig|perf_)[a-z0-9_]+)`", text))
@@ -100,6 +128,7 @@ def main():
     failures += check_bench_catalog()
     if cli:
         failures += check_solver_catalog(cli)
+        failures += check_metric_catalog(cli)
     for failure in failures:
         print(f"error: {failure}", file=sys.stderr)
     sys.exit(1 if failures else 0)

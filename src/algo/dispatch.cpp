@@ -1,5 +1,6 @@
 #include "algo/dispatch.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -7,6 +8,7 @@
 #include "core/components.hpp"
 #include "core/instance_view.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/hooks.hpp"
 
 namespace busytime {
 
@@ -40,6 +42,22 @@ DispatchResult solve_minbusy_auto(const InstanceView& view, int threads,
   const Instance& inst = view.instance();
   const std::size_t count = view.component_count();
 
+  // Deterministic counts: one dispatch run, `count` components, inst.size()
+  // jobs — identical totals at every worker count.  Only the *_us
+  // histograms carry wall-clock values.
+  obs::MetricsRegistry& sink = obs::metrics_of(context);
+  sink.counter(obs::metric::kSolveDispatchRuns).inc();
+  sink.counter(obs::metric::kSolveComponentsSolved).add(count);
+  sink.counter(obs::metric::kSolveJobsDispatched).add(inst.size());
+  const obs::Histogram component_jobs_hist =
+      sink.histogram(obs::metric::kSolveComponentJobs);
+  const obs::Histogram component_us_hist =
+      sink.histogram(obs::metric::kSolveComponentSolveUs);
+  obs::TraceContext* spans = obs::trace_of(context);
+  const obs::ScopedSpan dispatch_span(spans, "dispatch",
+                                      obs::span_parent(context),
+                                      static_cast<std::int64_t>(count));
+
   std::vector<Schedule> parts(count);
   std::vector<std::string> names(count);
   exec::parallel_for(threads, count, [&](std::size_t i) {
@@ -49,6 +67,7 @@ DispatchResult solve_minbusy_auto(const InstanceView& view, int threads,
     if (context != nullptr) context->check();
     const Instance& sub = view.component_instance(i);
     const InstanceClass& cls = view.component_class(i);
+    const auto c0 = std::chrono::steady_clock::now();
     for (const SolverInfo* info : candidates) {
       if (!info->is_applicable(sub, cls)) continue;
       SolverSpec spec;
@@ -56,6 +75,14 @@ DispatchResult solve_minbusy_auto(const InstanceView& view, int threads,
       SolveResult r = info->run(sub, spec);
       parts[i] = std::move(r.schedule);
       names[i] = info->name;
+      const auto c1 = std::chrono::steady_clock::now();
+      component_jobs_hist.record(sub.size());
+      component_us_hist.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(c1 - c0)
+              .count()));
+      if (spans != nullptr)
+        spans->add("component:" + info->name, dispatch_span.id(), c0, c1,
+                   static_cast<std::int64_t>(sub.size()));
       return;
     }
     // first_fit registers with an always-true predicate, so this is
@@ -64,7 +91,11 @@ DispatchResult solve_minbusy_auto(const InstanceView& view, int threads,
   });
 
   DispatchResult result;
-  result.schedule = stitch_component_schedules(inst, view.components(), parts);
+  {
+    const obs::ScopedSpan merge_span(spans, "merge", dispatch_span.id(),
+                                     static_cast<std::int64_t>(inst.size()));
+    result.schedule = stitch_component_schedules(inst, view.components(), parts);
+  }
   result.names.reserve(count);
   result.component_jobs.reserve(count);
   result.algos.reserve(count);
@@ -79,7 +110,20 @@ DispatchResult solve_minbusy_auto(const InstanceView& view, int threads,
 
 DispatchResult solve_minbusy_auto(const Instance& inst, int threads,
                                   const RequestContext* context) {
-  const InstanceView view(inst, threads);
+  // No cached decomposition for this request: build the view inline, under
+  // a "view_build" span (with the classification phase as its "classify"
+  // child; value = component count once known).
+  obs::metrics_of(context).counter(obs::metric::kSolveViewBuildsInline).inc();
+  obs::TraceContext* spans = obs::trace_of(context);
+  const std::uint32_t build_span =
+      spans != nullptr ? spans->open("view_build", obs::span_parent(context))
+                       : 0;
+  const InstanceView view(inst, threads, spans, build_span);
+  if (spans != nullptr) {
+    spans->set_value(build_span,
+                     static_cast<std::int64_t>(view.component_count()));
+    spans->close(build_span);
+  }
   return solve_minbusy_auto(view, threads, context);
 }
 

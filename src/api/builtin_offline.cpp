@@ -12,6 +12,7 @@
 #include "api/registry.hpp"
 #include "core/classify.hpp"
 #include "core/instance_view.hpp"
+#include "obs/hooks.hpp"
 
 namespace busytime::detail {
 
@@ -203,9 +204,18 @@ void register_offline_solvers(SolverRegistry& registry) {
         const RequestContext* context = spec.context.get();
         // A Service InstanceHandle may have cached the decomposition; the
         // provider returns it only when it describes this exact instance.
-        const InstanceView* view =
-            context != nullptr && context->view_provider ? context->view_provider(inst)
-                                                         : nullptr;
+        // The lookup is recorded as a "view" span (near-zero on a warm hit;
+        // on the handle's very first use it covers the one-time build).
+        const InstanceView* view = nullptr;
+        if (context != nullptr && context->view_provider) {
+          const auto v0 = std::chrono::steady_clock::now();
+          view = context->view_provider(inst);
+          obs::TraceContext* spans = obs::trace_of(context);
+          if (view != nullptr && spans != nullptr)
+            spans->add("view", obs::span_parent(context), v0,
+                       std::chrono::steady_clock::now(),
+                       static_cast<std::int64_t>(view->component_count()));
+        }
         DispatchResult d = view != nullptr
                                ? solve_minbusy_auto(*view, threads, context)
                                : solve_minbusy_auto(inst, threads, context);

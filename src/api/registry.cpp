@@ -7,6 +7,7 @@
 #include "algo/local_search.hpp"
 #include "core/bounds.hpp"
 #include "core/validate.hpp"
+#include "obs/hooks.hpp"
 #include "online/event.hpp"
 
 namespace busytime {
@@ -116,16 +117,44 @@ void finalize_result(SolveResult& result, const Instance& inst) {
 
 /// Installs the runtime RequestContext when per-request controls are set and
 /// no Service already installed one (the free-function path with
-/// options.deadline_ms or a cancel token: the deadline clock starts here).
+/// options.deadline_ms, a cancel token, or a requested trace: the deadline
+/// clock starts here).  A trace installed this way has no "request" root —
+/// its "solve" span is the root of the tree.
 void ensure_context(SolverSpec& spec) {
   if (spec.context) return;
-  if (spec.options.deadline_ms <= 0 && !spec.cancel.cancellable()) return;
+  if (spec.options.deadline_ms <= 0 && !spec.cancel.cancellable() &&
+      spec.trace == nullptr)
+    return;
   auto context = std::make_shared<RequestContext>();
   context->set_deadline(std::chrono::steady_clock::now(),
                         spec.options.deadline_ms);
   context->cancel = spec.cancel;
+  context->trace = spec.trace;
   spec.context = std::move(context);
 }
+
+/// Opens the "solve" span covering the run path's timed region and anchors
+/// deeper layers (dispatch, replay) under it; restores the anchor on close.
+class SolveSpan {
+ public:
+  explicit SolveSpan(const RequestContext* ctx)
+      : trace_(obs::trace_of(ctx)) {
+    if (trace_ == nullptr) return;
+    id_ = trace_->open("solve", ctx->trace_root);
+    trace_->set_anchor(id_);
+  }
+  ~SolveSpan() {
+    if (trace_ == nullptr) return;
+    trace_->set_anchor(0);
+    trace_->close(id_);
+  }
+  std::uint32_t id() const noexcept { return id_; }
+  obs::TraceContext* trace() const noexcept { return trace_; }
+
+ private:
+  obs::TraceContext* trace_ = nullptr;
+  std::uint32_t id_ = 0;
+};
 
 /// Non-default options the chosen solver never reads (see
 /// SolverInfo::consumes); g and deadline_ms are consumed by the run path
@@ -186,6 +215,10 @@ SolveResult detail::solve_request(const Instance& inst,
                              "' is not applicable to this instance (" +
                              target->summary() + ")");
 
+  obs::metrics_of(spec.context.get())
+      .counter(obs::metric::kSolveRequests)
+      .inc();
+  const SolveSpan solve_span(spec.context.get());
   const auto t0 = std::chrono::steady_clock::now();
   SolveResult result;
   try {
@@ -214,7 +247,11 @@ SolveResult detail::solve_request(const Instance& inst,
   result.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   result.ignored_options = ignored_options_for(info, spec.options);
   if (result.status != SolveStatus::kOk) return result;
-  finalize_result(result, *target);
+  {
+    const obs::ScopedSpan finalize_span(solve_span.trace(), "finalize",
+                                        solve_span.id());
+    finalize_result(result, *target);
+  }
   // Offline solvers have no streaming pool; give their counters the offline
   // meaning so every SolveResult reports through the same fields.
   if (result.stats.jobs_assigned == 0 && result.throughput > 0) {
@@ -250,6 +287,10 @@ SolveResult detail::solve_request(const EventTrace& trace,
     throw NotApplicableError("online solver '" + info.name +
                              "' cannot replay cancellation events");
 
+  obs::metrics_of(spec.context.get())
+      .counter(obs::metric::kSolveRequests)
+      .inc();
+  const SolveSpan solve_span(spec.context.get());
   const auto t0 = std::chrono::steady_clock::now();
   SolveResult result;
   try {
@@ -271,7 +312,11 @@ SolveResult detail::solve_request(const EventTrace& trace,
   // Everything downstream is measured against the residual instance — the
   // workload that actually ran.  The engine's incrementally maintained
   // online_cost equals the recomputed cost (refunds are exact).
-  finalize_result(result, residual);
+  {
+    const obs::ScopedSpan finalize_span(solve_span.trace(), "finalize",
+                                        solve_span.id());
+    finalize_result(result, residual);
+  }
   return result;
 }
 

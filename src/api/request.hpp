@@ -18,12 +18,18 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <stdexcept>
 #include <string>
 
 namespace busytime {
+
+namespace obs {
+class MetricsRegistry;
+class TraceContext;
+}  // namespace obs
 
 class Instance;
 class InstanceView;
@@ -100,6 +106,21 @@ struct RequestContext {
   /// override, where the provider neither builds nor counts anything and
   /// the dispatcher classifies afresh.  Null function: no cache available.
   std::function<const InstanceView*(const Instance&)> view_provider;
+
+  /// Metrics sink for this request's instrumentation (src/obs/).  Installed
+  /// by the Service (its own registry); null means "the process-default
+  /// registry" — instrumentation sites resolve through obs-layer helpers,
+  /// never read this directly.  The installer guarantees the registry
+  /// outlives the request.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Request-scoped span collector; null = tracing off (the common case).
+  /// Shared with the caller that requested the trace, so the span tree
+  /// survives the request.  TraceContext is internally synchronized — the
+  /// const-RequestContext sharing rule still holds.
+  std::shared_ptr<obs::TraceContext> trace;
+  /// Root span id of this request in `trace` ("request"); deeper layers
+  /// parent under it (or under the trace's current anchor).  0 = none.
+  std::uint32_t trace_root = 0;
 
   /// Deadlines past ~31 years are treated as "no deadline": beyond any real
   /// request lifetime, and converting them to integer clock ticks would

@@ -89,9 +89,16 @@ struct SolverSpec {
   /// Callers keep a copy and trigger it; the run path checks it at
   /// component boundaries.  Never serialized.
   CancelToken cancel;
+  /// Request-scoped span collector (src/obs/).  Callers that want a span
+  /// tree set this to a fresh obs::TraceContext and keep their reference;
+  /// the run path (or Service) carries it into the RequestContext and
+  /// records queue wait, view build/hit, per-component solves, shard
+  /// replays, ... into it.  Null = tracing off.  Never serialized.
+  std::shared_ptr<obs::TraceContext> trace;
   /// Runtime context installed by the run path / Service (resolved deadline
-  /// instant, cancel token, cached-view hook).  Internal: callers set
-  /// options.deadline_ms and `cancel` instead.  Never serialized.
+  /// instant, cancel token, cached-view hook, metrics/trace sinks).
+  /// Internal: callers set options.deadline_ms, `cancel`, and `trace`
+  /// instead.  Never serialized.
   std::shared_ptr<const RequestContext> context;
 
   /// Parses "name" or "name:k=v,k=v".  Throws SpecError on an empty name or

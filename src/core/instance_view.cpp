@@ -2,13 +2,19 @@
 
 #include "core/components.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/trace.hpp"
 
 namespace busytime {
 
-InstanceView::InstanceView(const Instance& inst, int threads)
+InstanceView::InstanceView(const Instance& inst, int threads,
+                           obs::TraceContext* trace,
+                           std::uint32_t trace_parent)
     : inst_(&inst),
       order_(&inst.ids_by_start()),
       components_(connected_components(inst)) {
+  const obs::ScopedSpan classify_span(
+      trace, "classify", trace_parent,
+      static_cast<std::int64_t>(components_.size()));
   subs_.resize(components_.size());
   classes_.resize(components_.size());
   exec::parallel_for(threads, components_.size(), [&](std::size_t i) {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/classify.hpp"
@@ -17,12 +18,22 @@
 
 namespace busytime {
 
+namespace obs {
+class TraceContext;
+}
+
 class InstanceView {
  public:
   /// Builds the view: components via one sweep over the memoized sorted
   /// order, then sub-instance + classification per component on up to
   /// `threads` workers (0 = process default, 1 = sequential).
-  explicit InstanceView(const Instance& inst, int threads = 1);
+  ///
+  /// A non-null `trace` records the classification phase as a "classify"
+  /// span (value = component count) under `parent` — the request-scoped
+  /// observability hook; null (the default) costs nothing.
+  explicit InstanceView(const Instance& inst, int threads = 1,
+                        obs::TraceContext* trace = nullptr,
+                        std::uint32_t trace_parent = 0);
 
   const Instance& instance() const noexcept { return *inst_; }
 

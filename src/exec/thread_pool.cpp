@@ -76,31 +76,87 @@ int ThreadPool::size() const {
 void ThreadPool::ensure_size(int threads) {
   const int target = std::min(threads, kMaxThreads);
   std::lock_guard<std::mutex> lock(mu_);
-  while (static_cast<int>(workers_.size()) < target)
-    workers_.emplace_back([this] { worker_loop(); });
+  while (static_cast<int>(workers_.size()) < target) {
+    // The accounting cell exists (at a stable address) before its worker
+    // runs; worker_loop indexes it without re-taking the lock.
+    const std::size_t index = workers_.size();
+    cells_.push_back(std::make_unique<WorkerCell>());
+    workers_.emplace_back([this, index] { worker_loop(index); });
+  }
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  const auto now = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back({std::move(task), now});
+    ++tasks_submitted_;
+    queue_depth_peak_ = std::max<std::uint64_t>(queue_depth_peak_, queue_.size());
   }
   cv_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker) {
   tls_in_worker = true;
+  WorkerCell& cell = *cells_[worker];
+  const auto elapsed_ns = [](std::chrono::steady_clock::time_point from,
+                             std::chrono::steady_clock::time_point to) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+            .count());
+  };
   for (;;) {
-    std::function<void()> task;
+    Task task;
+    const auto idle_start = std::chrono::steady_clock::now();
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (stopping_ && queue_.empty()) return;
+      if (stopping_ && queue_.empty()) {
+        cell.idle_ns.fetch_add(
+            elapsed_ns(idle_start, std::chrono::steady_clock::now()),
+            std::memory_order_relaxed);
+        return;
+      }
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    const auto run_start = std::chrono::steady_clock::now();
+    cell.idle_ns.fetch_add(elapsed_ns(idle_start, run_start),
+                           std::memory_order_relaxed);
+    const std::uint64_t wait_ns = elapsed_ns(task.enqueued, run_start);
+    queue_wait_ns_total_.fetch_add(wait_ns, std::memory_order_relaxed);
+    std::uint64_t seen = queue_wait_ns_max_.load(std::memory_order_relaxed);
+    while (wait_ns > seen && !queue_wait_ns_max_.compare_exchange_weak(
+                                 seen, wait_ns, std::memory_order_relaxed)) {
+    }
+    task.fn();
+    cell.busy_ns.fetch_add(
+        elapsed_ns(run_start, std::chrono::steady_clock::now()),
+        std::memory_order_relaxed);
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+PoolStats ThreadPool::stats() const {
+  PoolStats s;
+  std::lock_guard<std::mutex> lock(mu_);
+  s.workers = static_cast<int>(workers_.size());
+  s.tasks_submitted = tasks_submitted_;
+  s.queue_depth_peak = queue_depth_peak_;
+  s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  s.queue_wait_ns_total = queue_wait_ns_total_.load(std::memory_order_relaxed);
+  s.queue_wait_ns_max = queue_wait_ns_max_.load(std::memory_order_relaxed);
+  s.worker_busy_ns.reserve(cells_.size());
+  s.worker_idle_ns.reserve(cells_.size());
+  for (const auto& cell : cells_) {
+    const std::uint64_t busy = cell->busy_ns.load(std::memory_order_relaxed);
+    const std::uint64_t idle = cell->idle_ns.load(std::memory_order_relaxed);
+    s.worker_busy_ns.push_back(busy);
+    s.worker_idle_ns.push_back(idle);
+    s.busy_ns_total += busy;
+    s.idle_ns_total += idle;
+  }
+  return s;
 }
 
 ThreadPool& ThreadPool::shared() {

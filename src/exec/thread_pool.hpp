@@ -18,10 +18,14 @@
 // set_default_threads (the CLI's --threads flag).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -64,10 +68,44 @@ std::vector<T> parallel_map(int threads, std::size_t n, Fn&& fn) {
   return out;
 }
 
+/// A point-in-time sample of one pool's execution accounting (see
+/// ThreadPool::stats()).  All counters are cumulative since the pool
+/// started; diff two samples for an interval.  Durations are wall-clock
+/// nanoseconds and naturally vary run to run — only the task counters are
+/// deterministic for a deterministic workload.
+struct PoolStats {
+  int workers = 0;                       ///< worker threads started
+  std::uint64_t tasks_submitted = 0;     ///< tasks handed to the queue
+  std::uint64_t tasks_executed = 0;      ///< tasks a worker finished
+  std::uint64_t queue_depth_peak = 0;    ///< deepest the queue has been
+  std::uint64_t queue_wait_ns_total = 0; ///< enqueue-to-pickup, summed
+  std::uint64_t queue_wait_ns_max = 0;   ///< worst single task wait
+  std::uint64_t busy_ns_total = 0;       ///< worker time running tasks
+  std::uint64_t idle_ns_total = 0;       ///< worker time parked on the queue
+  std::vector<std::uint64_t> worker_busy_ns;  ///< per-worker busy split
+  std::vector<std::uint64_t> worker_idle_ns;  ///< per-worker idle split
+
+  /// Fraction of accounted worker time spent running tasks, in [0, 1]
+  /// (0 when the pool has done nothing yet).
+  double utilization() const noexcept {
+    const std::uint64_t accounted = busy_ns_total + idle_ns_total;
+    return accounted == 0
+               ? 0.0
+               : static_cast<double>(busy_ns_total) /
+                     static_cast<double>(accounted);
+  }
+};
+
 /// Fixed-size worker pool with a FIFO work queue.  parallel_for drives a
 /// shared process-wide instance (ThreadPool::shared()) that grows on demand
 /// up to kMaxThreads and is reused across calls, so repeated solves pay no
 /// thread start-up cost.
+///
+/// The pool keeps its own execution accounting — per-worker busy/idle time,
+/// task queue depth and wait — sampled via stats().  The write path is two
+/// clock reads and a few relaxed atomics per *task* (tasks are coarse:
+/// whole requests, parallel_for drain shares), so it stays on in release
+/// builds; src/obs/ publishes samples into the exec.* gauges.
 class ThreadPool {
  public:
   /// An empty pool (no workers); grow it with ensure_size.
@@ -90,18 +128,43 @@ class ThreadPool {
   /// with no workers holds tasks until ensure_size adds one.
   void submit(std::function<void()> task);
 
+  /// A consistent-enough accounting sample (queue fields are read under the
+  /// pool lock; per-worker times are individually atomic).
+  PoolStats stats() const;
+
   /// The process-wide pool used by parallel_for.  Never destroyed (workers
   /// are parked at exit), so it is safe to use from any static's lifetime.
   static ThreadPool& shared();
 
  private:
-  void worker_loop();
+  /// One queued task plus its enqueue instant (for queue-wait accounting).
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+  /// Per-worker time accounting, cache-line padded; allocated before the
+  /// worker starts and stable for the pool's lifetime (workers_ only grows).
+  struct alignas(64) WorkerCell {
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> idle_ns{0};
+  };
+
+  void worker_loop(std::size_t worker);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::vector<std::unique_ptr<WorkerCell>> cells_;  // parallel to workers_
+  std::deque<Task> queue_;
   bool stopping_ = false;
+
+  // Queue accounting.  submitted/depth-peak are written under mu_ (plain);
+  // executed/wait are written by workers off-lock (atomic).
+  std::uint64_t tasks_submitted_ = 0;
+  std::uint64_t queue_depth_peak_ = 0;
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> queue_wait_ns_total_{0};
+  std::atomic<std::uint64_t> queue_wait_ns_max_{0};
 };
 
 }  // namespace busytime::exec

@@ -1,0 +1,142 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace busytime::obs {
+
+int thread_small_id() noexcept {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::uint32_t TraceContext::record(std::string name, std::uint32_t parent,
+                                   double start_ms, double duration_ms,
+                                   std::int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= kMaxSpans) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  SpanRecord span;
+  span.id = static_cast<std::uint32_t>(spans_.size() + 1);
+  span.parent = parent;
+  span.name = std::move(name);
+  span.start_ms = start_ms;
+  span.duration_ms = duration_ms;
+  span.value = value;
+  span.thread = thread_small_id();
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+std::uint32_t TraceContext::open(std::string name, std::uint32_t parent,
+                                 std::int64_t value) {
+  return open_at(std::move(name), parent, std::chrono::steady_clock::now(),
+                 value);
+}
+
+std::uint32_t TraceContext::open_at(std::string name, std::uint32_t parent,
+                                    std::chrono::steady_clock::time_point start,
+                                    std::int64_t value) {
+  return record(std::move(name), parent, offset_ms(start), -1, value);
+}
+
+void TraceContext::close(std::uint32_t id) {
+  if (id == 0) return;
+  const double now_ms = offset_ms(std::chrono::steady_clock::now());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id > spans_.size()) return;
+  SpanRecord& span = spans_[id - 1];
+  if (span.duration_ms < 0) span.duration_ms = now_ms - span.start_ms;
+}
+
+std::uint32_t TraceContext::add(std::string name, std::uint32_t parent,
+                                std::chrono::steady_clock::time_point start,
+                                std::chrono::steady_clock::time_point end,
+                                std::int64_t value) {
+  return record(
+      std::move(name), parent, offset_ms(start),
+      std::chrono::duration<double, std::milli>(end - start).count(), value);
+}
+
+void TraceContext::set_value(std::uint32_t id, std::int64_t value) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id > spans_.size()) return;
+  spans_[id - 1].value = value;
+}
+
+std::vector<SpanRecord> TraceContext::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+json::Value TraceContext::to_json() const {
+  const std::vector<SpanRecord> recorded = spans();
+  json::Value root = json::Value::object();
+  root.set("format", "busytime-trace-v1");
+  root.set("dropped", static_cast<std::int64_t>(dropped()));
+  json::Value list = json::Value::array();
+  for (const SpanRecord& span : recorded) {
+    json::Value entry = json::Value::object();
+    entry.set("id", static_cast<std::int64_t>(span.id));
+    entry.set("parent", static_cast<std::int64_t>(span.parent));
+    entry.set("name", span.name);
+    entry.set("start_ms", span.start_ms);
+    entry.set("duration_ms", span.duration_ms);
+    entry.set("value", span.value);
+    entry.set("thread", span.thread);
+    list.push_back(std::move(entry));
+  }
+  root.set("spans", std::move(list));
+  return root;
+}
+
+std::string TraceContext::to_text() const {
+  const std::vector<SpanRecord> recorded = spans();
+
+  // Children of span id i (0 = roots), siblings in start order.
+  std::vector<std::vector<std::uint32_t>> children(recorded.size() + 1);
+  for (const SpanRecord& span : recorded) {
+    const std::uint32_t parent = span.parent <= recorded.size() ? span.parent : 0;
+    children[parent].push_back(span.id);
+  }
+  for (auto& kids : children)
+    std::sort(kids.begin(), kids.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                const SpanRecord& sa = recorded[a - 1];
+                const SpanRecord& sb = recorded[b - 1];
+                return sa.start_ms != sb.start_ms ? sa.start_ms < sb.start_ms
+                                                  : a < b;
+              });
+
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(3);
+  // Iterative DFS so a degenerate all-chain trace cannot overflow the stack.
+  std::vector<std::pair<std::uint32_t, int>> stack;  // (id, depth)
+  for (auto it = children[0].rbegin(); it != children[0].rend(); ++it)
+    stack.emplace_back(*it, 0);
+  while (!stack.empty()) {
+    const auto [id, depth] = stack.back();
+    stack.pop_back();
+    const SpanRecord& span = recorded[id - 1];
+    for (int d = 0; d < depth; ++d) oss << "  ";
+    oss << span.name << "  +" << span.start_ms << "ms  ";
+    if (span.duration_ms < 0)
+      oss << "(open)";
+    else
+      oss << span.duration_ms << "ms";
+    if (span.value != 0) oss << "  value=" << span.value;
+    oss << "  t" << span.thread << "\n";
+    const auto& kids = children[id];
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it)
+      stack.emplace_back(*it, depth + 1);
+  }
+  if (dropped() > 0) oss << "(" << dropped() << " spans dropped)\n";
+  return oss.str();
+}
+
+}  // namespace busytime::obs

@@ -1,0 +1,157 @@
+// Observability layer, part 2: request-scoped trace spans.
+//
+// A TraceContext travels with one request (RequestContext::trace, installed
+// by Service::submit or by a caller setting SolverSpec::trace) and collects
+// a span tree of where the request's wall time went:
+//
+//   request                      the whole request, queue wait included
+//   ├─ queue_wait                submit() to the worker picking it up
+//   └─ solve                     the api/ run path's timed region
+//      ├─ view | view_build      cached-view lookup | inline build
+//      │   └─ classify           per-component classification phase
+//      ├─ dispatch               per-component fan-out
+//      │   └─ component:<name>   one per component (value = jobs)
+//      ├─ replay                 online path: the sharded stream replay
+//      │   └─ shard              one per shard (value = arrivals)
+//      └─ finalize               cost/validity derivation
+//
+// Spans carry start offset + duration (milliseconds since the trace epoch),
+// a small integer payload (`value`: component count, jobs, ...), and the
+// recording thread's small id.  The *structure* is deterministic for a
+// given request; only durations and the relative order of sibling spans
+// from concurrent workers vary.
+//
+// Writes take a mutex — traces are per-request and spans are recorded at
+// component/shard granularity, so contention is negligible (metrics, the
+// always-on layer, are the lock-free path).  A cap bounds memory on
+// pathological requests; spans past it are dropped and counted.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "io/json.hpp"
+
+namespace busytime::obs {
+
+struct SpanRecord {
+  std::uint32_t id = 0;      ///< 1-based; 0 is "no span"
+  std::uint32_t parent = 0;  ///< 0 = a root of the tree
+  std::string name;
+  double start_ms = 0;       ///< offset from the trace epoch
+  double duration_ms = -1;   ///< -1 while the span is still open
+  std::int64_t value = 0;    ///< span-specific payload (jobs, components, ...)
+  int thread = 0;            ///< small id of the recording thread
+};
+
+/// The recording thread's process-unique small id (0, 1, 2, ... in first-use
+/// order); stable for the thread's lifetime.
+int thread_small_id() noexcept;
+
+class TraceContext {
+ public:
+  /// Spans kept per trace; opens past the cap return 0 and count dropped().
+  static constexpr std::size_t kMaxSpans = 65536;
+
+  /// The epoch is the construction instant; pass an explicit one to align
+  /// the trace with an already-taken request start timestamp.
+  TraceContext() : TraceContext(std::chrono::steady_clock::now()) {}
+  explicit TraceContext(std::chrono::steady_clock::time_point epoch)
+      : epoch_(epoch) {}
+
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  std::chrono::steady_clock::time_point epoch() const noexcept {
+    return epoch_;
+  }
+
+  /// Opens a span starting now; returns its id (0 if capped).
+  std::uint32_t open(std::string name, std::uint32_t parent = 0,
+                     std::int64_t value = 0);
+  /// Opens a span with an explicit start instant (e.g. the request's submit
+  /// timestamp, taken before the trace existed).
+  std::uint32_t open_at(std::string name, std::uint32_t parent,
+                        std::chrono::steady_clock::time_point start,
+                        std::int64_t value = 0);
+  /// Closes an open span (duration = now - start).  id 0 is a no-op.
+  void close(std::uint32_t id);
+  /// Records an already-finished interval (e.g. queue wait, reconstructed
+  /// retroactively from two timestamps).
+  std::uint32_t add(std::string name, std::uint32_t parent,
+                    std::chrono::steady_clock::time_point start,
+                    std::chrono::steady_clock::time_point end,
+                    std::int64_t value = 0);
+  void set_value(std::uint32_t id, std::int64_t value);
+
+  /// The anchor is the span deeper layers should parent under when they
+  /// were not handed an explicit parent: the run path publishes its "solve"
+  /// span here, so dispatch/replay instrumentation nests correctly without
+  /// threading span ids through every signature.
+  void set_anchor(std::uint32_t id) noexcept {
+    anchor_.store(id, std::memory_order_relaxed);
+  }
+  std::uint32_t anchor() const noexcept {
+    return anchor_.load(std::memory_order_relaxed);
+  }
+
+  /// Copy of the recorded spans, in id order.
+  std::vector<SpanRecord> spans() const;
+  std::size_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// {"format": "busytime-trace-v1", "dropped": N, "spans": [...]}, spans
+  /// in id order with {id, parent, name, start_ms, duration_ms, value,
+  /// thread}.
+  json::Value to_json() const;
+
+  /// Indented tree rendering for terminals (children under parents,
+  /// siblings in start order).
+  std::string to_text() const;
+
+ private:
+  double offset_ms(std::chrono::steady_clock::time_point t) const noexcept {
+    return std::chrono::duration<double, std::milli>(t - epoch_).count();
+  }
+  std::uint32_t record(std::string name, std::uint32_t parent, double start_ms,
+                       double duration_ms, std::int64_t value);
+
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+  std::atomic<std::uint32_t> anchor_{0};
+  std::atomic<std::size_t> dropped_{0};
+};
+
+/// RAII span: opens on construction, closes on destruction.  Inert when the
+/// context is null, so call sites stay branch-free:
+///   obs::ScopedSpan span(trace_of(ctx), "dispatch", parent, count);
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceContext* ctx, std::string name, std::uint32_t parent = 0,
+             std::int64_t value = 0)
+      : ctx_(ctx),
+        id_(ctx == nullptr ? 0 : ctx->open(std::move(name), parent, value)) {}
+  ~ScopedSpan() {
+    if (ctx_ != nullptr) ctx_->close(id_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  std::uint32_t id() const noexcept { return id_; }
+  void set_value(std::int64_t value) const {
+    if (ctx_ != nullptr) ctx_->set_value(id_, value);
+  }
+
+ private:
+  TraceContext* ctx_;
+  std::uint32_t id_;
+};
+
+}  // namespace busytime::obs

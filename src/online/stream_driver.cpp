@@ -9,6 +9,7 @@
 #include "core/bounds.hpp"
 #include "core/validate.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/hooks.hpp"
 
 namespace busytime {
 
@@ -87,11 +88,28 @@ void bucket_cancels(const std::vector<CancelRecord>& cancels,
 ReplayResult replay_events(const Instance& trace,
                            const std::vector<CancelRecord>& cancels,
                            OnlinePolicy policy, const PolicyParams& params,
-                           int threads, std::size_t min_shard_jobs) {
+                           int threads, std::size_t min_shard_jobs,
+                           const RequestContext* context) {
   const int t = exec::resolve_threads(threads);
   const Time min_gap =
       policy == OnlinePolicy::kEpochHybrid ? params.epoch_length : 0;
   auto shards = plan_shards(trace, t, min_shard_jobs, min_gap);
+
+  // Deterministic counts: the shard plan depends on the *requested* thread
+  // count and the trace, never on execution interleaving, so shards_run is
+  // exact and assertable for a pinned request.
+  obs::MetricsRegistry& sink = obs::metrics_of(context);
+  sink.counter(obs::metric::kOnlineReplays).inc();
+  sink.counter(obs::metric::kOnlineJobsReplayed).add(trace.size());
+  sink.counter(obs::metric::kOnlineCancelsReplayed).add(cancels.size());
+  sink.counter(obs::metric::kOnlineShardsRun).add(shards.size());
+  const obs::Histogram shard_jobs_hist =
+      sink.histogram(obs::metric::kOnlineShardJobs);
+  const obs::Histogram shard_us_hist =
+      sink.histogram(obs::metric::kOnlineShardReplayUs);
+  obs::TraceContext* spans = obs::trace_of(context);
+  const obs::ScopedSpan replay_span(spans, "replay", obs::span_parent(context),
+                                    static_cast<std::int64_t>(shards.size()));
 
   ReplayResult result;
   result.threads = t;
@@ -114,6 +132,7 @@ ReplayResult replay_events(const Instance& trace,
   };
   std::vector<ShardRun> runs(shards.size());
   exec::parallel_for(t, shards.size(), [&](std::size_t s) {
+    const auto s0 = std::chrono::steady_clock::now();
     const auto sched = make_scheduler(policy, trace.g(), params);
     // Merge the shard's arrivals with its retractions in the canonical
     // stream order (the same rule EventStream applies).
@@ -152,8 +171,18 @@ ReplayResult replay_events(const Instance& trace,
     }
     runs[s].part = sched->schedule();
     runs[s].stats = sched->stats();
+    const auto s1 = std::chrono::steady_clock::now();
+    const std::size_t arrivals = shards[s].end - shards[s].begin;
+    shard_jobs_hist.record(arrivals);
+    shard_us_hist.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(s1 - s0)
+            .count()));
+    if (spans != nullptr)
+      spans->add("shard", replay_span.id(), s0, s1,
+                 static_cast<std::int64_t>(arrivals));
   });
 
+  const obs::ScopedSpan merge_span(spans, "replay_merge", replay_span.id());
   // Stitch in shard order.  Shards are time-disjoint and a sequential pool
   // never reuses a closed machine's id, so offsetting each shard's machine
   // ids by the openings before it reproduces the sequential numbering;
@@ -212,8 +241,9 @@ StreamReport run_events(const Instance& trace,
   if (!trace.empty()) trace.ids_by_start();
 
   const auto t0 = std::chrono::steady_clock::now();
-  ReplayResult replay = replay_events(trace, cancels, policy, options.policy,
-                                      options.threads, options.min_shard_jobs);
+  ReplayResult replay =
+      replay_events(trace, cancels, policy, options.policy, options.threads,
+                    options.min_shard_jobs, nullptr);
   const auto t1 = std::chrono::steady_clock::now();
 
   report.stats = replay.stats;
@@ -275,15 +305,18 @@ StreamReport run_events(const Instance& trace,
 
 ReplayResult replay_stream(const Instance& trace, OnlinePolicy policy,
                            const PolicyParams& params, int threads,
-                           std::size_t min_shard_jobs) {
-  return replay_events(trace, {}, policy, params, threads, min_shard_jobs);
+                           std::size_t min_shard_jobs,
+                           const RequestContext* context) {
+  return replay_events(trace, {}, policy, params, threads, min_shard_jobs,
+                       context);
 }
 
 ReplayResult replay_stream(const EventTrace& trace, OnlinePolicy policy,
                            const PolicyParams& params, int threads,
-                           std::size_t min_shard_jobs) {
+                           std::size_t min_shard_jobs,
+                           const RequestContext* context) {
   return replay_events(trace.base(), trace.cancels(), policy, params, threads,
-                       min_shard_jobs);
+                       min_shard_jobs, context);
 }
 
 StreamReport run_stream(const Instance& trace, OnlinePolicy policy,

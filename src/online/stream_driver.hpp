@@ -41,6 +41,8 @@
 
 namespace busytime {
 
+struct RequestContext;
+
 struct StreamOptions {
   PolicyParams policy;
   /// Jobs of the stream prefix used for the offline comparison; 0 disables
@@ -91,9 +93,14 @@ struct ReplayResult {
 /// Replays `trace` (jobs in start order) through `policy` on up to
 /// `threads` workers (0 = process default, 1 = sequential single pool).
 /// Deterministic: identical output at every thread count.
+///
+/// `context` is the observability/controls hook: replay counters and
+/// per-shard histograms are recorded into its metrics sink (the
+/// process-default registry when null) and shard spans into its trace.
 ReplayResult replay_stream(const Instance& trace, OnlinePolicy policy,
                            const PolicyParams& params, int threads = 1,
-                           std::size_t min_shard_jobs = 4096);
+                           std::size_t min_shard_jobs = 4096,
+                           const RequestContext* context = nullptr);
 
 /// Replays an event trace — arrivals interleaved with cancellations and
 /// preemptions in time order (retractions first at equal times).  Same
@@ -102,7 +109,8 @@ ReplayResult replay_stream(const Instance& trace, OnlinePolicy policy,
 /// schedule.cost(trace.residual()).
 ReplayResult replay_stream(const EventTrace& trace, OnlinePolicy policy,
                            const PolicyParams& params, int threads = 1,
-                           std::size_t min_shard_jobs = 4096);
+                           std::size_t min_shard_jobs = 4096,
+                           const RequestContext* context = nullptr);
 
 /// Replays `trace` (jobs in start order) through `policy` and reports.
 StreamReport run_stream(const Instance& trace, OnlinePolicy policy,

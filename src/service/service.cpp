@@ -3,31 +3,51 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace busytime {
 
+namespace {
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point from,
+                         std::chrono::steady_clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from).count());
+}
+
+}  // namespace
+
 Service::Service(ServiceConfig config)
-    : config_(config), workers_(exec::resolve_threads(config.workers)) {}
+    : config_(config),
+      workers_(exec::resolve_threads(config.workers)),
+      registry_(std::make_shared<obs::MetricsRegistry>()) {
+  handles_loaded_ = registry_->counter(obs::metric::kServiceHandlesLoaded);
+  requests_ = registry_->counter(obs::metric::kServiceRequests);
+  completed_ = registry_->counter(obs::metric::kServiceCompleted);
+  ok_ = registry_->counter(obs::metric::kServiceOk);
+  deadline_expired_ = registry_->counter(obs::metric::kServiceDeadlineExpired);
+  cancelled_ = registry_->counter(obs::metric::kServiceCancelled);
+  failed_ = registry_->counter(obs::metric::kServiceFailed);
+  queue_wait_us_ = registry_->histogram(obs::metric::kServiceQueueWaitUs);
+  request_us_ = registry_->histogram(obs::metric::kServiceRequestUs);
+}
 
 InstanceHandle Service::load(Instance inst) {
   return load(EventTrace(std::move(inst)));
 }
 
 InstanceHandle Service::load(EventTrace trace) {
-  handles_loaded_.fetch_add(1, std::memory_order_relaxed);
+  handles_loaded_.inc();
   return std::make_shared<const InstanceState>(std::move(trace),
-                                               config_.view_threads);
+                                               config_.view_threads, registry_);
 }
 
 SolveResult Service::record(SolveResult result) noexcept {
-  completed_.fetch_add(1, std::memory_order_relaxed);
+  completed_.inc();
   switch (result.status) {
-    case SolveStatus::kOk: ok_.fetch_add(1, std::memory_order_relaxed); break;
-    case SolveStatus::kDeadline:
-      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case SolveStatus::kCancelled:
-      cancelled_.fetch_add(1, std::memory_order_relaxed);
-      break;
+    case SolveStatus::kOk: ok_.inc(); break;
+    case SolveStatus::kDeadline: deadline_expired_.inc(); break;
+    case SolveStatus::kCancelled: cancelled_.inc(); break;
   }
   return result;
 }
@@ -37,17 +57,53 @@ SolveResult Service::count_failures(Fn&& fn) {
   try {
     return record(fn());
   } catch (...) {
-    completed_.fetch_add(1, std::memory_order_relaxed);
-    failed_.fetch_add(1, std::memory_order_relaxed);
+    completed_.inc();
+    failed_.inc();
+    throw;
+  }
+}
+
+std::shared_ptr<RequestContext> Service::make_context(
+    const SolverSpec& spec, std::chrono::steady_clock::time_point start) {
+  auto context = std::make_shared<RequestContext>();
+  context->set_deadline(start, spec.options.deadline_ms);
+  context->cancel = spec.cancel;
+  // The registry outlives every request: pool_ (declared after registry_)
+  // drains in ~Service before registry_ releases its share.
+  context->metrics = registry_.get();
+  if (spec.trace != nullptr) {
+    context->trace = spec.trace;
+    // The root span starts at the request's start instant (submit time for
+    // pooled requests), so queue wait is inside it and the tree covers the
+    // full request wall time.
+    context->trace_root = spec.trace->open_at("request", 0, start);
+  }
+  return context;
+}
+
+template <typename Fn>
+SolveResult Service::finish_request(const RequestContext& context,
+                                    std::chrono::steady_clock::time_point start,
+                                    Fn&& fn) {
+  const auto finish = [&] {
+    request_us_.record(elapsed_us(start, std::chrono::steady_clock::now()));
+    if (context.trace != nullptr) context.trace->close(context.trace_root);
+  };
+  try {
+    SolveResult result = fn();
+    finish();
+    return result;
+  } catch (...) {
+    finish();
     throw;
   }
 }
 
 SolveResult Service::run_request(const InstanceHandle& handle, SolverSpec spec,
-                                 std::chrono::steady_clock::time_point start) {
-  auto context = std::make_shared<RequestContext>();
-  context->set_deadline(start, spec.options.deadline_ms);
-  context->cancel = spec.cancel;
+                                 std::chrono::steady_clock::time_point start,
+                                 bool queued) {
+  const auto picked_up = std::chrono::steady_clock::now();
+  auto context = make_context(spec, start);
   // The request closure keeps the handle alive, so the raw pointer the
   // provider captures outlives every checkpoint that can call it.  The
   // provider hands out the cached view only for the handle's own solve
@@ -57,20 +113,28 @@ SolveResult Service::run_request(const InstanceHandle& handle, SolverSpec spec,
   context->view_provider = [state](const Instance& inst) -> const InstanceView* {
     return &inst == &state->solve_target() ? &state->view() : nullptr;
   };
+  if (queued) {
+    queue_wait_us_.record(elapsed_us(start, picked_up));
+    if (context->trace != nullptr)
+      context->trace->add("queue_wait", context->trace_root, start, picked_up);
+  }
+  const RequestContext& ctx = *context;
   spec.context = std::move(context);
-  return count_failures(
-      [&] { return detail::solve_request(handle->trace(), spec); });
+  return finish_request(ctx, start, [&] {
+    return count_failures(
+        [&] { return detail::solve_request(handle->trace(), spec); });
+  });
 }
 
 std::future<SolveResult> Service::submit(InstanceHandle handle,
                                          SolverSpec spec) {
   if (!handle)
     throw std::invalid_argument("Service::submit: null InstanceHandle");
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_.inc();
   const auto start = std::chrono::steady_clock::now();
   auto task = std::make_shared<std::packaged_task<SolveResult()>>(
       [this, handle = std::move(handle), spec = std::move(spec), start] {
-        return run_request(handle, spec, start);
+        return run_request(handle, spec, start, /*queued=*/true);
       });
   std::future<SolveResult> future = task->get_future();
   pool_.ensure_size(workers_);
@@ -90,30 +154,51 @@ SolveResult Service::solve(const InstanceHandle& handle,
                            const SolverSpec& spec) {
   if (!handle)
     throw std::invalid_argument("Service::solve: null InstanceHandle");
-  requests_.fetch_add(1, std::memory_order_relaxed);
-  return run_request(handle, spec, std::chrono::steady_clock::now());
+  requests_.inc();
+  return run_request(handle, spec, std::chrono::steady_clock::now(),
+                     /*queued=*/false);
 }
 
 SolveResult Service::solve(const Instance& inst, const SolverSpec& spec) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
-  return count_failures([&] { return detail::solve_request(inst, spec); });
+  requests_.inc();
+  const auto start = std::chrono::steady_clock::now();
+  SolverSpec request = spec;
+  auto context = make_context(request, start);
+  const RequestContext& ctx = *context;
+  request.context = std::move(context);
+  return finish_request(ctx, start, [&] {
+    return count_failures([&] { return detail::solve_request(inst, request); });
+  });
 }
 
 SolveResult Service::solve(const EventTrace& trace, const SolverSpec& spec) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
-  return count_failures([&] { return detail::solve_request(trace, spec); });
+  requests_.inc();
+  const auto start = std::chrono::steady_clock::now();
+  SolverSpec request = spec;
+  auto context = make_context(request, start);
+  const RequestContext& ctx = *context;
+  request.context = std::move(context);
+  return finish_request(ctx, start, [&] {
+    return count_failures([&] { return detail::solve_request(trace, request); });
+  });
 }
 
-ServiceStats Service::stats() const noexcept {
+ServiceStats Service::stats() const {
+  const obs::MetricsSnapshot snap = registry_->snapshot();
   ServiceStats s;
-  s.handles_loaded = handles_loaded_.load(std::memory_order_relaxed);
-  s.requests = requests_.load(std::memory_order_relaxed);
-  s.completed = completed_.load(std::memory_order_relaxed);
-  s.ok = ok_.load(std::memory_order_relaxed);
-  s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
-  s.cancelled = cancelled_.load(std::memory_order_relaxed);
-  s.failed = failed_.load(std::memory_order_relaxed);
+  s.handles_loaded = snap.counter_value(obs::metric::kServiceHandlesLoaded);
+  s.requests = snap.counter_value(obs::metric::kServiceRequests);
+  s.completed = snap.counter_value(obs::metric::kServiceCompleted);
+  s.ok = snap.counter_value(obs::metric::kServiceOk);
+  s.deadline_expired = snap.counter_value(obs::metric::kServiceDeadlineExpired);
+  s.cancelled = snap.counter_value(obs::metric::kServiceCancelled);
+  s.failed = snap.counter_value(obs::metric::kServiceFailed);
   return s;
+}
+
+obs::MetricsSnapshot Service::metrics_snapshot() const {
+  obs::publish_pool_stats(pool_.stats(), *registry_);
+  return registry_->snapshot();
 }
 
 Service& Service::process_default() {

@@ -44,6 +44,7 @@
 #include "api/solver_spec.hpp"
 #include "core/instance_view.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
 #include "online/event.hpp"
 
 namespace busytime {
@@ -56,8 +57,19 @@ class InstanceState {
  public:
   /// `view_threads` is the worker count for the one-time view build
   /// (0 = exec process default; never changes the view's contents).
-  explicit InstanceState(EventTrace trace, int view_threads = 0)
-      : trace_(std::move(trace)), view_threads_(view_threads) {}
+  /// A non-null `registry` (the owning Service's) additionally receives
+  /// the service-wide service.view_builds / service.view_hits counters;
+  /// the shared_ptr keeps the cells alive even when a handle outlives its
+  /// Service.
+  explicit InstanceState(EventTrace trace, int view_threads = 0,
+                         std::shared_ptr<obs::MetricsRegistry> registry = nullptr)
+      : trace_(std::move(trace)), view_threads_(view_threads) {
+    if (registry != nullptr) {
+      builds_counter_ = registry->counter(obs::metric::kServiceViewBuilds);
+      hits_counter_ = registry->counter(obs::metric::kServiceViewHits);
+      registry_ = std::move(registry);
+    }
+  }
 
   InstanceState(const InstanceState&) = delete;
   InstanceState& operator=(const InstanceState&) = delete;
@@ -80,20 +92,25 @@ class InstanceState {
       view_ = std::make_unique<const InstanceView>(solve_target(), view_threads_);
       built_now = true;
     });
-    if (built_now)
+    if (built_now) {
       view_builds_.fetch_add(1, std::memory_order_relaxed);
-    else
+      builds_counter_.inc();
+    } else {
       view_hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_counter_.inc();
+    }
     return *view_;
   }
 
   /// Times view() found the decomposition already cached — each warm
-  /// re-solve that skipped re-classification counts one hit.
+  /// re-solve that skipped re-classification counts one hit.  Per-handle
+  /// shim over the registry-backed service.view_hits aggregate.
   std::uint64_t view_hits() const noexcept {
     return view_hits_.load(std::memory_order_relaxed);
   }
   /// Times view() actually built the decomposition (0 until first use,
-  /// 1 after — the view is never rebuilt).
+  /// 1 after — the view is never rebuilt).  Per-handle shim over the
+  /// registry-backed service.view_builds aggregate.
   std::uint64_t view_builds() const noexcept {
     return view_builds_.load(std::memory_order_relaxed);
   }
@@ -101,6 +118,10 @@ class InstanceState {
  private:
   EventTrace trace_;
   int view_threads_ = 0;
+  /// Keeps the counter cells alive for handles that outlive their Service.
+  std::shared_ptr<obs::MetricsRegistry> registry_;
+  obs::Counter builds_counter_;  ///< service.view_builds (inert without registry)
+  obs::Counter hits_counter_;    ///< service.view_hits
   mutable std::once_flag view_once_;
   mutable std::unique_ptr<const InstanceView> view_;
   mutable std::atomic<std::uint64_t> view_hits_{0};
@@ -125,6 +146,8 @@ struct ServiceConfig {
 
 /// Aggregate request accounting; a consistent-enough snapshot for
 /// monitoring (counters are individually atomic, not read under one lock).
+/// A shim over the service.* counters of the Service's MetricsRegistry —
+/// metrics_snapshot() is the full-fidelity view.
 struct ServiceStats {
   std::uint64_t handles_loaded = 0;
   std::uint64_t requests = 0;   ///< submitted + blocking, incl. in-flight
@@ -176,10 +199,21 @@ class Service {
   SolveResult solve(const Instance& inst, const SolverSpec& spec);
   SolveResult solve(const EventTrace& trace, const SolverSpec& spec);
 
-  ServiceStats stats() const noexcept;
+  /// ServiceStats shim over the registry counters (exact once idle, like
+  /// any counter read under concurrent submits).
+  ServiceStats stats() const;
   const ServiceConfig& config() const noexcept { return config_; }
   /// Resolved worker count of the request pool.
   int workers() const noexcept { return workers_; }
+
+  /// This Service's metric registry: every request executed here counts
+  /// into it (service.*, solve.*, online.* — see docs/OBSERVABILITY.md).
+  obs::MetricsRegistry& metrics() const noexcept { return *registry_; }
+  /// A merged point-in-time snapshot, with the request pool's current
+  /// busy/idle/queue accounting published into the exec.* gauges first.
+  obs::MetricsSnapshot metrics_snapshot() const;
+  /// The raw pool accounting sample (what the exec.* gauges are fed from).
+  exec::PoolStats pool_stats() const { return pool_.stats(); }
 
   /// The process-wide Service behind the free run_solver functions.
   /// Never destroyed (same discipline as exec::ThreadPool::shared()).
@@ -187,9 +221,21 @@ class Service {
 
  private:
   /// Builds the RequestContext (deadline resolved against `start`, cancel
-  /// token, cached-view hook) and runs the request through the api/ core.
+  /// token, metrics sink, trace root when spec.trace is set).
+  std::shared_ptr<RequestContext> make_context(
+      const SolverSpec& spec, std::chrono::steady_clock::time_point start);
+  /// Runs the request through the api/ core with full instrumentation;
+  /// `queued` marks pool-hopped requests (their submit-to-pickup wait is
+  /// recorded as service.queue_wait_us and a queue_wait span).
   SolveResult run_request(const InstanceHandle& handle, SolverSpec spec,
-                          std::chrono::steady_clock::time_point start);
+                          std::chrono::steady_clock::time_point start,
+                          bool queued);
+  /// Records service.request_us and closes the request's root span around
+  /// `fn`, success or throw.
+  template <typename Fn>
+  SolveResult finish_request(const RequestContext& context,
+                             std::chrono::steady_clock::time_point start,
+                             Fn&& fn);
   /// Status bookkeeping on the way out.
   SolveResult record(SolveResult result) noexcept;
 
@@ -199,13 +245,19 @@ class Service {
   ServiceConfig config_;
   int workers_ = 1;
 
-  std::atomic<std::uint64_t> handles_loaded_{0};
-  std::atomic<std::uint64_t> requests_{0};
-  std::atomic<std::uint64_t> completed_{0};
-  std::atomic<std::uint64_t> ok_{0};
-  std::atomic<std::uint64_t> deadline_expired_{0};
-  std::atomic<std::uint64_t> cancelled_{0};
-  std::atomic<std::uint64_t> failed_{0};
+  /// Shared so counter-handle holders that outlive the Service (loaded
+  /// InstanceHandles) keep the cells alive.  Declared before every handle
+  /// resolved from it.
+  std::shared_ptr<obs::MetricsRegistry> registry_;
+  obs::Counter handles_loaded_;
+  obs::Counter requests_;
+  obs::Counter completed_;
+  obs::Counter ok_;
+  obs::Counter deadline_expired_;
+  obs::Counter cancelled_;
+  obs::Counter failed_;
+  obs::Histogram queue_wait_us_;
+  obs::Histogram request_us_;
 
   /// Declared last: destroyed first, so the pool drains and joins while
   /// every counter the in-flight requests touch is still alive.
