@@ -1,0 +1,238 @@
+// PERF — remote serving tier: solve throughput and latency over a loopback
+// TCP connection to the in-process net::Server, against the in-process
+// warm-handle path as the baseline.  Three measurements:
+//
+//   inproc — blocking Service::solve against one loaded InstanceHandle:
+//            the perf_service "warm" shape, re-measured here so the wire
+//            tax is computed against the same build and machine;
+//   net1   — one client, one connection, warm remote handle: sequential
+//            request/response round trips.  net1 vs inproc is the full
+//            cost of busytime-wire-v1 (serialize + frame + TCP loopback +
+//            reactor dispatch + response path);
+//   net8   — eight clients on eight connections, each with its own warm
+//            handle, solving concurrently: the serve-mode shape; shows
+//            how far the single-threaded reactor + worker pool scale.
+//
+// Every remote result is verified bit-identical to the in-process baseline
+// (wall_ms excluded), and the run emits BENCH_net.json for the perf
+// trajectory.
+//
+// Flags:
+//   --n=N          jobs in the trace                   (default 20000)
+//   --g=G          machine capacity                    (default 8)
+//   --seed=S       trace seed                          (default 2012)
+//   --rate=R       mean arrivals per time unit         (default 0.5)
+//   --requests=K   requests per measurement            (default 100)
+//   --workers=W    Service worker count                (default 2)
+//   --out=FILE     JSON output path                    (default BENCH_net.json)
+//   --smoke        CI mode: n=5000, 24 requests
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "io/json.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "service/service.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "workload/trace.hpp"
+
+namespace busytime {
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool same_result(const SolveResult& a, const SolveResult& b) {
+  return a.solver == b.solver && a.status == b.status && a.cost == b.cost &&
+         a.throughput == b.throughput && a.valid == b.valid &&
+         a.schedule.assignment() == b.schedule.assignment() &&
+         a.trace == b.trace && a.stats == b.stats;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  std::sort(sorted.begin(), sorted.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct Measurement {
+  double wall_ms = 0;
+  double requests_per_sec = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  bool identical = true;
+};
+
+Measurement finish(std::vector<double> latencies, double wall_ms,
+                   bool identical) {
+  Measurement m;
+  m.wall_ms = wall_ms;
+  m.requests_per_sec =
+      static_cast<double>(latencies.size()) / (wall_ms / 1000.0);
+  m.p50_ms = percentile(latencies, 0.50);
+  m.p99_ms = percentile(latencies, 0.99);
+  m.identical = identical;
+  return m;
+}
+
+json::Value to_json(const Measurement& m) {
+  json::Value v = json::Value::object();
+  v.set("wall_ms", m.wall_ms);
+  v.set("requests_per_sec", m.requests_per_sec);
+  v.set("p50_ms", m.p50_ms);
+  v.set("p99_ms", m.p99_ms);
+  v.set("identical", m.identical);
+  return v;
+}
+
+int main_impl(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const bool smoke = flags.get_bool("smoke");
+
+  TraceParams tp;
+  tp.n = static_cast<int>(flags.get_int("n", smoke ? 5000 : 20000));
+  tp.g = static_cast<int>(flags.get_int("g", 8));
+  tp.arrival_rate = flags.get_double("rate", 0.5);
+  tp.diurnal = true;
+  tp.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2012));
+  const int requests =
+      static_cast<int>(flags.get_int("requests", smoke ? 24 : 100));
+  const int workers = static_cast<int>(flags.get_int("workers", 2));
+  const std::string out_path = flags.get("out", "BENCH_net.json");
+
+  const Instance trace = gen_trace(tp);
+  trace.ids_by_start();
+  const SolverSpec spec = SolverSpec::parse("auto");
+
+  Service service(ServiceConfig{workers});
+  const InstanceHandle handle = service.load(trace);
+  const SolveResult baseline = service.solve(handle, spec);
+
+  // ------------------------------------------------- in-process baseline ---
+  Measurement inproc;
+  {
+    std::vector<double> lat;
+    const double t0 = now_ms();
+    for (int r = 0; r < requests; ++r) {
+      const double s = now_ms();
+      inproc.identical =
+          inproc.identical && same_result(service.solve(handle, spec), baseline);
+      lat.push_back(now_ms() - s);
+    }
+    inproc = finish(std::move(lat), now_ms() - t0, inproc.identical);
+  }
+
+  // Loopback server over the same Service, on its own thread.
+  net::Server server(service);
+  std::thread reactor([&server] { server.run(); });
+  const std::uint16_t port = server.port();
+
+  // ------------------------------------------- one client, warm handle ---
+  Measurement net1;
+  {
+    net::Client client("127.0.0.1", port);
+    const net::RemoteHandle remote = client.load(trace);
+    client.solve(remote, spec);  // warm the path before timing
+    std::vector<double> lat;
+    const double t0 = now_ms();
+    for (int r = 0; r < requests; ++r) {
+      const double s = now_ms();
+      net1.identical =
+          net1.identical && same_result(client.solve(remote, spec), baseline);
+      lat.push_back(now_ms() - s);
+    }
+    net1 = finish(std::move(lat), now_ms() - t0, net1.identical);
+  }
+
+  // --------------------------------------- eight concurrent connections ---
+  constexpr int kClients = 8;
+  Measurement net8;
+  {
+    const int per_client = std::max(1, requests / kClients);
+    std::vector<std::vector<double>> lat(kClients);
+    std::vector<char> ok(kClients, 1);
+    std::vector<std::thread> threads;
+    const double t0 = now_ms();
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        net::Client client("127.0.0.1", port);
+        const net::RemoteHandle remote = client.load(trace);
+        client.solve(remote, spec);  // warm
+        for (int r = 0; r < per_client; ++r) {
+          const double s = now_ms();
+          if (!same_result(client.solve(remote, spec), baseline)) ok[c] = 0;
+          lat[c].push_back(now_ms() - s);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double wall = now_ms() - t0;
+    std::vector<double> all;
+    bool identical = true;
+    for (int c = 0; c < kClients; ++c) {
+      all.insert(all.end(), lat[c].begin(), lat[c].end());
+      identical = identical && ok[c];
+    }
+    net8 = finish(std::move(all), wall, identical);
+  }
+
+  server.stop();
+  reactor.join();
+
+  // ---------------------------------------------------------------- emit ---
+  json::Value root = json::Value::object();
+  root.set("bench", "net");
+  root.set("smoke", smoke);
+  root.set("hardware_threads", exec::hardware_threads());
+  root.set("jobs", static_cast<std::int64_t>(trace.size()));
+  root.set("g", tp.g);
+  root.set("seed", static_cast<std::int64_t>(tp.seed));
+  root.set("requests", requests);
+  root.set("workers", service.workers());
+  root.set("clients_concurrent", kClients);
+  root.set("inproc", to_json(inproc));
+  root.set("net1", to_json(net1));
+  root.set("net8", to_json(net8));
+  root.set("wire_tax_speedup", net1.wall_ms / inproc.wall_ms);
+  root.set("metrics", service.metrics_snapshot().to_json());
+
+  std::ofstream out(out_path);
+  out << root.dump(2) << "\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  Table table({"path", "requests/sec", "p50_ms", "p99_ms", "identical"});
+  table.add_row({"in-process warm", Table::fmt(inproc.requests_per_sec),
+                 Table::fmt(inproc.p50_ms), Table::fmt(inproc.p99_ms),
+                 inproc.identical ? "yes" : "NO"});
+  table.add_row({"net x1 warm", Table::fmt(net1.requests_per_sec),
+                 Table::fmt(net1.p50_ms), Table::fmt(net1.p99_ms),
+                 net1.identical ? "yes" : "NO"});
+  table.add_row({"net x8 warm", Table::fmt(net8.requests_per_sec),
+                 Table::fmt(net8.p50_ms), Table::fmt(net8.p99_ms),
+                 net8.identical ? "yes" : "NO"});
+  table.print(std::cout);
+  std::cout << "wire tax (net1/inproc wall): "
+            << Table::fmt(net1.wall_ms / inproc.wall_ms) << "x\n";
+
+  if (!inproc.identical || !net1.identical || !net8.identical) {
+    std::cerr << "error: a remote result diverged from the in-process "
+                 "baseline\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace busytime
+
+int main(int argc, char** argv) { return busytime::main_impl(argc, argv); }

@@ -9,6 +9,12 @@
 //   busytime_cli serve (--in=FILE | --family=NAME --n=N --g=G --seed=S)
 //                --specs=FILE [--workers=N] [--deadline_ms=D]
 //                [--stats-every=N] [--metrics-out=FILE] [--json]
+//   busytime_cli serve --listen=PORT [--host=ADDR] [--workers=N]
+//                [--metrics-out=FILE]
+//   busytime_cli client --connect=HOST:PORT
+//                (--ping | --list-solvers | --shutdown |
+//                 (--in=FILE | --family=NAME --n=N --g=G --seed=S)
+//                 [--solver=SPEC] [solve output flags])
 //   busytime_cli diff  a.json b.json [--tol=R]
 //   busytime_cli gen   --family=NAME --n=N --g=G --seed=S [--out=FILE]
 //                [--cancel_rate=P] [--preempt_frac=P]
@@ -29,6 +35,19 @@
 // --deadline_ms is the per-request default for specs without their own
 // deadline_ms, and expired requests report status "deadline" instead of
 // failing the batch.
+//
+// "serve --listen=PORT" is the network mode: it binds a TCP endpoint
+// (port 0 picks an ephemeral port; the resolved address is printed as
+// "listening on HOST:PORT" and flushed before the loop starts, so a parent
+// process can parse it and connect) and runs the src/net/ epoll reactor
+// over the same Service until a client sends a shutdown frame or the
+// process is signalled.  "client --connect=HOST:PORT" is the matching
+// remote mode: it loads the workload over the busytime-wire-v1 protocol
+// (docs/FORMATS.md) into a connection-scoped handle and solves against it,
+// mirroring "solve"'s workload/solver/output flags — results are
+// bit-identical to an in-process solve of the same workload and spec —
+// plus --ping, --list-solvers, and --shutdown for liveness, discovery, and
+// drain.
 //
 // "diff" compares two busytime-result-v1 files (e.g. --json-out of two
 // builds) and exits nonzero when the second regresses the first: higher
@@ -72,6 +91,8 @@
 #include "busytime.hpp"
 #include "exec/thread_pool.hpp"
 #include "io/serialize.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "service/service.hpp"
@@ -95,6 +116,9 @@ int usage() {
       << "  serve (--in=FILE | --family=F --n=N --g=G --seed=S)\n"
       << "        --specs=FILE [--workers=N] [--deadline_ms=D]\n"
       << "        [--stats-every=N] [--metrics-out=FILE] [--json]\n"
+      << "  serve --listen=PORT [--host=ADDR] [--workers=N] [--metrics-out=FILE]\n"
+      << "  client --connect=HOST:PORT (--ping | --list-solvers | --shutdown |\n"
+      << "        workload flags as in solve [--solver=SPEC] [output flags])\n"
       << "  diff  a.json b.json [--tol=R]       result-v1 or BENCH_*.json files\n"
       << "  gen   --family=F --n=N --g=G --seed=S [--out=FILE]\n"
       << "        [--cancel_rate=P] [--preempt_frac=P]\n"
@@ -394,9 +418,125 @@ std::vector<SolverSpec> load_specs(const std::string& path) {
   return specs;
 }
 
+/// Network serve mode: bind, announce the resolved endpoint on stdout, and
+/// run the reactor until a shutdown frame arrives.
+int cmd_serve_listen(const Flags& flags) {
+  ServiceConfig config;
+  config.workers = static_cast<int>(flags.get_int("workers", 0));
+  Service service(config);
+
+  net::ServerConfig server_config;
+  server_config.host = flags.get("host", "127.0.0.1");
+  server_config.port = static_cast<std::uint16_t>(flags.get_int("listen", 0));
+  net::Server server(service, server_config);
+
+  // The line parents parse to learn the ephemeral port; std::endl flushes
+  // it before the (potentially long-lived) loop starts.
+  std::cout << "listening on " << server.host() << ":" << server.port()
+            << std::endl;
+  server.run();
+
+  const obs::MetricsSnapshot snapshot = service.metrics_snapshot();
+  if (flags.has("metrics-out")) {
+    const std::string path = flags.get("metrics-out", "");
+    std::ofstream metrics_file(path);
+    if (!metrics_file)
+      throw std::runtime_error("cannot write metrics file: " + path);
+    metrics_file << snapshot.to_json().dump(2) << "\n";
+  }
+  std::cout << "server drained: connections="
+            << snapshot.counter_value(obs::metric::kNetConnections)
+            << " frames_in=" << snapshot.counter_value(obs::metric::kNetFramesIn)
+            << " frames_out=" << snapshot.counter_value(obs::metric::kNetFramesOut)
+            << " decode_errors="
+            << snapshot.counter_value(obs::metric::kNetDecodeErrors)
+            << " requests="
+            << snapshot.counter_value(obs::metric::kServiceRequests) << "\n";
+  return 0;
+}
+
+/// Remote solve over the busytime-wire-v1 protocol, mirroring "solve"'s
+/// workload and output flags.  The solve itself runs on the server; results
+/// are bit-identical to an in-process run of the same workload and spec.
+int cmd_client(const Flags& flags) {
+  if (!flags.has("connect")) {
+    std::cerr << "error: client needs --connect=HOST:PORT\n";
+    return 2;
+  }
+  const auto [host, port] = net::split_host_port(flags.get("connect", ""));
+  net::Client client(host, port);
+
+  if (flags.get_bool("shutdown")) {
+    client.shutdown_server();
+    std::cout << "server at " << host << ":" << port << " shutting down\n";
+    return 0;
+  }
+  if (flags.get_bool("ping")) {
+    const auto t0 = std::chrono::steady_clock::now();
+    client.ping();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    std::cout << "pong from " << host << ":" << port << " in " << Table::fmt(ms)
+              << " ms\n";
+    return 0;
+  }
+  if (flags.get_bool("list-solvers")) {
+    Table table({"name", "kind", "optimality", "ratio", "budget", "description"});
+    const std::vector<net::WireSolverInfo> infos = client.list_solvers();
+    for (const net::WireSolverInfo& info : infos)
+      table.add_row({info.name, info.kind, info.optimality,
+                     info.ratio > 0 ? Table::fmt(info.ratio) : "-",
+                     info.needs_budget ? "yes" : "-", info.description});
+    table.print(std::cout);
+    std::cout << infos.size() << " solvers registered remotely\n";
+    return 0;
+  }
+
+  const EventTrace trace = load_or_generate(flags);
+  SolverSpec spec = make_spec(flags);
+  if (flags.get_bool("trace"))
+    std::cerr << "warning: --trace is request-scoped and does not travel "
+                 "over the wire; ignored\n";
+  if (spec.name == "all") {
+    std::cerr << "error: --solver=all is an in-process comparison; pick one "
+                 "registry solver for remote solves\n";
+    return 2;
+  }
+
+  const net::RemoteHandle handle = trace.has_cancels()
+                                       ? client.load_trace(trace)
+                                       : client.load(trace.base());
+  const SolveResult result = client.solve(handle, spec);
+  warn_ignored(result);
+
+  if (flags.get_bool("json")) {
+    std::cout << result_to_json(result);
+  } else {
+    std::cout << trace_summary(trace) << "  via " << host << ":" << port << "\n"
+              << result.summary() << "\n";
+  }
+  if (flags.has("json-out")) save_result_json(flags.get("json-out", ""), result);
+  if (flags.has("out")) save_schedule(flags.get("out", ""), result.schedule);
+  if (flags.get_bool("gantt"))
+    std::cout << render_gantt(trace.residual(), result.schedule);
+  if (result.status != SolveStatus::kOk) {
+    std::cerr << "error: request did not complete: " << to_string(result.status)
+              << "\n";
+    return 1;
+  }
+  if (!result.valid) {
+    std::cerr << "error: solver produced an invalid schedule\n";
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_serve(const Flags& flags) {
+  if (flags.has("listen")) return cmd_serve_listen(flags);
   if (!flags.has("specs")) {
-    std::cerr << "error: serve needs --specs=FILE (one solver spec per line)\n";
+    std::cerr << "error: serve needs --specs=FILE (batch mode, one solver "
+                 "spec per line) or --listen=PORT (network mode)\n";
     return 2;
   }
   std::vector<SolverSpec> specs = load_specs(flags.get("specs", ""));
@@ -793,6 +933,7 @@ int main(int argc, char** argv) {
     if (command == "list-metrics") return cmd_list_metrics(flags);
     if (command == "solve") return cmd_solve(flags);
     if (command == "serve") return cmd_serve(flags);
+    if (command == "client") return cmd_client(flags);
     if (command == "diff") return cmd_diff(flags);
     if (command == "gen") return cmd_gen(flags);
     if (command == "check") return cmd_check(flags);

@@ -353,6 +353,28 @@ std::ofstream open_out(const std::string& path) {
 
 }  // namespace
 
+std::string instance_to_string(const Instance& inst) {
+  std::ostringstream os;
+  write_instance(os, inst);
+  return os.str();
+}
+
+Instance instance_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_instance(is);
+}
+
+std::string event_trace_to_string(const EventTrace& trace) {
+  std::ostringstream os;
+  write_event_trace(os, trace);
+  return os.str();
+}
+
+EventTrace event_trace_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_event_trace(is);
+}
+
 void save_instance(const std::string& path, const Instance& inst) {
   auto os = open_out(path);
   write_instance(os, inst);

@@ -74,6 +74,14 @@ SolveResult result_from_json(const std::string& text);
 void write_result_json(std::ostream& os, const SolveResult& result);
 SolveResult read_result_json(std::istream& is);
 
+/// In-memory string forms of the v1 text containers — what the wire
+/// round-trip tests diff binary payloads against, and what tools use to
+/// hold documents without touching disk.
+std::string instance_to_string(const Instance& inst);
+Instance instance_from_string(const std::string& text);
+std::string event_trace_to_string(const EventTrace& trace);
+EventTrace event_trace_from_string(const std::string& text);
+
 /// File-path conveniences (throw std::runtime_error on I/O failure).
 void save_instance(const std::string& path, const Instance& inst);
 Instance load_instance(const std::string& path);

@@ -1,0 +1,181 @@
+#include "net/binstream.hpp"
+
+namespace busytime::net {
+
+// Field order in every pair below is the struct's declaration order; the
+// layout is frozen as part of busytime-wire-v1 (docs/FORMATS.md).
+
+ibinstream& operator<<(ibinstream& m, const Interval& iv) {
+  return m << iv.start << iv.completion;
+}
+
+obinstream& operator>>(obinstream& m, Interval& iv) {
+  // Read into locals: Interval's constructor asserts s <= c, but a hostile
+  // payload must surface as WireError, not an assert, so assign members.
+  Time start = 0, completion = 0;
+  m >> start >> completion;
+  if (completion < start)
+    throw WireError("interval completion precedes start");
+  iv.start = start;
+  iv.completion = completion;
+  return m;
+}
+
+ibinstream& operator<<(ibinstream& m, const Job& job) {
+  return m << job.interval << job.weight << job.demand;
+}
+
+obinstream& operator>>(obinstream& m, Job& job) {
+  m >> job.interval >> job.weight >> job.demand;
+  if (job.length() <= 0) throw WireError("job has non-positive length");
+  if (job.demand < 1) throw WireError("job demand must be >= 1");
+  return m;
+}
+
+ibinstream& operator<<(ibinstream& m, const Instance& inst) {
+  return m << inst.g() << inst.jobs();
+}
+
+obinstream& operator>>(obinstream& m, Instance& inst) {
+  std::int32_t g = 0;
+  std::vector<Job> jobs;
+  m >> g >> jobs;
+  if (g < 1) throw WireError("instance g must be >= 1");
+  inst = Instance(std::move(jobs), g);
+  return m;
+}
+
+ibinstream& operator<<(ibinstream& m, const CancelRecord& record) {
+  return m << record.job << record.at << record.preempt;
+}
+
+obinstream& operator>>(obinstream& m, CancelRecord& record) {
+  return m >> record.job >> record.at >> record.preempt;
+}
+
+ibinstream& operator<<(ibinstream& m, const EventTrace& trace) {
+  // The canonicalized records travel; EventTrace's constructor re-runs the
+  // (idempotent) canonicalization on the receiver, so both ends agree on
+  // the effective record set.  dropped_cancels() is a load-time diagnostic
+  // of the *original* input and intentionally does not travel.
+  return m << trace.base() << trace.cancels();
+}
+
+obinstream& operator>>(obinstream& m, EventTrace& trace) {
+  Instance base;
+  std::vector<CancelRecord> cancels;
+  m >> base >> cancels;
+  const std::size_t n = base.size();
+  for (const CancelRecord& record : cancels)
+    if (record.job < 0 || static_cast<std::size_t>(record.job) >= n)
+      throw WireError("cancel record names job " + std::to_string(record.job) +
+                      " of " + std::to_string(n));
+  trace = EventTrace(std::move(base), std::move(cancels));
+  return m;
+}
+
+ibinstream& operator<<(ibinstream& m, const Schedule& schedule) {
+  return m << schedule.assignment();
+}
+
+obinstream& operator>>(obinstream& m, Schedule& schedule) {
+  std::vector<MachineId> assignment;
+  m >> assignment;
+  for (const MachineId machine : assignment)
+    if (machine < Schedule::kUnscheduled)
+      throw WireError("machine id below kUnscheduled");
+  schedule = Schedule(std::move(assignment));
+  return m;
+}
+
+ibinstream& operator<<(ibinstream& m, const ComponentTrace& trace) {
+  return m << static_cast<std::uint64_t>(trace.jobs) << trace.algo;
+}
+
+obinstream& operator>>(obinstream& m, ComponentTrace& trace) {
+  std::uint64_t jobs = 0;
+  m >> jobs >> trace.algo;
+  trace.jobs = static_cast<std::size_t>(jobs);
+  return m;
+}
+
+ibinstream& operator<<(ibinstream& m, const CostBounds& bounds) {
+  return m << bounds.length << bounds.span << bounds.parallelism_num
+           << bounds.g;
+}
+
+obinstream& operator>>(obinstream& m, CostBounds& bounds) {
+  m >> bounds.length >> bounds.span >> bounds.parallelism_num >> bounds.g;
+  if (bounds.g < 1) throw WireError("bounds g must be >= 1");
+  return m;
+}
+
+ibinstream& operator<<(ibinstream& m, const EngineStats& stats) {
+  return m << stats.jobs_assigned << stats.machines_opened
+           << stats.machines_closed << stats.open_machines
+           << stats.peak_open_machines << stats.active_jobs
+           << stats.peak_active_jobs << stats.jobs_cancelled
+           << stats.jobs_preempted << stats.cancels_ignored
+           << stats.slots_recycled << stats.busy_time_refunded << stats.clock
+           << stats.online_cost;
+}
+
+obinstream& operator>>(obinstream& m, EngineStats& stats) {
+  return m >> stats.jobs_assigned >> stats.machines_opened >>
+         stats.machines_closed >> stats.open_machines >>
+         stats.peak_open_machines >> stats.active_jobs >>
+         stats.peak_active_jobs >> stats.jobs_cancelled >>
+         stats.jobs_preempted >> stats.cancels_ignored >>
+         stats.slots_recycled >> stats.busy_time_refunded >> stats.clock >>
+         stats.online_cost;
+}
+
+ibinstream& operator<<(ibinstream& m, SolveStatus status) {
+  return m << static_cast<std::uint8_t>(status);
+}
+
+obinstream& operator>>(obinstream& m, SolveStatus& status) {
+  const std::uint8_t byte = m.read_u8();
+  if (byte > static_cast<std::uint8_t>(SolveStatus::kCancelled))
+    throw WireError("unknown SolveStatus " + std::to_string(byte));
+  status = static_cast<SolveStatus>(byte);
+  return m;
+}
+
+ibinstream& operator<<(ibinstream& m, const SolveResult& result) {
+  return m << result.solver << result.status << result.schedule << result.cost
+           << result.throughput << result.bounds
+           << result.ratio_to_lower_bound << result.valid << result.trace
+           << result.stats << result.wall_ms << result.ignored_options;
+}
+
+obinstream& operator>>(obinstream& m, SolveResult& result) {
+  return m >> result.solver >> result.status >> result.schedule >>
+         result.cost >> result.throughput >> result.bounds >>
+         result.ratio_to_lower_bound >> result.valid >> result.trace >>
+         result.stats >> result.wall_ms >> result.ignored_options;
+}
+
+ibinstream& operator<<(ibinstream& m, const SolverOptions& options) {
+  return m << options.g << options.budget << options.epoch_length
+           << options.max_batch << options.seed << options.improve
+           << options.threads << options.deadline_ms;
+}
+
+obinstream& operator>>(obinstream& m, SolverOptions& options) {
+  return m >> options.g >> options.budget >> options.epoch_length >>
+         options.max_batch >> options.seed >> options.improve >>
+         options.threads >> options.deadline_ms;
+}
+
+ibinstream& operator<<(ibinstream& m, const SolverSpec& spec) {
+  return m << spec.name << spec.options;
+}
+
+obinstream& operator>>(obinstream& m, SolverSpec& spec) {
+  m >> spec.name >> spec.options;
+  if (spec.name.empty()) throw WireError("solver spec has an empty name");
+  return m;
+}
+
+}  // namespace busytime::net

@@ -1,0 +1,313 @@
+// busytime-wire-v1: compact binary serialization for the remote serving
+// tier.
+//
+// The stream-operator idiom (after PPA-Assembler's ibinstream/obinstream):
+// an `ibinstream` collects bytes through `operator<<`, an `obinstream`
+// replays them through `operator>>`, and every wire type gets exactly one
+// `<<`/`>>` pair that composes out of the pairs of its fields — no
+// per-field tags, no framing inside a payload.  Framing (message type +
+// length) lives one layer up in net/protocol.hpp.
+//
+// Encoding rules, fixed for the v1 wire format:
+//  * integers are little-endian, fixed width (u8/u16/u32/u64 and the
+//    two's-complement i32/i64 views) — independent of host endianness;
+//  * bool is one byte (0/1); doubles are their IEEE-754 bit pattern as u64,
+//    so a round trip is bit-exact and the determinism contract extends
+//    across the wire;
+//  * strings and vectors are a u32 element count followed by the elements;
+//    optionals are a presence byte followed by the value when present.
+//
+// Decoding is defensive: obinstream throws WireError on any overrun, and
+// the domain-type readers validate the same invariants the text parsers do
+// (positive job lengths, g >= 1, ids in range), so a hostile payload can
+// never construct an invariant-breaking object or trigger UB.  Element
+// counts are bounds-checked against the remaining bytes before any
+// allocation, so a forged count cannot force an out-of-memory.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/solve_result.hpp"
+#include "api/solver_spec.hpp"
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "online/event.hpp"
+
+namespace busytime::net {
+
+/// Version tag of the binary wire format (payload layouts + framing).
+inline constexpr char kWireFormat[] = "busytime-wire-v1";
+
+/// Raised on malformed binary input: truncated streams, counts exceeding
+/// the payload, or field values that violate a domain invariant.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// ----------------------------------------------------------------- writer --
+
+/// Byte-collecting output stream (the PPA "ibinstream": *i*nto the wire).
+class ibinstream {
+ public:
+  void raw(const void* data, std::size_t n) {
+    buf_.append(static_cast<const char*>(data), n);
+  }
+
+  void write_u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void write_u16(std::uint16_t v) {
+    write_u8(static_cast<std::uint8_t>(v));
+    write_u8(static_cast<std::uint8_t>(v >> 8));
+  }
+  void write_u32(std::uint32_t v) {
+    write_u16(static_cast<std::uint16_t>(v));
+    write_u16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void write_u64(std::uint64_t v) {
+    write_u32(static_cast<std::uint32_t>(v));
+    write_u32(static_cast<std::uint32_t>(v >> 32));
+  }
+
+  const std::string& buffer() const noexcept { return buf_; }
+  std::string take() { return std::move(buf_); }
+  std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+// ----------------------------------------------------------------- reader --
+
+/// Bounds-checked input stream over a byte buffer it does not own (the PPA
+/// "obinstream": *o*ut of the wire).  The buffer must outlive the stream.
+class obinstream {
+ public:
+  obinstream(const char* data, std::size_t size) : data_(data), size_(size) {}
+  explicit obinstream(const std::string& buf) : obinstream(buf.data(), buf.size()) {}
+
+  std::size_t remaining() const noexcept { return size_ - pos_; }
+  bool done() const noexcept { return pos_ >= size_; }
+
+  /// Throws WireError unless `n` more bytes are available.
+  void require(std::size_t n) const {
+    if (n > remaining())
+      throw WireError("truncated wire payload: need " + std::to_string(n) +
+                      " bytes, have " + std::to_string(remaining()));
+  }
+
+  void raw(void* out, std::size_t n) {
+    require(n);
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  std::uint8_t read_u8() {
+    require(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint16_t read_u16() {
+    const std::uint16_t lo = read_u8();
+    return static_cast<std::uint16_t>(lo | (static_cast<std::uint16_t>(read_u8()) << 8));
+  }
+  std::uint32_t read_u32() {
+    const std::uint32_t lo = read_u16();
+    return lo | (static_cast<std::uint32_t>(read_u16()) << 16);
+  }
+  std::uint64_t read_u64() {
+    const std::uint64_t lo = read_u32();
+    return lo | (static_cast<std::uint64_t>(read_u32()) << 32);
+  }
+
+ private:
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------- primitives --
+
+inline ibinstream& operator<<(ibinstream& m, std::uint8_t v) { m.write_u8(v); return m; }
+inline ibinstream& operator<<(ibinstream& m, std::uint16_t v) { m.write_u16(v); return m; }
+inline ibinstream& operator<<(ibinstream& m, std::uint32_t v) { m.write_u32(v); return m; }
+inline ibinstream& operator<<(ibinstream& m, std::uint64_t v) { m.write_u64(v); return m; }
+inline ibinstream& operator<<(ibinstream& m, std::int32_t v) {
+  m.write_u32(static_cast<std::uint32_t>(v));
+  return m;
+}
+inline ibinstream& operator<<(ibinstream& m, std::int64_t v) {
+  m.write_u64(static_cast<std::uint64_t>(v));
+  return m;
+}
+inline ibinstream& operator<<(ibinstream& m, bool v) {
+  m.write_u8(v ? 1 : 0);
+  return m;
+}
+inline ibinstream& operator<<(ibinstream& m, double v) {
+  static_assert(sizeof(double) == sizeof(std::uint64_t), "IEEE-754 doubles");
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  m.write_u64(bits);
+  return m;
+}
+inline ibinstream& operator<<(ibinstream& m, const std::string& s) {
+  if (s.size() > UINT32_MAX)
+    throw WireError("string exceeds the u32 wire length");
+  m.write_u32(static_cast<std::uint32_t>(s.size()));
+  m.raw(s.data(), s.size());
+  return m;
+}
+
+inline obinstream& operator>>(obinstream& m, std::uint8_t& v) { v = m.read_u8(); return m; }
+inline obinstream& operator>>(obinstream& m, std::uint16_t& v) { v = m.read_u16(); return m; }
+inline obinstream& operator>>(obinstream& m, std::uint32_t& v) { v = m.read_u32(); return m; }
+inline obinstream& operator>>(obinstream& m, std::uint64_t& v) { v = m.read_u64(); return m; }
+inline obinstream& operator>>(obinstream& m, std::int32_t& v) {
+  v = static_cast<std::int32_t>(m.read_u32());
+  return m;
+}
+inline obinstream& operator>>(obinstream& m, std::int64_t& v) {
+  v = static_cast<std::int64_t>(m.read_u64());
+  return m;
+}
+inline obinstream& operator>>(obinstream& m, bool& v) {
+  const std::uint8_t byte = m.read_u8();
+  if (byte > 1) throw WireError("bool byte must be 0 or 1");
+  v = byte != 0;
+  return m;
+}
+inline obinstream& operator>>(obinstream& m, double& v) {
+  std::uint64_t bits = m.read_u64();
+  std::memcpy(&v, &bits, sizeof(v));
+  return m;
+}
+inline obinstream& operator>>(obinstream& m, std::string& s) {
+  const std::uint32_t n = m.read_u32();
+  m.require(n);
+  s.resize(n);
+  if (n > 0) m.raw(&s[0], n);
+  return m;
+}
+
+// -------------------------------------------------------------- compounds --
+
+template <typename T>
+ibinstream& operator<<(ibinstream& m, const std::vector<T>& v) {
+  if (v.size() > UINT32_MAX)
+    throw WireError("vector exceeds the u32 wire length");
+  m.write_u32(static_cast<std::uint32_t>(v.size()));
+  for (const T& e : v) m << e;
+  return m;
+}
+
+template <typename T>
+obinstream& operator>>(obinstream& m, std::vector<T>& v) {
+  const std::uint32_t n = m.read_u32();
+  // Every element consumes at least one byte, so a count beyond the
+  // remaining payload is forged — reject before allocating.
+  m.require(n);
+  v.clear();
+  v.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    T e{};
+    m >> e;
+    v.push_back(std::move(e));
+  }
+  return m;
+}
+
+template <typename T>
+ibinstream& operator<<(ibinstream& m, const std::optional<T>& v) {
+  m << v.has_value();
+  if (v.has_value()) m << *v;
+  return m;
+}
+
+template <typename T>
+obinstream& operator>>(obinstream& m, std::optional<T>& v) {
+  bool present = false;
+  m >> present;
+  if (present) {
+    T e{};
+    m >> e;
+    v = std::move(e);
+  } else {
+    v.reset();
+  }
+  return m;
+}
+
+// -------------------------------------------------------------- wire types --
+// One pair per type; layouts documented in docs/FORMATS.md under
+// "busytime-wire-v1".  Readers validate the same invariants as the text
+// parsers and throw WireError on violation.
+
+ibinstream& operator<<(ibinstream& m, const Interval& iv);
+obinstream& operator>>(obinstream& m, Interval& iv);
+
+ibinstream& operator<<(ibinstream& m, const Job& job);
+obinstream& operator>>(obinstream& m, Job& job);
+
+ibinstream& operator<<(ibinstream& m, const Instance& inst);
+obinstream& operator>>(obinstream& m, Instance& inst);
+
+ibinstream& operator<<(ibinstream& m, const CancelRecord& record);
+obinstream& operator>>(obinstream& m, CancelRecord& record);
+
+ibinstream& operator<<(ibinstream& m, const EventTrace& trace);
+obinstream& operator>>(obinstream& m, EventTrace& trace);
+
+ibinstream& operator<<(ibinstream& m, const Schedule& schedule);
+obinstream& operator>>(obinstream& m, Schedule& schedule);
+
+ibinstream& operator<<(ibinstream& m, const ComponentTrace& trace);
+obinstream& operator>>(obinstream& m, ComponentTrace& trace);
+
+ibinstream& operator<<(ibinstream& m, const CostBounds& bounds);
+obinstream& operator>>(obinstream& m, CostBounds& bounds);
+
+ibinstream& operator<<(ibinstream& m, const EngineStats& stats);
+obinstream& operator>>(obinstream& m, EngineStats& stats);
+
+ibinstream& operator<<(ibinstream& m, SolveStatus status);
+obinstream& operator>>(obinstream& m, SolveStatus& status);
+
+ibinstream& operator<<(ibinstream& m, const SolveResult& result);
+obinstream& operator>>(obinstream& m, SolveResult& result);
+
+/// SolverOptions / SolverSpec serialize every typed option field (defaults
+/// included), so a remote solve sees exactly the options the client built.
+/// The runtime-only members (cancel token, trace context, request context)
+/// are never serialized, matching their in-process contract.
+ibinstream& operator<<(ibinstream& m, const SolverOptions& options);
+obinstream& operator>>(obinstream& m, SolverOptions& options);
+
+ibinstream& operator<<(ibinstream& m, const SolverSpec& spec);
+obinstream& operator>>(obinstream& m, SolverSpec& spec);
+
+/// Convenience: serialize one value into a standalone payload string.
+template <typename T>
+std::string to_payload(const T& value) {
+  ibinstream m;
+  m << value;
+  return m.take();
+}
+
+/// Convenience: parse one value out of a complete payload; throws WireError
+/// when trailing bytes remain (a payload must be exactly one message body).
+template <typename T>
+T from_payload(const std::string& payload) {
+  obinstream m(payload);
+  T value{};
+  m >> value;
+  if (!m.done())
+    throw WireError("payload carries " + std::to_string(m.remaining()) +
+                    " trailing bytes");
+  return value;
+}
+
+}  // namespace busytime::net

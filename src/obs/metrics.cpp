@@ -36,6 +36,20 @@ const std::vector<MetricDef>& builtin_metric_defs() {
        "Tasks handed to the pool's queue (pool sample)"},
       {metric::kExecWorkers, MetricKind::kGauge,
        "Worker threads the pool has started (pool sample)"},
+      {metric::kNetBytesIn, MetricKind::kCounter,
+       "Bytes read from remote-serving connections"},
+      {metric::kNetBytesOut, MetricKind::kCounter,
+       "Bytes written to remote-serving connections"},
+      {metric::kNetConnections, MetricKind::kCounter,
+       "TCP connections accepted by the serving reactor"},
+      {metric::kNetDecodeErrors, MetricKind::kCounter,
+       "Malformed frames (bad magic, oversized, truncated, bad payload)"},
+      {metric::kNetFramesIn, MetricKind::kCounter,
+       "Request frames decoded from remote-serving connections"},
+      {metric::kNetFramesOut, MetricKind::kCounter,
+       "Response frames written to remote-serving connections"},
+      {metric::kNetInflight, MetricKind::kGauge,
+       "Remote solve requests submitted to the Service and not yet replied"},
       {metric::kOnlineCancelsReplayed, MetricKind::kCounter,
        "Retraction records fed through online policies"},
       {metric::kOnlineJobsReplayed, MetricKind::kCounter,

@@ -142,6 +142,25 @@ std::future<SolveResult> Service::submit(InstanceHandle handle,
   return future;
 }
 
+void Service::submit(InstanceHandle handle, SolverSpec spec,
+                     SolveCallback done) {
+  if (!handle)
+    throw std::invalid_argument("Service::submit: null InstanceHandle");
+  if (!done)
+    throw std::invalid_argument("Service::submit: null SolveCallback");
+  requests_.inc();
+  const auto start = std::chrono::steady_clock::now();
+  pool_.ensure_size(workers_);
+  pool_.submit([this, handle = std::move(handle), spec = std::move(spec),
+                done = std::move(done), start]() mutable {
+    try {
+      done(run_request(handle, spec, start, /*queued=*/true), nullptr);
+    } catch (...) {
+      done(SolveResult{}, std::current_exception());
+    }
+  });
+}
+
 std::vector<std::future<SolveResult>> Service::submit_all(
     InstanceHandle handle, std::vector<SolverSpec> specs) {
   std::vector<std::future<SolveResult>> futures;

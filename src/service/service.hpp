@@ -185,6 +185,20 @@ class Service {
   /// waiter would be the one needed to run the waitee).
   std::future<SolveResult> submit(InstanceHandle handle, SolverSpec spec);
 
+  /// Completion callback of the callback-submit overload.  Exactly one of
+  /// the arguments is meaningful: a result on success (any SolveStatus), or
+  /// a non-null exception_ptr when the request threw.
+  using SolveCallback =
+      std::function<void(SolveResult, std::exception_ptr)>;
+
+  /// Callback form of submit() for reactor-style callers (the net/ server)
+  /// that cannot block on a future: `done` is invoked exactly once, on the
+  /// worker thread that ran the request, after the request reaches a
+  /// terminal state.  Same semantics as submit() otherwise (deadline clock
+  /// starts now, handle kept alive by the request).  `done` must not block
+  /// on other requests of the same Service and must not throw.
+  void submit(InstanceHandle handle, SolverSpec spec, SolveCallback done);
+
   /// Batch submission: one future per spec, all against the same handle.
   std::vector<std::future<SolveResult>> submit_all(InstanceHandle handle,
                                                    std::vector<SolverSpec> specs);

@@ -1,0 +1,181 @@
+// End-to-end determinism across the process boundary: spawn the real
+// `busytime_cli serve` binary as a child process, drive it with the
+// in-process net::Client, and require the SolveResult that comes back over
+// TCP to be bit-identical to Service::solve() in this process — for every
+// registered solver that applies, on three instance families.  Wall time
+// is the one legitimately nondeterministic field, so both sides are
+// compared through their wire encoding with wall_ms zeroed.
+//
+// The suite needs the CLI binary, whose path CMake injects as
+// BUSYTIME_CLI_PATH only when examples are built; configs without it (the
+// TSan job) skip.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "net/binstream.hpp"
+#include "net/client.hpp"
+#include "service/service.hpp"
+#include "workload/generators.hpp"
+
+#ifdef BUSYTIME_CLI_PATH
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace busytime {
+namespace {
+
+#ifndef BUSYTIME_CLI_PATH
+
+TEST(NetE2E, RemoteResultsMatchInProcessBitForBit) {
+  GTEST_SKIP() << "busytime_cli not built in this configuration";
+}
+
+#else
+
+/// `busytime_cli serve --listen=0` as a child process.  The parent reads
+/// the child's "listening on HOST:PORT" line to learn the ephemeral port.
+struct ChildServer {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+
+  ChildServer() {
+    int out[2];
+    if (::pipe(out) != 0) return;
+    pid = ::fork();
+    if (pid == -1) return;
+    if (pid == 0) {
+      ::dup2(out[1], STDOUT_FILENO);
+      ::close(out[0]);
+      ::close(out[1]);
+      ::execl(BUSYTIME_CLI_PATH, BUSYTIME_CLI_PATH, "serve", "--listen=0",
+              "--workers=2", static_cast<char*>(nullptr));
+      std::perror("execl busytime_cli");
+      ::_exit(127);
+    }
+    ::close(out[1]);
+    // Read a line: "listening on 127.0.0.1:PORT".
+    std::string line;
+    char ch;
+    while (::read(out[0], &ch, 1) == 1 && ch != '\n') line.push_back(ch);
+    stdout_fd = out[0];
+    const auto colon = line.rfind(':');
+    if (colon == std::string::npos) {
+      ADD_FAILURE() << "unexpected server banner: " << line;
+      return;
+    }
+    port = static_cast<std::uint16_t>(std::stoi(line.substr(colon + 1)));
+  }
+
+  /// Asks the server to drain and reaps the child; EXPECTs a clean exit.
+  void shutdown_and_reap() {
+    if (pid == -1) return;
+    try {
+      net::Client client("127.0.0.1", port);
+      client.shutdown_server();
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "shutdown frame failed: " << e.what();
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "server exit status " << status;
+    pid = -1;
+  }
+
+  ~ChildServer() {
+    if (pid != -1) {
+      ::kill(pid, SIGKILL);
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+    if (stdout_fd >= 0) ::close(stdout_fd);
+  }
+
+  int stdout_fd = -1;
+};
+
+/// Wire encoding with wall_ms zeroed: equal strings == bit-identical
+/// results in every field the protocol carries.
+std::string fingerprint(SolveResult result) {
+  result.wall_ms = 0.0;
+  return net::to_payload(result);
+}
+
+TEST(NetE2E, RemoteResultsMatchInProcessBitForBit) {
+  ChildServer child;
+  ASSERT_GT(child.port, 0) << "failed to spawn or handshake with the server";
+
+  struct Family {
+    const char* name;
+    Instance instance;
+  };
+  std::vector<Family> families;
+  {
+    GenParams p;
+    p.n = 60;
+    p.g = 4;
+    p.seed = 21;
+    families.push_back({"general", gen_general(p)});
+    p.n = 40;
+    p.g = 3;
+    p.seed = 22;
+    families.push_back({"clique", gen_clique(p)});
+    p.n = 50;
+    p.seed = 23;
+    families.push_back({"proper", gen_proper(p)});
+  }
+
+  net::Client client("127.0.0.1", child.port);
+  Service local;
+
+  int compared = 0;
+  for (const Family& family : families) {
+    const net::RemoteHandle remote = client.load(family.instance);
+    const InstanceHandle handle = local.load(family.instance);
+
+    for (const SolverInfo* solver : SolverRegistry::instance().all()) {
+      SolverSpec spec;
+      spec.name = solver->name;
+      SolveResult in_process;
+      try {
+        in_process = local.solve(handle, spec);
+      } catch (const std::exception&) {
+        // Not applicable to this family / needs options: the remote side
+        // must refuse identically, which solve() below verifies by throwing.
+        EXPECT_THROW(client.solve(remote, spec), net::RemoteError)
+            << solver->name << " on " << family.name
+            << " failed locally but succeeded remotely";
+        continue;
+      }
+      SolveResult over_wire;
+      try {
+        over_wire = client.solve(remote, spec);
+      } catch (const std::exception& e) {
+        ADD_FAILURE() << solver->name << " on " << family.name
+                      << " succeeded locally but failed remotely: "
+                      << e.what();
+        continue;
+      }
+      EXPECT_EQ(fingerprint(over_wire), fingerprint(in_process))
+          << solver->name << " diverged over the wire on " << family.name;
+      ++compared;
+    }
+    client.release(remote);
+  }
+  // Belt and braces: the loop really did exercise a broad solver set.
+  EXPECT_GE(compared, 3 * 6);
+
+  child.shutdown_and_reap();
+}
+
+#endif  // BUSYTIME_CLI_PATH
+
+}  // namespace
+}  // namespace busytime

@@ -1,0 +1,427 @@
+// The serving reactor under hostile and well-behaved clients: malformed
+// frames (truncated, oversized, bad magic, unknown type, bad payload,
+// mid-frame disconnect) must produce typed error frames or clean closes —
+// never UB, never a crash — and each must increment net.decode_errors;
+// handles must be connection-scoped and released on disconnect; deadlines
+// must travel inside the spec; remote results must be bit-identical to
+// in-process Service::solve.  The NetServer suite is a ThreadSanitizer CI
+// target (the reactor thread, pool workers, and test threads interleave).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "net/binstream.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "obs/metrics.hpp"
+#include "service/service.hpp"
+#include "workload/generators.hpp"
+
+namespace busytime {
+namespace {
+
+using namespace std::chrono_literals;
+
+Instance small_instance(std::uint64_t seed = 3) {
+  GenParams p;
+  p.n = 40;
+  p.g = 3;
+  p.seed = seed;
+  return gen_general(p);
+}
+
+/// A Service + Server pair with the reactor running on its own thread.
+struct ServerFixture {
+  Service service;
+  net::Server server;
+  std::thread reactor;
+
+  explicit ServerFixture(net::ServerConfig config = {})
+      : service(), server(service, std::move(config)) {
+    reactor = std::thread([this] { server.run(); });
+  }
+
+  ~ServerFixture() {
+    server.stop();
+    reactor.join();
+  }
+
+  std::uint64_t counter(const char* name) const {
+    return service.metrics().snapshot().counter_value(name);
+  }
+
+  /// Counters advance on the reactor thread; spin briefly for `name` to
+  /// reach `at_least` instead of sleeping a fixed interval.
+  bool wait_counter(const char* name, std::uint64_t at_least,
+                    std::chrono::milliseconds budget = 2000ms) const {
+    const auto give_up = std::chrono::steady_clock::now() + budget;
+    while (std::chrono::steady_clock::now() < give_up) {
+      if (counter(name) >= at_least) return true;
+      std::this_thread::sleep_for(1ms);
+    }
+    return counter(name) >= at_least;
+  }
+};
+
+/// Raw blocking TCP connection for speaking malformed bytes at the server.
+struct RawConn {
+  int fd = -1;
+
+  explicit RawConn(std::uint16_t port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+  }
+
+  ~RawConn() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void send_bytes(const std::string& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Blocks until one frame arrives (fails the test on close/garbage).
+  net::Frame read_frame() {
+    net::Frame frame;
+    while (true) {
+      switch (decoder.next(frame)) {
+        case net::FrameDecoder::Status::kFrame:
+          return frame;
+        case net::FrameDecoder::Status::kError:
+          ADD_FAILURE() << "response stream poisoned: "
+                        << decoder.error_message();
+          return frame;
+        case net::FrameDecoder::Status::kNeedMore:
+          break;
+      }
+      char buf[4096];
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        ADD_FAILURE() << "connection closed while waiting for a frame";
+        return frame;
+      }
+      decoder.feed(buf, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// True when the server closes the connection (EOF after any buffered
+  /// bytes drain).
+  bool reaches_eof() {
+    char buf[4096];
+    while (true) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n == 0) return true;
+      if (n < 0) return false;
+      decoder.feed(buf, static_cast<std::size_t>(n));
+    }
+  }
+
+  net::FrameDecoder decoder;
+};
+
+net::RemoteError expect_error_reply(RawConn& conn, net::WireErrorCode code) {
+  const net::Frame frame = conn.read_frame();
+  EXPECT_EQ(frame.type, net::MsgType::kError);
+  const net::RemoteError error = net::decode_error(frame.payload);
+  EXPECT_EQ(error.code(), code) << error.what();
+  return error;
+}
+
+// ------------------------------------------------------ decoder unit tests
+
+TEST(NetServer, FrameDecoderReassemblesByteAtATime) {
+  const std::string bytes =
+      net::encode_frame(net::MsgType::kPing) +
+      net::encode_frame(net::MsgType::kSolve, std::string("payload"));
+  net::FrameDecoder decoder;
+  std::vector<net::Frame> frames;
+  net::Frame frame;
+  for (const char byte : bytes) {
+    decoder.feed(&byte, 1);
+    while (decoder.next(frame) == net::FrameDecoder::Status::kFrame)
+      frames.push_back(frame);
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, net::MsgType::kPing);
+  EXPECT_EQ(frames[0].payload, "");
+  EXPECT_EQ(frames[1].type, net::MsgType::kSolve);
+  EXPECT_EQ(frames[1].payload, "payload");
+  EXPECT_FALSE(decoder.mid_frame());
+}
+
+TEST(NetServer, FrameDecoderFlagsMidFrameAndPoisonsOnBadMagic) {
+  net::FrameDecoder decoder;
+  net::Frame frame;
+  const std::string whole = net::encode_frame(net::MsgType::kPing, "abc");
+  decoder.feed(whole.substr(0, whole.size() - 1));
+  EXPECT_EQ(decoder.next(frame), net::FrameDecoder::Status::kNeedMore);
+  EXPECT_TRUE(decoder.mid_frame());
+
+  net::FrameDecoder bad;
+  bad.feed(std::string("XXXXXXXXXXXX"));
+  EXPECT_EQ(bad.next(frame), net::FrameDecoder::Status::kError);
+  EXPECT_EQ(bad.error_code(), net::WireErrorCode::kBadMagic);
+  // Poisoned for good: more bytes never resurrect the stream.
+  bad.feed(net::encode_frame(net::MsgType::kPing));
+  EXPECT_EQ(bad.next(frame), net::FrameDecoder::Status::kError);
+}
+
+TEST(NetServer, FrameDecoderRejectsOversizedDeclaredLength) {
+  net::ibinstream header;
+  header.write_u32(net::kMagic);
+  header.write_u8(static_cast<std::uint8_t>(net::MsgType::kPing));
+  header.write_u32(1 << 20);
+  net::FrameDecoder decoder(/*max_payload=*/1024);
+  decoder.feed(header.buffer());
+  net::Frame frame;
+  EXPECT_EQ(decoder.next(frame), net::FrameDecoder::Status::kError);
+  EXPECT_EQ(decoder.error_code(), net::WireErrorCode::kOversizedFrame);
+}
+
+// ----------------------------------------------------- live server, happy
+
+TEST(NetServer, PingLoadSolveMatchesInProcessBitExactly) {
+  ServerFixture fx;
+  net::Client client("127.0.0.1", fx.server.port());
+  client.ping();
+
+  const Instance inst = small_instance();
+  const net::RemoteHandle remote = client.load(inst);
+  EXPECT_EQ(remote.jobs, inst.size());
+  EXPECT_EQ(remote.g, inst.g());
+
+  for (const char* solver : {"auto", "first_fit", "local_search"}) {
+    SolverSpec spec;
+    spec.name = solver;
+    const SolveResult over_wire = client.solve(remote, spec);
+
+    Service local;
+    const SolveResult in_process = local.solve(local.load(inst), spec);
+    EXPECT_EQ(over_wire.solver, in_process.solver);
+    EXPECT_EQ(over_wire.status, in_process.status);
+    EXPECT_EQ(over_wire.schedule.assignment(), in_process.schedule.assignment());
+    EXPECT_EQ(over_wire.cost, in_process.cost);
+    EXPECT_EQ(over_wire.stats.machines_opened, in_process.stats.machines_opened);
+    EXPECT_TRUE(over_wire.valid);
+  }
+
+  EXPECT_EQ(client.list_solvers().size(), SolverRegistry::instance().size());
+  client.release(remote);
+  EXPECT_EQ(fx.counter(obs::metric::kNetDecodeErrors), 0u);
+}
+
+TEST(NetServer, DeadlineTravelsInsideTheSpec) {
+  ServerFixture fx;
+  net::Client client("127.0.0.1", fx.server.port());
+  GenParams p;
+  p.n = 4000;
+  p.g = 3;
+  p.seed = 5;
+  const net::RemoteHandle remote = client.load(gen_general(p));
+  SolverSpec spec;
+  spec.name = "auto";
+  spec.options.deadline_ms = 1e-6;  // expires during queue wait
+  const SolveResult result = client.solve(remote, spec);
+  EXPECT_EQ(result.status, SolveStatus::kDeadline);
+}
+
+TEST(NetServer, SolveFailuresArriveAsTypedErrors) {
+  ServerFixture fx;
+  net::Client client("127.0.0.1", fx.server.port());
+  const net::RemoteHandle remote = client.load(small_instance());
+
+  SolverSpec unknown;
+  unknown.name = "no_such_solver";
+  try {
+    client.solve(remote, unknown);
+    FAIL() << "expected a RemoteError";
+  } catch (const net::RemoteError& e) {
+    EXPECT_EQ(e.code(), net::WireErrorCode::kSolveFailed);
+  }
+
+  // The connection survives a failed solve.
+  client.ping();
+
+  net::RemoteHandle bogus;
+  bogus.id = 999;
+  SolverSpec spec;
+  spec.name = "auto";
+  try {
+    client.solve(bogus, spec);
+    FAIL() << "expected a RemoteError";
+  } catch (const net::RemoteError& e) {
+    EXPECT_EQ(e.code(), net::WireErrorCode::kBadHandle);
+  }
+}
+
+TEST(NetServer, HandlesAreConnectionScopedAndReleasedOnDisconnect) {
+  ServerFixture fx;
+  net::RemoteHandle first;
+  {
+    net::Client client("127.0.0.1", fx.server.port());
+    first = client.load(small_instance());
+    EXPECT_EQ(first.id, 1u);
+  }  // disconnect releases the handle table
+
+  // A fresh connection neither sees the old handle nor collides with it.
+  net::Client client("127.0.0.1", fx.server.port());
+  SolverSpec spec;
+  spec.name = "auto";
+  EXPECT_THROW(client.solve(first, spec), net::RemoteError);
+  const net::RemoteHandle second = client.load(small_instance());
+  EXPECT_EQ(second.id, 1u);
+  EXPECT_EQ(client.solve(second, spec).status, SolveStatus::kOk);
+}
+
+// --------------------------------------------------- live server, hostile
+
+TEST(NetServer, BadMagicGetsTypedErrorThenClose) {
+  ServerFixture fx;
+  RawConn conn(fx.server.port());
+  conn.send_bytes("GET / HTTP/1.1\r\n\r\n");  // the classic wrong protocol
+  expect_error_reply(conn, net::WireErrorCode::kBadMagic);
+  EXPECT_TRUE(conn.reaches_eof());
+  EXPECT_TRUE(fx.wait_counter(obs::metric::kNetDecodeErrors, 1));
+}
+
+TEST(NetServer, OversizedFrameGetsTypedErrorThenClose) {
+  net::ServerConfig config;
+  config.max_payload = 4096;
+  ServerFixture fx(config);
+  RawConn conn(fx.server.port());
+  net::ibinstream header;
+  header.write_u32(net::kMagic);
+  header.write_u8(static_cast<std::uint8_t>(net::MsgType::kLoadInstance));
+  header.write_u32(1u << 30);  // 1 GiB declared payload
+  conn.send_bytes(header.buffer());
+  expect_error_reply(conn, net::WireErrorCode::kOversizedFrame);
+  EXPECT_TRUE(conn.reaches_eof());
+  EXPECT_TRUE(fx.wait_counter(obs::metric::kNetDecodeErrors, 1));
+}
+
+TEST(NetServer, UnknownMessageTypeGetsTypedErrorAndConnectionSurvives) {
+  ServerFixture fx;
+  RawConn conn(fx.server.port());
+  net::ibinstream frame;
+  frame.write_u32(net::kMagic);
+  frame.write_u8(200);  // no such MsgType
+  frame.write_u32(0);
+  conn.send_bytes(frame.buffer());
+  expect_error_reply(conn, net::WireErrorCode::kUnknownMessage);
+  EXPECT_TRUE(fx.wait_counter(obs::metric::kNetDecodeErrors, 1));
+
+  // Framing stayed intact, so the next request on the same connection works.
+  conn.send_bytes(net::encode_frame(net::MsgType::kPing));
+  EXPECT_EQ(conn.read_frame().type, net::MsgType::kPong);
+}
+
+TEST(NetServer, BadPayloadGetsTypedErrorAndConnectionSurvives) {
+  ServerFixture fx;
+  RawConn conn(fx.server.port());
+  conn.send_bytes(
+      net::encode_frame(net::MsgType::kLoadInstance, "not an instance"));
+  expect_error_reply(conn, net::WireErrorCode::kBadPayload);
+  EXPECT_TRUE(fx.wait_counter(obs::metric::kNetDecodeErrors, 1));
+  conn.send_bytes(net::encode_frame(net::MsgType::kPing));
+  EXPECT_EQ(conn.read_frame().type, net::MsgType::kPong);
+}
+
+TEST(NetServer, MidFrameDisconnectCountsAsDecodeErrorWithoutUB) {
+  ServerFixture fx;
+  {
+    RawConn conn(fx.server.port());
+    const std::string whole = net::encode_frame(
+        net::MsgType::kLoadInstance, std::string(1000, 'x'));
+    conn.send_bytes(whole.substr(0, 40));  // header + partial payload
+    // Half-close the write side: the server sees EOF mid-frame but can
+    // still answer on the read side.
+    ::shutdown(conn.fd, SHUT_WR);
+    expect_error_reply(conn, net::WireErrorCode::kTruncatedFrame);
+    EXPECT_TRUE(conn.reaches_eof());
+  }
+  EXPECT_TRUE(fx.wait_counter(obs::metric::kNetDecodeErrors, 1));
+
+  // The server is unaffected: a new client round-trips normally.
+  net::Client client("127.0.0.1", fx.server.port());
+  client.ping();
+}
+
+TEST(NetServer, ShutdownFrameDrainsAndStopsTheLoop) {
+  Service service;
+  net::Server server(service);
+  std::thread reactor([&] { server.run(); });
+  {
+    net::Client client("127.0.0.1", server.port());
+    const net::RemoteHandle handle = client.load(small_instance());
+    SolverSpec spec;
+    spec.name = "auto";
+    EXPECT_EQ(client.solve(handle, spec).status, SolveStatus::kOk);
+    client.shutdown_server();
+  }
+  reactor.join();  // run() returned because of the shutdown frame
+  EXPECT_EQ(server.open_connections(), 0u);
+
+  const obs::MetricsSnapshot snapshot = service.metrics_snapshot();
+  EXPECT_GE(snapshot.counter_value(obs::metric::kNetConnections), 1u);
+  EXPECT_GE(snapshot.counter_value(obs::metric::kNetFramesIn), 3u);
+  EXPECT_EQ(snapshot.counter_value(obs::metric::kNetFramesIn),
+            snapshot.counter_value(obs::metric::kNetFramesOut));
+  EXPECT_EQ(snapshot.gauge_value(obs::metric::kNetInflight), 0);
+}
+
+TEST(NetServer, ConcurrentClientsGetIdenticalResults) {
+  ServerFixture fx;
+  const Instance inst = small_instance(11);
+
+  Service local;
+  SolverSpec spec;
+  spec.name = "auto";
+  const SolveResult expected = local.solve(local.load(inst), spec);
+
+  constexpr int kClients = 4;
+  constexpr int kSolvesEach = 3;
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      net::Client client("127.0.0.1", fx.server.port());
+      const net::RemoteHandle handle = client.load(inst);
+      for (int i = 0; i < kSolvesEach; ++i) {
+        const SolveResult got = client.solve(handle, spec);
+        if (got.schedule.assignment() != expected.schedule.assignment() ||
+            got.cost != expected.cost || got.status != expected.status)
+          mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(fx.counter(obs::metric::kNetDecodeErrors), 0u);
+}
+
+}  // namespace
+}  // namespace busytime
