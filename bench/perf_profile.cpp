@@ -1,0 +1,260 @@
+// PERF — profile microbench: measures the flat SoA step-function profile
+// (algo/profile.hpp) against the node-based map ablation on the two hot
+// operations (fits, add) and on a component-wise FirstFit solve (the shape
+// the production dispatcher runs — one profile set per connected component;
+// a single whole-trace profile would grow to tens of thousands of segments,
+// where the map's O(log n) splice wins and which the dispatcher never
+// does), reports the busy-window prefilter's deterministic hit counters,
+// and emits a machine-readable BENCH_profile.json.
+//
+// Timing fields use the diff-ignored suffixes (*_ns, *_ms, *_per_sec,
+// *_speedup); everything else — op checksums, fits outcomes, machine and
+// segment counts, the window-rejection counters, the flat==map `identical`
+// flag — is deterministic in (n, g, seed) and gated by `busytime_cli diff`
+// against the committed baseline.
+//
+// Flags:
+//   --n=N        jobs in the firstfit-section trace      (default 60000)
+//   --g=G        machine capacity                        (default 8)
+//   --seed=S     workload seed                           (default 2012)
+//   --ops=K      intervals per micro-section sequence    (default 4000)
+//   --probes=P   fits probes on the built profile        (default 40000)
+//   --repeats=K  timed repetitions, best-of              (default 3)
+//   --out=FILE   JSON output path                        (default BENCH_profile.json)
+//   --smoke      CI mode: n=10000, ops=1000, probes=8000, 1 repeat
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "algo/first_fit.hpp"
+#include "algo/profile.hpp"
+#include "core/instance_view.hpp"
+#include "io/json.hpp"
+#include "util/flags.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+#include "workload/trace.hpp"
+
+namespace busytime {
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The micro-section op stream: a seeded interval sequence over a horizon
+/// wide enough that profiles grow realistic segment counts.
+std::vector<Interval> micro_intervals(std::size_t ops, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Interval> ivs;
+  ivs.reserve(ops);
+  const Time horizon = static_cast<Time>(ops) * 8;
+  for (std::size_t i = 0; i < ops; ++i) {
+    const Time a = rng.uniform_int(0, horizon);
+    const Time len = rng.uniform_int(1, 64);
+    ivs.push_back({a, a + len});
+  }
+  return ivs;
+}
+
+std::vector<Interval> micro_probes(std::size_t probes, std::uint64_t seed,
+                                   std::size_t ops) {
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<Interval> ivs;
+  ivs.reserve(probes);
+  const Time horizon = static_cast<Time>(ops) * 8;
+  for (std::size_t i = 0; i < probes; ++i) {
+    const Time a = rng.uniform_int(0, horizon);
+    const Time len = rng.uniform_int(1, 256);
+    ivs.push_back({a, a + len});
+  }
+  return ivs;
+}
+
+/// One micro-section arm: builds the profile from `build` (timing add),
+/// then answers every probe (timing fits).  The checksums are deterministic
+/// and must be identical across arms.
+struct MicroResult {
+  double add_ns = 0;        ///< per add, best-of-repeats
+  double fits_ns = 0;       ///< per fits probe, best-of-repeats
+  std::int64_t fits_true = 0;
+  Time busy = 0;
+  std::int64_t segments = 0;
+};
+
+template <typename Profile>
+MicroResult run_micro(const std::vector<Interval>& build,
+                      const std::vector<Interval>& probes, int g,
+                      int repeats) {
+  MicroResult r;
+  r.add_ns = 1e300;
+  r.fits_ns = 1e300;
+  for (int rep = 0; rep < repeats; ++rep) {
+    Profile p;
+    const double t0 = now_ms();
+    for (const Interval& iv : build) p.add(iv);
+    const double t1 = now_ms();
+    std::int64_t hits = 0;
+    for (const Interval& iv : probes) hits += p.fits(iv, g) ? 1 : 0;
+    const double t2 = now_ms();
+    r.add_ns = std::min(r.add_ns, (t1 - t0) * 1e6 / build.size());
+    r.fits_ns = std::min(r.fits_ns, (t2 - t1) * 1e6 / probes.size());
+    r.fits_true = hits;
+    r.busy = p.busy_time();
+    r.segments = static_cast<std::int64_t>(p.segment_count());
+  }
+  return r;
+}
+
+int main_impl(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const bool smoke = flags.get_bool("smoke");
+
+  const auto n = static_cast<int>(flags.get_int("n", smoke ? 10000 : 60000));
+  const int g = static_cast<int>(flags.get_int("g", 8));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2012));
+  const auto ops =
+      static_cast<std::size_t>(flags.get_int("ops", smoke ? 1000 : 4000));
+  const auto probes =
+      static_cast<std::size_t>(flags.get_int("probes", smoke ? 8000 : 40000));
+  const int repeats = static_cast<int>(flags.get_int("repeats", smoke ? 1 : 3));
+  const std::string out_path = flags.get("out", "BENCH_profile.json");
+
+  // ------------------------------------------------------- micro: fits/add
+  const std::vector<Interval> build = micro_intervals(ops, seed);
+  const std::vector<Interval> probe = micro_probes(probes, seed, ops);
+  const MicroResult flat = run_micro<FlatProfile>(build, probe, g, repeats);
+  const MicroResult map = run_micro<MapStepProfile>(build, probe, g, repeats);
+  const bool micro_identical = flat.fits_true == map.fits_true &&
+                               flat.busy == map.busy &&
+                               flat.segments == map.segments;
+
+  // -------------------- firstfit: component-wise solve (dispatcher shape)
+  TraceParams tp;
+  tp.n = n;
+  tp.g = g;
+  tp.seed = seed;
+  tp.diurnal = true;
+  const Instance trace = gen_trace(tp);
+  const InstanceView view(trace, 1, nullptr, 0);
+  const std::size_t components = view.component_count();
+  // Warm the per-component memoized orders outside every timing.
+  for (std::size_t i = 0; i < components; ++i)
+    view.component_instance(i).ids_by_length_desc();
+
+  double flat_solve_ms = 1e300;
+  double map_solve_ms = 1e300;
+  FirstFitStats stats;
+  for (int rep = 0; rep < repeats; ++rep) {
+    FirstFitStats total;
+    const double t0 = now_ms();
+    for (std::size_t i = 0; i < components; ++i) {
+      FirstFitStats st;
+      solve_first_fit(view.component_instance(i), &st);
+      total.placements += st.placements;
+      total.window_accepts += st.window_accepts;
+      total.profile_checks += st.profile_checks;
+      total.machines += st.machines;
+      total.segments += st.segments;
+    }
+    flat_solve_ms = std::min(flat_solve_ms, now_ms() - t0);
+    stats = total;
+  }
+  for (int rep = 0; rep < repeats; ++rep) {
+    const double t0 = now_ms();
+    for (std::size_t i = 0; i < components; ++i)
+      solve_first_fit_map(view.component_instance(i));
+    map_solve_ms = std::min(map_solve_ms, now_ms() - t0);
+  }
+  bool solve_identical = true;
+  for (std::size_t i = 0; i < components; ++i) {
+    const Instance& sub = view.component_instance(i);
+    solve_identical =
+        solve_identical && solve_first_fit(sub).assignment() ==
+                               solve_first_fit_map(sub).assignment();
+  }
+  // Deterministic gated ratio: the share of placements the busy-window hull
+  // scan resolved without any profile lookup, in percent (integer).
+  const std::int64_t window_hit_pct =
+      stats.placements == 0
+          ? 0
+          : static_cast<std::int64_t>(100 * stats.window_accepts /
+                                      stats.placements);
+
+  // ---------------------------------------------------------------- emit
+  json::Value root = json::Value::object();
+  root.set("bench", "profile");
+  root.set("smoke", smoke);
+  root.set("g", g);
+  root.set("seed", static_cast<std::int64_t>(seed));
+
+  json::Value micro = json::Value::object();
+  micro.set("ops", static_cast<std::int64_t>(ops));
+  micro.set("probes", static_cast<std::int64_t>(probes));
+  micro.set("flat_add_ns", flat.add_ns);
+  micro.set("flat_fits_ns", flat.fits_ns);
+  micro.set("map_add_ns", map.add_ns);
+  micro.set("map_fits_ns", map.fits_ns);
+  micro.set("fits_map_vs_flat_speedup",
+            flat.fits_ns > 0 ? map.fits_ns / flat.fits_ns : 0.0);
+  micro.set("fits_true", flat.fits_true);
+  micro.set("busy_time", static_cast<std::int64_t>(flat.busy));
+  micro.set("segments", flat.segments);
+  micro.set("identical", micro_identical);
+  root.set("micro", std::move(micro));
+
+  json::Value ff = json::Value::object();
+  ff.set("jobs", static_cast<std::int64_t>(trace.size()));
+  ff.set("components", static_cast<std::int64_t>(components));
+  ff.set("flat_solve_ms", flat_solve_ms);
+  ff.set("map_solve_ms", map_solve_ms);
+  ff.set("jobs_per_sec", trace.size() / (flat_solve_ms / 1000.0));
+  ff.set("map_vs_flat_speedup",
+         flat_solve_ms > 0 ? map_solve_ms / flat_solve_ms : 0.0);
+  ff.set("identical", solve_identical);
+  ff.set("machines", static_cast<std::int64_t>(stats.machines));
+  ff.set("segments", static_cast<std::int64_t>(stats.segments));
+  ff.set("window_accepts", static_cast<std::int64_t>(stats.window_accepts));
+  ff.set("profile_checks", static_cast<std::int64_t>(stats.profile_checks));
+  ff.set("window_hit_pct", window_hit_pct);
+  root.set("firstfit", std::move(ff));
+
+  std::ofstream out(out_path);
+  out << root.dump(2) << "\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  Table table({"section", "metric", "flat", "map", "map/flat"});
+  table.add_row({"micro", "add ns/op", Table::fmt(flat.add_ns),
+                 Table::fmt(map.add_ns),
+                 Table::fmt(flat.add_ns > 0 ? map.add_ns / flat.add_ns : 0.0)});
+  table.add_row({"micro", "fits ns/op", Table::fmt(flat.fits_ns),
+                 Table::fmt(map.fits_ns),
+                 Table::fmt(flat.fits_ns > 0 ? map.fits_ns / flat.fits_ns : 0.0)});
+  table.add_row({"firstfit", "solve ms", Table::fmt(flat_solve_ms),
+                 Table::fmt(map_solve_ms),
+                 Table::fmt(flat_solve_ms > 0 ? map_solve_ms / flat_solve_ms
+                                              : 0.0)});
+  table.add_row({"firstfit", "window hit %",
+                 Table::fmt(static_cast<long long>(window_hit_pct)), "-", "-"});
+  table.print(std::cout);
+
+  if (!micro_identical) {
+    std::cerr << "error: micro-section checksums diverged between the flat "
+                 "and map profiles\n";
+    return 1;
+  }
+  if (!solve_identical) {
+    std::cerr << "error: flat and map FirstFit assignments diverged\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace busytime
+
+int main(int argc, char** argv) { return busytime::main_impl(argc, argv); }

@@ -1,8 +1,10 @@
 #include "algo/best_cut.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 
+#include "algo/profile.hpp"
 #include "core/classify.hpp"
 
 namespace busytime {
@@ -23,33 +25,62 @@ Schedule phase_schedule(const Instance& inst, const std::vector<JobId>& order, i
   return s;
 }
 
+/// cost(s^i) for every phase i in [1, g] without materializing a single
+/// Schedule: FlatProfile::add returns the newly covered length, so each
+/// machine's exact busy time is the running sum of its adds.  Machine 0's
+/// busy time as a function of its prefix length is one incremental pass;
+/// the tail groups reuse one cleared profile per group.  O(n·g) adds total
+/// versus g full Schedule builds + cost() union re-sorts before.
+std::vector<Time> phase_costs(const Instance& inst, const std::vector<JobId>& order) {
+  const int n = static_cast<int>(order.size());
+  const int g = inst.g();
+  const auto job_iv = [&](int k) -> const Interval& {
+    return inst.job(order[static_cast<std::size_t>(k)]).interval;
+  };
+  // prefix[i] = busy time of machine 0 holding the first min(i, n) jobs.
+  std::vector<Time> prefix(static_cast<std::size_t>(g) + 1, 0);
+  FlatProfile head;
+  Time head_busy = 0;
+  for (int i = 1; i <= g; ++i) {
+    if (i <= n) head_busy += head.add(job_iv(i - 1));
+    prefix[static_cast<std::size_t>(i)] = head_busy;
+  }
+  std::vector<Time> costs(static_cast<std::size_t>(g), 0);
+  FlatProfile group;
+  for (int i = 1; i <= g; ++i) {
+    Time tail = 0;
+    for (int k = i; k < n; k += g) {
+      group.clear();
+      const int stop = std::min(n, k + g);
+      for (int j = k; j < stop; ++j) group.add(job_iv(j));
+      tail += group.busy_time();
+    }
+    costs[static_cast<std::size_t>(i - 1)] =
+        prefix[static_cast<std::size_t>(i)] + tail;
+  }
+  return costs;
+}
+
 }  // namespace
 
 std::vector<Time> best_cut_phase_costs(const Instance& inst) {
   assert(is_proper(inst));
-  const auto& order = inst.ids_by_start();
-  std::vector<Time> costs;
-  costs.reserve(static_cast<std::size_t>(inst.g()));
-  for (int i = 1; i <= inst.g(); ++i)
-    costs.push_back(phase_schedule(inst, order, i).cost(inst));
-  return costs;
+  return phase_costs(inst, inst.ids_by_start());
 }
 
 Schedule solve_best_cut(const Instance& inst) {
   assert(is_proper(inst));
   if (inst.empty()) return Schedule(0);
   const auto& order = inst.ids_by_start();
-  Schedule best = phase_schedule(inst, order, 1);
-  Time best_cost = best.cost(inst);
-  for (int i = 2; i <= inst.g(); ++i) {
-    Schedule cand = phase_schedule(inst, order, i);
-    const Time cand_cost = cand.cost(inst);
-    if (cand_cost < best_cost) {
-      best = std::move(cand);
-      best_cost = cand_cost;
-    }
-  }
-  return best;
+  const std::vector<Time> costs = phase_costs(inst, order);
+  // Earliest minimum wins, matching the historical strict-< scan, then only
+  // the winning phase's schedule is materialized.
+  int best_i = 1;
+  for (int i = 2; i <= inst.g(); ++i)
+    if (costs[static_cast<std::size_t>(i - 1)] <
+        costs[static_cast<std::size_t>(best_i - 1)])
+      best_i = i;
+  return phase_schedule(inst, order, best_i);
 }
 
 }  // namespace busytime

@@ -107,14 +107,15 @@ class BranchBound {
   }
 
   bool fits(const Machine& m, const Interval& iv) const {
+    const int g = inst_.g();
     std::vector<Interval> clipped;
     for (const auto& other : m.jobs) {
       const Time lo = std::max(other.start, iv.start);
       const Time hi = std::min(other.completion, iv.completion);
       if (lo < hi) clipped.push_back({lo, hi});
     }
-    if (clipped.size() < static_cast<std::size_t>(inst_.g())) return true;
-    return peak_overlap(clipped).count + 1 <= inst_.g();
+    if (clipped.size() < static_cast<std::size_t>(g)) return true;
+    return peak_overlap(clipped).count + 1 <= g;
   }
 
   void recurse(int k, Time cost_so_far) {

@@ -1,59 +1,15 @@
 #include "algo/first_fit.hpp"
 
 #include <algorithm>
-#include <map>
+#include <limits>
 #include <vector>
 
+#include "algo/profile.hpp"
 #include "intervalgraph/sweepline.hpp"
 
 namespace busytime {
 
 namespace {
-
-/// A machine's load as a concurrency step function over time.
-///
-/// `steps_[t]` is the number of assigned jobs running on [t, next key); the
-/// region before the first key and after the last has concurrency 0.  The
-/// candidate fits iff the peak concurrency inside its window stays below g,
-/// which only needs the segments intersecting the window — machines busy
-/// elsewhere in time cost O(1) to accept via the bounding-window test.
-class MachineProfile {
- public:
-  bool fits(const Interval& candidate, int g) const {
-    if (jobs_ == 0 || !window_.overlaps(candidate)) return true;
-    return peak_in(candidate) + 1 <= g;
-  }
-
-  void add(const Interval& iv) {
-    const auto ensure_breakpoint = [&](Time t) {
-      auto it = steps_.lower_bound(t);
-      if (it != steps_.end() && it->first == t) return it;
-      const int inherited = it == steps_.begin() ? 0 : std::prev(it)->second;
-      return steps_.emplace_hint(it, t, inherited);
-    };
-    const auto first = ensure_breakpoint(iv.start);
-    const auto last = ensure_breakpoint(iv.completion);
-    for (auto it = first; it != last; ++it) ++it->second;
-    window_ = jobs_ == 0 ? iv : window_.hull(iv);
-    ++jobs_;
-  }
-
- private:
-  int peak_in(const Interval& window) const {
-    auto it = steps_.upper_bound(window.start);
-    // The segment containing window.start: its key is <= start and the next
-    // key is > start, so every segment visited below intersects the window.
-    if (it != steps_.begin()) --it;
-    int peak = 0;
-    for (; it != steps_.end() && it->first < window.completion; ++it)
-      peak = std::max(peak, it->second);
-    return peak;
-  }
-
-  std::map<Time, int> steps_;
-  Interval window_{0, 0};
-  int jobs_ = 0;
-};
 
 /// Reference load bookkeeping: re-sweeps the full assignment history on
 /// every feasibility check.
@@ -80,12 +36,13 @@ class MachineLoadReference {
 template <typename Machine>
 Schedule first_fit_with(const Instance& inst) {
   Schedule s(inst.size());
+  const int g = inst.g();
   std::vector<Machine> machines;
   for (const JobId j : inst.ids_by_length_desc()) {
     const Interval& iv = inst.job(j).interval;
     MachineId target = -1;
     for (std::size_t m = 0; m < machines.size(); ++m) {
-      if (machines[m].fits(iv, inst.g())) {
+      if (machines[m].fits(iv, g)) {
         target = static_cast<MachineId>(m);
         break;
       }
@@ -100,14 +57,90 @@ Schedule first_fit_with(const Instance& inst) {
   return s;
 }
 
+/// True when every job endpoint is exactly representable in int32 (with
+/// headroom so interval arithmetic can never wrap) — the license for the
+/// narrow profile lane below.
+bool fits_in_int32(const Instance& inst) {
+  constexpr Time kLo = std::numeric_limits<std::int32_t>::min() / 4;
+  constexpr Time kHi = std::numeric_limits<std::int32_t>::max() / 4;
+  for (JobId j = 0; j < static_cast<JobId>(inst.size()); ++j) {
+    const Interval& iv = inst.job(j).interval;
+    if (iv.start < kLo || iv.completion > kHi) return false;
+  }
+  return true;
+}
+
+template <typename T>
+Schedule first_fit_flat(const Instance& inst, FirstFitStats* stats) {
+  Schedule s(inst.size());
+  const int g = inst.g();
+  std::vector<BasicFlatProfile<T>> profiles;
+  BasicBusyWindows<T> windows;
+  FirstFitStats local;
+  for (const JobId j : inst.ids_by_length_desc()) {
+    const Interval& iv = inst.job(j).interval;
+    // Branchless SoA prefilter: machines in [0, clear) have busy windows
+    // overlapping iv and need a real profile check; machine `clear` (when it
+    // exists) is busy elsewhere in time and accepts iv outright.  FirstFit
+    // never looks past the first non-overlapping machine, so the hull scan
+    // both caps the profile work and resolves the common cross-era case
+    // without touching a profile.
+    const std::size_t clear = windows.first_clear(iv);
+    std::size_t target = clear;
+    for (std::size_t m = 0; m < clear; ++m) {
+      ++local.profile_checks;
+      if (profiles[m].fits(iv, g)) {
+        target = m;
+        break;
+      }
+    }
+    local.window_accepts +=
+        static_cast<std::uint64_t>(target == clear && clear < profiles.size());
+    if (target == profiles.size()) {
+      profiles.emplace_back();
+      windows.push(iv);
+    } else {
+      windows.widen(target, iv);
+    }
+    profiles[target].add(iv);
+    s.assign(j, static_cast<MachineId>(target));
+    ++local.placements;
+  }
+  if (stats != nullptr) {
+    local.machines = profiles.size();
+    for (const BasicFlatProfile<T>& p : profiles)
+      local.segments += p.segment_count();
+    *stats = local;
+  }
+  return s;
+}
+
+/// Lane pick: the narrow profile halves every binary-search probe and
+/// splice memmove and doubles the hull compares per vector lane; the
+/// arithmetic is identical when the endpoints are representable, so both
+/// lanes produce the same schedule bit for bit (pinned by the equivalence
+/// suite).  The O(n) range check is noise next to the solve.
+Schedule first_fit_dispatch(const Instance& inst, FirstFitStats* stats) {
+  return fits_in_int32(inst) ? first_fit_flat<std::int32_t>(inst, stats)
+                             : first_fit_flat<Time>(inst, stats);
+}
+
 }  // namespace
 
 Schedule solve_first_fit(const Instance& inst) {
-  return first_fit_with<MachineProfile>(inst);
+  return first_fit_dispatch(inst, nullptr);
+}
+
+Schedule solve_first_fit(const Instance& inst, FirstFitStats* stats) {
+  return first_fit_dispatch(inst, stats);
 }
 
 Schedule solve_first_fit_reference(const Instance& inst) {
   return first_fit_with<MachineLoadReference>(inst);
+}
+
+Schedule solve_first_fit_map(const Instance& inst) {
+  return first_fit_with<MapStepProfile>(inst);
 }
 
 }  // namespace busytime

@@ -7,25 +7,51 @@
 // perfect (χ = ω), so no explicit thread bookkeeping is needed.
 #pragma once
 
+#include <cstdint>
+
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
 
 namespace busytime {
 
+/// Deterministic hot-path counters of one solve_first_fit run.  Every field
+/// is a function of the instance alone (no timing, no thread count), so the
+/// perf_profile bench can gate them across machines.
+struct FirstFitStats {
+  std::uint64_t placements = 0;      ///< jobs assigned
+  std::uint64_t window_accepts = 0;  ///< placements resolved by the busy-window
+                                     ///< hull scan alone (no profile touched)
+  std::uint64_t profile_checks = 0;  ///< FlatProfile::fits calls issued
+  std::uint64_t machines = 0;        ///< machines opened
+  std::uint64_t segments = 0;        ///< final breakpoints across all profiles
+};
+
 /// FirstFit schedule (full, valid).
 ///
-/// The machine scan keeps a concurrency step-function per machine: a
-/// machine whose busy window does not reach the candidate admits it in O(1)
-/// (ending the scan — the offline analogue of the online pool's
-/// retire-as-you-go), and a conflicting machine is rejected by an O(log n +
-/// segments-in-window) peak query instead of re-sweeping its whole history.
-/// Near-linear on trace workloads, where only the O(load/g) machines busy
-/// around the candidate's window are ever examined; produces exactly the
-/// same assignment as solve_first_fit_reference on every input.
+/// The hot path runs on `algo/profile.hpp`: one FlatProfile (concurrency
+/// step function as two parallel flat vectors) per machine, plus a per-pool
+/// SoA array of machine busy-window hulls (`BusyWindows`).  Each job first
+/// runs a branchless block scan over the flat hull arrays — machines busy
+/// only elsewhere in time are rejected eight at a time without touching a
+/// profile, and in FirstFit order the first such machine accepts the job
+/// outright — then profile-checks only the machines whose hulls overlap the
+/// candidate (an O(log segments) branchless binary search plus a short
+/// contiguous max-scan each).  Near-linear on trace workloads; produces
+/// exactly the same assignment as solve_first_fit_reference on every input.
 Schedule solve_first_fit(const Instance& inst);
+
+/// As above, also reporting the deterministic hot-path counters (hull-scan
+/// accepts, profile checks, machines, final segments) for the perf_profile
+/// bench and tests.
+Schedule solve_first_fit(const Instance& inst, FirstFitStats* stats);
 
 /// The original O(n^2 log n) implementation, kept as the equivalence oracle
 /// for tests and ablation benchmarks (deprecated for production use).
 Schedule solve_first_fit_reference(const Instance& inst);
+
+/// FirstFit over the node-based MapStepProfile (the pre-flat production
+/// structure) — the perf_profile map-vs-flat ablation arm.  Assignment is
+/// identical to solve_first_fit; only the memory layout differs.
+Schedule solve_first_fit_map(const Instance& inst);
 
 }  // namespace busytime

@@ -10,9 +10,10 @@ namespace busytime {
 Schedule solve_one_sided(const Instance& inst) {
   assert(is_one_sided(inst));
   const auto& ids = inst.ids_by_length_desc();
+  const std::size_t g = static_cast<std::size_t>(inst.g());
   Schedule s(inst.size());
   for (std::size_t k = 0; k < ids.size(); ++k)
-    s.assign(ids[k], static_cast<MachineId>(k / static_cast<std::size_t>(inst.g())));
+    s.assign(ids[k], static_cast<MachineId>(k / g));
   return s;
 }
 

@@ -1,0 +1,40 @@
+#include "algo/profile.hpp"
+
+namespace busytime {
+
+// BasicFlatProfile / BasicBusyWindows are header-only templates (the hot
+// loops want them inlined into the solvers); only the node-based ablation
+// reference lives out of line.
+
+// ---------------------------------------------------------------------------
+// MapStepProfile
+
+int MapStepProfile::peak_in(const Interval& window) const noexcept {
+  auto it = steps_.upper_bound(window.start);
+  if (it != steps_.begin()) --it;
+  int peak = 0;
+  for (; it != steps_.end() && it->first < window.completion; ++it)
+    peak = it->second > peak ? it->second : peak;
+  return peak;
+}
+
+Time MapStepProfile::add(const Interval& iv) {
+  if (iv.completion <= iv.start) return 0;
+  auto ensure = [this](Time t) {
+    auto it = steps_.lower_bound(t);
+    if (it != steps_.end() && it->first == t) return it;
+    const int inherited = it == steps_.begin() ? 0 : std::prev(it)->second;
+    return steps_.emplace_hint(it, t, inherited);
+  };
+  auto first = ensure(iv.start);
+  auto last = ensure(iv.completion);
+  Time newly = 0;
+  for (auto it = first; it != last; ++it) {
+    if (it->second == 0) newly += std::next(it)->first - it->first;
+    ++it->second;
+  }
+  busy_ += newly;
+  return newly;
+}
+
+}  // namespace busytime

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
+#include <functional>
 #include <numeric>
 #include <sstream>
 #include <utility>
@@ -64,14 +66,40 @@ const std::vector<JobId>& Instance::ids_by_start() const {
 const std::vector<JobId>& Instance::ids_by_length_desc() const {
   OrderCache& cache = *cache_;
   std::call_once(cache.by_length_once, [&] {
-    std::vector<JobId> ids(jobs_.size());
-    std::iota(ids.begin(), ids.end(), 0);
-    std::sort(ids.begin(), ids.end(), [&](JobId a, JobId b) {
-      const Time la = jobs_[static_cast<std::size_t>(a)].length();
-      const Time lb = jobs_[static_cast<std::size_t>(b)].length();
-      if (la != lb) return la > lb;
-      return a < b;
-    });
+    // Sort contiguous keys instead of ids with an indirect comparator:
+    // every compare would otherwise make two random jobs_[] loads, which
+    // dominates when the dispatcher computes this order for hundreds of
+    // fresh component instances per solve.  Lengths are positive, so when
+    // they fit 31 bits (always, for realistic horizons) the (length desc,
+    // id asc) order packs into one u64 — (length << 32) | ~id sorted
+    // descending — and the sort runs on plain integers.
+    const std::size_t n = jobs_.size();
+    constexpr Time kPackable = std::int64_t{1} << 31;
+    bool packable = n <= 0xFFFFFFFFu;
+    for (std::size_t i = 0; packable && i < n; ++i)
+      packable = jobs_[i].length() < kPackable;
+    std::vector<JobId> ids;
+    if (packable) {
+      std::vector<std::uint64_t> keys;
+      keys.reserve(n);
+      for (std::size_t i = 0; i < n; ++i)
+        keys.push_back((static_cast<std::uint64_t>(jobs_[i].length()) << 32) |
+                       (0xFFFFFFFFu - static_cast<std::uint32_t>(i)));
+      std::sort(keys.begin(), keys.end(), std::greater<std::uint64_t>());
+      ids.reserve(n);
+      for (const std::uint64_t k : keys)
+        ids.push_back(static_cast<JobId>(
+            0xFFFFFFFFu - static_cast<std::uint32_t>(k & 0xFFFFFFFFu)));
+    } else {
+      ids.resize(n);
+      std::iota(ids.begin(), ids.end(), 0);
+      std::sort(ids.begin(), ids.end(), [&](JobId a, JobId b) {
+        const Time la = jobs_[static_cast<std::size_t>(a)].length();
+        const Time lb = jobs_[static_cast<std::size_t>(b)].length();
+        if (la != lb) return la > lb;
+        return a < b;
+      });
+    }
     cache.by_length = std::move(ids);
   });
   return cache.by_length;

@@ -1,5 +1,5 @@
-// Parallel execution layer: a fixed-size worker pool with a work queue plus
-// deterministic parallel_for / parallel_map helpers.
+// Parallel execution layer: a fixed-size worker pool with per-worker deques
+// and work stealing, plus deterministic parallel_for / parallel_map helpers.
 //
 // Everything above this layer (per-component solving, the sharded stream
 // driver, the CLI's side-by-side solver runs) obeys one contract:
@@ -12,12 +12,20 @@
 //  * a nested parallel_for on a pool worker runs inline on that worker, so
 //    solver code may use the helpers freely without deadlock analysis.
 //
+// Work stealing is invisible under that contract: *which worker* runs a task
+// never affects results, only wall time, so an idle worker lifting the
+// oldest task from a loaded neighbour's deque (uneven component sizes leave
+// some drain shares much longer than others) is pure load balance.  Steals
+// are counted in PoolStats (`steals`, published as the exec.steals gauge) —
+// scheduling-dependent, like the durations, never gated.
+//
 // Thread-count knobs: 0 means "the process default", which is the
 // BUSYTIME_THREADS environment variable when set (itself 0 = hardware
 // concurrency) or hardware concurrency otherwise, overridable at runtime via
 // set_default_threads (the CLI's --threads flag).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -72,14 +80,18 @@ std::vector<T> parallel_map(int threads, std::size_t n, Fn&& fn) {
 /// ThreadPool::stats()).  All counters are cumulative since the pool
 /// started; diff two samples for an interval.  Durations are wall-clock
 /// nanoseconds and naturally vary run to run — only the task counters are
-/// deterministic for a deterministic workload.
+/// deterministic for a deterministic workload (`steals` is scheduling-
+/// dependent and varies like the durations).
 struct PoolStats {
   int workers = 0;                       ///< worker threads started
-  std::uint64_t tasks_submitted = 0;     ///< tasks handed to the queue
+  std::uint64_t tasks_submitted = 0;     ///< tasks handed to the pool
   std::uint64_t tasks_executed = 0;      ///< tasks a worker finished
-  std::uint64_t queue_depth_peak = 0;    ///< deepest the queue has been
+  std::uint64_t queue_depth_peak = 0;    ///< most tasks outstanding at once
+                                         ///< (across all worker deques)
   std::uint64_t queue_wait_ns_total = 0; ///< enqueue-to-pickup, summed
   std::uint64_t queue_wait_ns_max = 0;   ///< worst single task wait
+  std::uint64_t steals = 0;              ///< tasks run by a worker other than
+                                         ///< the one they were queued to
   std::uint64_t busy_ns_total = 0;       ///< worker time running tasks
   std::uint64_t idle_ns_total = 0;       ///< worker time parked on the queue
   std::vector<std::uint64_t> worker_busy_ns;  ///< per-worker busy split
@@ -96,16 +108,24 @@ struct PoolStats {
   }
 };
 
-/// Fixed-size worker pool with a FIFO work queue.  parallel_for drives a
-/// shared process-wide instance (ThreadPool::shared()) that grows on demand
-/// up to kMaxThreads and is reused across calls, so repeated solves pay no
-/// thread start-up cost.
+/// Fixed-size worker pool with one FIFO deque per worker and work stealing.
+/// parallel_for drives a shared process-wide instance (ThreadPool::shared())
+/// that grows on demand up to kMaxThreads and is reused across calls, so
+/// repeated solves pay no thread start-up cost.
+///
+/// submit() round-robins tasks across the worker deques; a worker drains its
+/// own deque front-first and, when empty, steals the *oldest* task from the
+/// first non-empty neighbour (FIFO-fair: stealing preserves submission-age
+/// order per deque, so queue-wait accounting stays meaningful).  Worker
+/// state lives in a fixed-capacity array, so stealing never races storage
+/// growth.
 ///
 /// The pool keeps its own execution accounting — per-worker busy/idle time,
-/// task queue depth and wait — sampled via stats().  The write path is two
-/// clock reads and a few relaxed atomics per *task* (tasks are coarse:
-/// whole requests, parallel_for drain shares), so it stays on in release
-/// builds; src/obs/ publishes samples into the exec.* gauges.
+/// outstanding-task depth, queue wait, steals — sampled via stats().  The
+/// write path is two clock reads and a few relaxed atomics per *task*
+/// (tasks are coarse: whole requests, parallel_for drain shares), so it
+/// stays on in release builds; src/obs/ publishes samples into the exec.*
+/// gauges.
 class ThreadPool {
  public:
   /// An empty pool (no workers); grow it with ensure_size.
@@ -124,12 +144,13 @@ class ThreadPool {
   /// kMaxThreads).
   void ensure_size(int threads);
 
-  /// Enqueues a task.  Tasks run on worker threads in FIFO order; a pool
-  /// with no workers holds tasks until ensure_size adds one.
+  /// Enqueues a task.  Tasks land on worker deques round-robin and run in
+  /// FIFO order per deque (stealing takes the oldest first); a pool with no
+  /// workers holds tasks until ensure_size adds one.
   void submit(std::function<void()> task);
 
-  /// A consistent-enough accounting sample (queue fields are read under the
-  /// pool lock; per-worker times are individually atomic).
+  /// A consistent-enough accounting sample (aggregate fields are read under
+  /// the pool lock; per-worker times are individually atomic).
   PoolStats stats() const;
 
   /// The process-wide pool used by parallel_for.  Never destroyed (workers
@@ -142,29 +163,46 @@ class ThreadPool {
     std::function<void()> fn;
     std::chrono::steady_clock::time_point enqueued;
   };
-  /// Per-worker time accounting, cache-line padded; allocated before the
-  /// worker starts and stable for the pool's lifetime (workers_ only grows).
-  struct alignas(64) WorkerCell {
+  /// Per-worker state, cache-line padded: the deque, its lock, and the time
+  /// accounting.  Allocated (at a stable address) before the worker starts.
+  struct alignas(64) WorkerState {
+    std::mutex mu;
+    std::deque<Task> deque;
     std::atomic<std::uint64_t> busy_ns{0};
     std::atomic<std::uint64_t> idle_ns{0};
   };
 
   void worker_loop(std::size_t worker);
+  /// Own deque front, then the injection queue, then steal the oldest task
+  /// from the first non-empty victim.  False when every queue is empty.
+  bool try_acquire(std::size_t worker, Task& out);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<std::thread> workers_;
-  std::vector<std::unique_ptr<WorkerCell>> cells_;  // parallel to workers_
-  std::deque<Task> queue_;
+  /// Fixed-capacity worker-state storage: slots are written under mu_ and
+  /// published via worker_count_, so steal scans over [0, count) never race
+  /// container growth (a vector's realloc would move state under a thief).
+  std::array<std::unique_ptr<WorkerState>, kMaxThreads> states_;
+  std::atomic<int> worker_count_{0};
+  /// Tasks submitted while the pool had no workers; drained (under mu_)
+  /// before stealing.
+  std::deque<Task> injection_;
   bool stopping_ = false;
 
-  // Queue accounting.  submitted/depth-peak are written under mu_ (plain);
-  // executed/wait are written by workers off-lock (atomic).
+  // Accounting.  submitted/depth-peak are written under mu_ (plain);
+  // executed/wait/steals are written by workers off-lock (atomic).
+  // pending_ counts outstanding tasks across every queue: incremented
+  // *before* a task is pushed (so the count never underflows at the
+  // decrement after removal) and used as the workers' parking predicate.
+  std::atomic<std::uint64_t> pending_{0};
+  std::atomic<std::uint64_t> rr_{0};  ///< round-robin submit cursor
   std::uint64_t tasks_submitted_ = 0;
   std::uint64_t queue_depth_peak_ = 0;
   std::atomic<std::uint64_t> tasks_executed_{0};
   std::atomic<std::uint64_t> queue_wait_ns_total_{0};
   std::atomic<std::uint64_t> queue_wait_ns_max_{0};
+  std::atomic<std::uint64_t> steals_{0};
 };
 
 }  // namespace busytime::exec

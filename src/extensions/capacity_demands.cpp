@@ -63,13 +63,14 @@ Schedule solve_first_fit_demands(const Instance& inst) {
     std::vector<std::int64_t> demands;
   };
   std::vector<Machine> machines;
+  const int g = inst.g();
   for (const JobId j : inst.ids_by_length_desc()) {
     const Interval& iv = inst.job(j).interval;
     const std::int64_t demand = inst.job(j).demand;
-    assert(demand >= 1 && demand <= inst.g());
+    assert(demand >= 1 && demand <= g);
     MachineId target = -1;
     for (std::size_t m = 0; m < machines.size(); ++m) {
-      if (fits_with_demand(machines[m].jobs, machines[m].demands, iv, demand, inst.g())) {
+      if (fits_with_demand(machines[m].jobs, machines[m].demands, iv, demand, g)) {
         target = static_cast<MachineId>(m);
         break;
       }
@@ -120,9 +121,10 @@ class DemandBranchBound {
     const JobId job = order_[static_cast<std::size_t>(k)];
     const Interval iv = inst_.job(job).interval;
     const std::int64_t demand = inst_.job(job).demand;
+    const int g = inst_.g();
 
     for (std::size_t m = 0; m < machines_.size(); ++m) {
-      if (!fits_with_demand(machines_[m].jobs, machines_[m].demands, iv, demand, inst_.g()))
+      if (!fits_with_demand(machines_[m].jobs, machines_[m].demands, iv, demand, g))
         continue;
       machines_[m].jobs.push_back(iv);
       machines_[m].demands.push_back(demand);

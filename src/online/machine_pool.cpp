@@ -3,22 +3,17 @@
 #include <algorithm>
 #include <cassert>
 #include <functional>
+#include <limits>
 
 namespace busytime {
 
+namespace {
+/// next_completion_ sentinel for "no job running": compares greater than any
+/// real clock, so the advance scan needs no emptiness branch.
+constexpr Time kIdle = std::numeric_limits<Time>::max();
+}  // namespace
+
 MachinePool::MachinePool(int g) : g_(g) { assert(g >= 1); }
-
-MachinePool::Machine& MachinePool::machine(MachineId id) {
-  const std::int32_t slot = slot_of_[static_cast<std::size_t>(id)];
-  assert(slot != kNoSlot);
-  return slots_[static_cast<std::size_t>(slot)];
-}
-
-const MachinePool::Machine& MachinePool::machine(MachineId id) const {
-  const std::int32_t slot = slot_of_[static_cast<std::size_t>(id)];
-  assert(slot != kNoSlot);
-  return slots_[static_cast<std::size_t>(slot)];
-}
 
 void MachinePool::advance(Time now) {
   assert(now >= stats_.clock || stats_.clock == std::numeric_limits<Time>::lowest());
@@ -27,21 +22,30 @@ void MachinePool::advance(Time now) {
   std::size_t keep = 0;
   for (std::size_t i = 0; i < open_.size(); ++i) {
     const MachineId id = open_[i];
-    Machine& m = machine(id);
-    // Retire jobs whose half-open interval has ended: [s, c) is no longer
-    // running at time c, so completions <= now free a slot.
-    while (!m.active.empty() && m.active.front() <= now) {
-      std::pop_heap(m.active.begin(), m.active.end(), std::greater<Time>());
-      m.active.pop_back();
-      --stats_.active_jobs;
+    const auto slot = static_cast<std::size_t>(slot_index(id));
+    // Hot path: one flat load per open machine.  The cached heap minimum
+    // tells us whether anything retires at this instant without touching
+    // the heap storage at all.
+    if (next_completion_[slot] <= now) {
+      auto& active = slots_[slot].active;
+      // Retire jobs whose half-open interval has ended: [s, c) is no longer
+      // running at time c, so completions <= now free a slot.
+      while (!active.empty() && active.front() <= now) {
+        std::pop_heap(active.begin(), active.end(), std::greater<Time>());
+        active.pop_back();
+        --stats_.active_jobs;
+      }
+      active_count_[slot] = static_cast<std::int32_t>(active.size());
+      next_completion_[slot] = active.empty() ? kIdle : active.front();
     }
-    if (m.active.empty() && m.has_jobs && !m.pinned) {
+    if (active_count_[slot] == 0 && slot_has_jobs_[slot] != 0 &&
+        slot_pinned_[slot] == 0) {
       ++stats_.machines_closed;
       --stats_.open_machines;
       // Closed machines are never revisited; return the slot (heap storage
       // included) to the free list so the next opening reuses it — memory
       // stays proportional to the peak concurrent load, not the history.
-      free_slots_.push_back(slot_of_[static_cast<std::size_t>(id)]);
+      free_slots_.push_back(static_cast<std::int32_t>(slot));
       slot_of_[static_cast<std::size_t>(id)] = kNoSlot;
       continue;  // drop from the open set
     }
@@ -51,14 +55,15 @@ void MachinePool::advance(Time now) {
 }
 
 bool MachinePool::fits(MachineId m) const {
-  return machine(m).active.size() < static_cast<std::size_t>(g_);
+  return active_count_[static_cast<std::size_t>(slot_index(m))] < g_;
 }
 
 Time MachinePool::extension(MachineId m, const Interval& iv) const {
-  const Machine& mach = machine(m);
-  if (!mach.has_jobs) return iv.length();
-  if (iv.start >= mach.seg_end) return iv.length();  // idle gap: new segment
-  return std::max<Time>(0, iv.completion - mach.seg_end);
+  const auto slot = static_cast<std::size_t>(slot_index(m));
+  if (slot_has_jobs_[slot] == 0) return iv.length();
+  const Time seg_end = seg_end_[slot];
+  if (iv.start >= seg_end) return iv.length();  // idle gap: new segment
+  return std::max<Time>(0, iv.completion - seg_end);
 }
 
 MachineId MachinePool::open_machine(bool pinned) {
@@ -67,17 +72,26 @@ MachineId MachinePool::open_machine(bool pinned) {
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
     free_slots_.pop_back();
-    Machine& reused = slots_[static_cast<std::size_t>(slot)];
-    assert(reused.active.empty());  // only idle machines close
-    reused.seg_end = 0;
-    reused.has_jobs = false;
+    assert(slots_[static_cast<std::size_t>(slot)].active.empty());
+    // only idle machines close, so the heap is empty and the hot scalars
+    // just reset in place
     ++stats_.slots_recycled;
   } else {
     slot = static_cast<std::int32_t>(slots_.size());
     slots_.emplace_back();
+    next_completion_.push_back(kIdle);
+    seg_end_.push_back(0);
+    active_count_.push_back(0);
+    slot_has_jobs_.push_back(0);
+    slot_pinned_.push_back(0);
   }
+  const auto s = static_cast<std::size_t>(slot);
+  next_completion_[s] = kIdle;
+  seg_end_[s] = 0;
+  active_count_[s] = 0;
+  slot_has_jobs_[s] = 0;
+  slot_pinned_[s] = pinned ? 1 : 0;
   slot_of_.push_back(slot);
-  slots_[static_cast<std::size_t>(slot)].pinned = pinned;
   open_.push_back(id);
   if (pinned) pinned_.push_back(id);
   ++stats_.machines_opened;
@@ -89,15 +103,15 @@ MachineId MachinePool::open_machine(bool pinned) {
 
 void MachinePool::place(MachineId m, const Interval& iv) {
   assert(iv.start <= stats_.clock);
-  Machine& mach = machine(m);
+  const auto slot = static_cast<std::size_t>(slot_index(m));
 
   stats_.online_cost += extension(m, iv);
-  if (!mach.has_jobs || iv.start >= mach.seg_end) {
-    mach.seg_end = iv.completion;  // first job or post-gap segment
+  if (slot_has_jobs_[slot] == 0 || iv.start >= seg_end_[slot]) {
+    seg_end_[slot] = iv.completion;  // first job or post-gap segment
   } else {
-    mach.seg_end = std::max(mach.seg_end, iv.completion);
+    seg_end_[slot] = std::max(seg_end_[slot], iv.completion);
   }
-  mach.has_jobs = true;
+  slot_has_jobs_[slot] = 1;
   ++stats_.jobs_assigned;
 
   // Only jobs still running at the stream clock occupy a capacity slot.
@@ -106,9 +120,12 @@ void MachinePool::place(MachineId m, const Interval& iv) {
   // could over-fill the heap when a group legally chains more than g
   // non-overlapping jobs through the same slots.
   if (iv.completion > stats_.clock) {
-    assert(mach.active.size() < static_cast<std::size_t>(g_));
-    mach.active.push_back(iv.completion);
-    std::push_heap(mach.active.begin(), mach.active.end(), std::greater<Time>());
+    auto& active = slots_[slot].active;
+    assert(active.size() < static_cast<std::size_t>(g_));
+    active.push_back(iv.completion);
+    std::push_heap(active.begin(), active.end(), std::greater<Time>());
+    active_count_[slot] = static_cast<std::int32_t>(active.size());
+    next_completion_[slot] = active.front();
     ++stats_.active_jobs;
     stats_.peak_active_jobs = std::max(stats_.peak_active_jobs, stats_.active_jobs);
   }
@@ -117,12 +134,15 @@ void MachinePool::place(MachineId m, const Interval& iv) {
 std::optional<Time> MachinePool::truncate(MachineId m, Time completion,
                                           bool preempt) {
   const Time now = stats_.clock;
-  Machine& mach = machine(m);
+  const auto slot = static_cast<std::size_t>(slot_index(m));
+  auto& active = slots_[slot].active;
 
-  const auto it = std::find(mach.active.begin(), mach.active.end(), completion);
-  if (it == mach.active.end()) return std::nullopt;  // nothing is running
-  mach.active.erase(it);
-  std::make_heap(mach.active.begin(), mach.active.end(), std::greater<Time>());
+  const auto it = std::find(active.begin(), active.end(), completion);
+  if (it == active.end()) return std::nullopt;  // nothing is running
+  active.erase(it);
+  std::make_heap(active.begin(), active.end(), std::greater<Time>());
+  active_count_[slot] = static_cast<std::int32_t>(active.size());
+  next_completion_[slot] = active.empty() ? kIdle : active.front();
   --stats_.active_jobs;
 
   // Every remaining running job spans the cancel instant (it started at or
@@ -130,10 +150,10 @@ std::optional<Time> MachinePool::truncate(MachineId m, Time completion,
   // is exactly [now, max remaining completion) — and the old tail reached
   // seg_end.  The difference is the busy time nobody covers any more.
   Time covered = now;
-  for (const Time c : mach.active) covered = std::max(covered, c);
-  const Time refund = mach.seg_end - covered;
+  for (const Time c : active) covered = std::max(covered, c);
+  const Time refund = seg_end_[slot] - covered;
   assert(refund >= 0);
-  mach.seg_end = covered;
+  seg_end_[slot] = covered;
 
   stats_.online_cost -= refund;
   stats_.busy_time_refunded += refund;
@@ -142,7 +162,8 @@ std::optional<Time> MachinePool::truncate(MachineId m, Time completion,
 }
 
 void MachinePool::unpin_all() {
-  for (const MachineId id : pinned_) machine(id).pinned = false;
+  for (const MachineId id : pinned_)
+    slot_pinned_[static_cast<std::size_t>(slot_index(id))] = 0;
   pinned_.clear();
 }
 

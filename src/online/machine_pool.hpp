@@ -34,6 +34,7 @@
 // fully placed.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -106,22 +107,34 @@ class MachinePool {
   std::size_t slot_count() const noexcept { return slots_.size(); }
 
  private:
+  /// Cold per-slot storage: completions of jobs still running, as a binary
+  /// min-heap.  Touched only when a completion is actually due (advance),
+  /// a job is placed, or a truncate rewrites the running set.
   struct Machine {
-    /// Completions of jobs still running, as a binary min-heap.
     std::vector<Time> active;
-    /// End of the machine's current busy segment (union-length frontier).
-    Time seg_end = 0;
-    bool has_jobs = false;
-    bool pinned = false;
   };
 
   static constexpr std::int32_t kNoSlot = -1;
 
-  Machine& machine(MachineId id);
-  const Machine& machine(MachineId id) const;
+  std::int32_t slot_index(MachineId id) const {
+    const std::int32_t slot = slot_of_[static_cast<std::size_t>(id)];
+    assert(slot != kNoSlot);
+    return slot;
+  }
 
   int g_ = 1;
   std::vector<Machine> slots_;
+  // Hot per-slot scalars, SoA (the algo/profile.hpp discipline): the
+  // advance/fits/extension scans the policies issue per event read these
+  // parallel flat vectors and never touch the heap storage unless a
+  // completion is due.  next_completion_ caches the heap minimum (kIdle
+  // when no job is running) so the common advance step is one flat
+  // compare per open machine.
+  std::vector<Time> next_completion_;
+  std::vector<Time> seg_end_;
+  std::vector<std::int32_t> active_count_;
+  std::vector<std::uint8_t> slot_has_jobs_;
+  std::vector<std::uint8_t> slot_pinned_;
   /// External id -> slot index; kNoSlot once the machine has closed.  This
   /// is the only per-machine-ever state (4 bytes each).
   std::vector<std::int32_t> slot_of_;

@@ -39,12 +39,12 @@ Side build_side(const Instance& inst, const std::vector<JobId>& ids,
 /// number of machines used.
 MachineId schedule_prefix(const Instance& inst, const Side& side, std::size_t count,
                           MachineId base, Schedule& out) {
+  const std::size_t g = static_cast<std::size_t>(inst.g());
   for (std::size_t rank = 0; rank < count; ++rank) {
     const JobId job = side.ids_by_head[count - 1 - rank];  // descending head
-    out.assign(job, base + static_cast<MachineId>(rank / static_cast<std::size_t>(inst.g())));
+    out.assign(job, base + static_cast<MachineId>(rank / g));
   }
-  return static_cast<MachineId>((count + static_cast<std::size_t>(inst.g()) - 1) /
-                                static_cast<std::size_t>(inst.g()));
+  return static_cast<MachineId>((count + g - 1) / g);
 }
 
 }  // namespace

@@ -53,9 +53,10 @@ TputResult solve_one_sided_tput(const Instance& inst, Time budget) {
                     costs[best_j]};
   // Group the chosen prefix by descending length, g per machine
   // (Observation 3.1 layout).
+  const std::size_t g = static_cast<std::size_t>(inst.g());
   for (std::size_t rank = 0; rank < best_j; ++rank) {
     const JobId job = ids[best_j - 1 - rank];  // descending length
-    result.schedule.assign(job, static_cast<MachineId>(rank / static_cast<std::size_t>(inst.g())));
+    result.schedule.assign(job, static_cast<MachineId>(rank / g));
   }
   return result;
 }
