@@ -9,10 +9,23 @@
 //            warm_speedup = cold/warm therefore isolates exactly what the
 //            decomposition cache buys;
 //   mixed  — a five-solver portfolio submitted asynchronously against the
-//            warm handle (the serve-mode shape; adds worker parallelism).
+//            warm handle (the serve-mode shape; adds worker parallelism);
+//   cached — repeated identical specs against a cache-enabled Service
+//            (its own instance, so the main sections stay cache-free):
+//            after one priming miss every request is a submit-time cache
+//            hit.  cached_speedup = warm/cached isolates what the result
+//            cache buys on top of the decomposition cache, and the run
+//            fails unless it is >= 5x;
+//   overload — a burst against a second dedicated Service with a tiny
+//            admission cap and three weighted tenants.  How many requests
+//            shed is scheduling-dependent (reported under "observed",
+//            which the bench diff ignores), but two invariants are gated:
+//            every result lands on a terminal status and the service.shed
+//            counter equals the number of kShedded results.
 //
-// Every result is verified bit-identical to sequential run_solver, and the
-// run emits BENCH_service.json for the perf trajectory.
+// Every computed result is verified bit-identical to sequential run_solver
+// (cached copies modulo wall_ms/cached by the "cached = computed"
+// contract), and the run emits BENCH_service.json for the perf trajectory.
 //
 // Flags:
 //   --n=N          jobs in the trace                   (default 20000)
@@ -144,6 +157,87 @@ int main_impl(int argc, char** argv) {
         static_cast<double>(mixed_requests) / (mixed.wall_ms / 1000.0);
   }
 
+  // ------------------------------------------------------- cached solves ---
+  // Same blocking warm-handle pattern as `warm`, but on a Service with the
+  // result cache on: request 0 primes the entry (one miss), every later
+  // request is a submit-time hit.  warm/cached is the result cache's win;
+  // sequential, so the hit/miss split is exact and the diff gates it.
+  Measurement cached;
+  std::uint64_t cached_hits = 0;
+  std::uint64_t cached_misses = 0;
+  {
+    ServiceConfig cache_config;
+    cache_config.workers = workers;
+    cache_config.cache_bytes = 32u << 20;
+    Service cache_service(cache_config);
+    const InstanceHandle cache_handle = cache_service.load(trace);
+    cache_service.solve(cache_handle, spec);  // prime: the one miss
+    const double t0 = now_ms();
+    for (int r = 0; r < requests; ++r)
+      cached.identical = cached.identical &&
+                         same_result(cache_service.solve(cache_handle, spec),
+                                     baseline);
+    cached.wall_ms = now_ms() - t0;
+    cached.requests_per_sec = requests / (cached.wall_ms / 1000.0);
+    const ServiceStats cache_stats = cache_service.stats();
+    cached_hits = cache_stats.cache_hits;
+    cached_misses = cache_stats.cache_misses;
+  }
+
+  // ------------------------------------------------- tenant overload burst ---
+  // A dedicated Service with a tiny admission cap and three weighted
+  // tenants, hit with a burst it cannot absorb.  The shed/ok split depends
+  // on scheduling, so it goes under "observed" (diff-ignored); what the
+  // bench gates is the admission contract: terminal statuses only, and
+  // service.shed agreeing with the results.
+  bool overload_terminal = true;
+  bool shed_matches_metric = true;
+  std::uint64_t overload_ok = 0;
+  std::uint64_t overload_shed = 0;
+  std::uint64_t overload_other = 0;
+  const int overload_requests = 48;
+  const std::size_t overload_cap = 6;
+  {
+    ServiceConfig overload_config;
+    overload_config.workers = workers;
+    overload_config.max_queue = overload_cap;
+    Service overload_service(overload_config);
+    const InstanceHandle overload_handle = overload_service.load(trace);
+    const SolverSpec burst_spec = SolverSpec::parse("first_fit");
+    std::vector<TenantHandle> tenants = {
+        overload_service.tenant("alpha", 1),
+        overload_service.tenant("beta", 2),
+        overload_service.tenant("gamma", 4),
+    };
+    std::vector<std::future<SolveResult>> futures;
+    futures.reserve(overload_requests);
+    for (int r = 0; r < overload_requests; ++r)
+      futures.push_back(overload_service.submit(tenants[r % tenants.size()],
+                                                overload_handle, burst_spec));
+    for (auto& future : futures) {
+      const SolveResult result = future.get();
+      switch (result.status) {
+        case SolveStatus::kOk: ++overload_ok; break;
+        case SolveStatus::kShedded:
+          ++overload_shed;
+          // Shed results carry an instance-sized empty schedule, never a
+          // partial one.
+          overload_terminal =
+              overload_terminal && !result.valid &&
+              result.schedule.assignment().size() == trace.size();
+          break;
+        case SolveStatus::kDeadline:
+        case SolveStatus::kCancelled:
+          ++overload_other;  // terminal too; not expected here, not a violation
+          break;
+      }
+    }
+    shed_matches_metric = overload_service.stats().shed == overload_shed;
+    overload_terminal = overload_terminal &&
+                        overload_ok + overload_shed + overload_other ==
+                            static_cast<std::uint64_t>(overload_requests);
+  }
+
   // ---------------------------------------------------------------- emit ---
   json::Value root = json::Value::object();
   root.set("bench", "service");
@@ -157,7 +251,32 @@ int main_impl(int argc, char** argv) {
   root.set("cold", to_json(cold));
   root.set("warm", to_json(warm));
   root.set("mixed", to_json(mixed));
+  {
+    // Sequential, so the hit/miss split is deterministic: one priming
+    // miss, every measured request a hit — the diff gates both.
+    json::Value v = to_json(cached);
+    v.set("cache_hits", static_cast<std::int64_t>(cached_hits));
+    v.set("cache_misses", static_cast<std::int64_t>(cached_misses));
+    root.set("cached", std::move(v));
+  }
+  {
+    json::Value v = json::Value::object();
+    v.set("requests", overload_requests);
+    v.set("max_queue", static_cast<std::int64_t>(overload_cap));
+    v.set("tenants", 3);
+    v.set("statuses_terminal", overload_terminal);
+    v.set("shed_matches_metric", shed_matches_metric);
+    // The ok/shed split depends on how fast the pump drains vs the burst;
+    // "observed" is diff-ignored by design.
+    json::Value observed = json::Value::object();
+    observed.set("ok", static_cast<std::int64_t>(overload_ok));
+    observed.set("shed", static_cast<std::int64_t>(overload_shed));
+    observed.set("other", static_cast<std::int64_t>(overload_other));
+    v.set("observed", std::move(observed));
+    root.set("overload", std::move(v));
+  }
   root.set("warm_speedup", cold.wall_ms / warm.wall_ms);
+  root.set("cached_speedup", warm.wall_ms / cached.wall_ms);
   root.set("view_builds", static_cast<std::int64_t>(handle->view_builds()));
   root.set("view_hits", static_cast<std::int64_t>(handle->view_hits()));
   // Full busytime-metrics-v1 snapshot of the Service registry (request
@@ -182,19 +301,48 @@ int main_impl(int argc, char** argv) {
                  Table::fmt(static_cast<long long>(mixed_requests)),
                  Table::fmt(mixed.wall_ms), Table::fmt(mixed.requests_per_sec),
                  mixed.identical ? "yes" : "NO"});
+  table.add_row({"cached (result cache)",
+                 Table::fmt(static_cast<long long>(requests)),
+                 Table::fmt(cached.wall_ms), Table::fmt(cached.requests_per_sec),
+                 cached.identical ? "yes" : "NO"});
   table.print(std::cout);
   std::cout << "warm speedup vs cold: " << Table::fmt(cold.wall_ms / warm.wall_ms)
             << "x  (view_builds=" << handle->view_builds()
             << " view_hits=" << handle->view_hits()
             << " utilization=" << Table::fmt(pool.utilization()) << ")\n";
+  std::cout << "cached speedup vs warm: "
+            << Table::fmt(warm.wall_ms / cached.wall_ms) << "x  (hits="
+            << cached_hits << " misses=" << cached_misses << ")\n";
+  std::cout << "overload burst: ok=" << overload_ok << " shed=" << overload_shed
+            << " of " << overload_requests << " (cap=" << overload_cap
+            << ", statuses_terminal=" << (overload_terminal ? "yes" : "NO")
+            << ", shed_matches_metric=" << (shed_matches_metric ? "yes" : "NO")
+            << ")\n";
 
-  if (!cold.identical || !warm.identical || !mixed.identical) {
+  if (!cold.identical || !warm.identical || !mixed.identical ||
+      !cached.identical) {
     std::cerr << "error: a facade result diverged from sequential run_solver\n";
     return 1;
   }
   if (handle->view_builds() != 1) {
     std::cerr << "error: warm handle rebuilt its view "
               << handle->view_builds() << " times\n";
+    return 1;
+  }
+  if (warm.wall_ms < cached.wall_ms * 5) {
+    std::cerr << "error: result cache speedup "
+              << Table::fmt(warm.wall_ms / cached.wall_ms)
+              << "x is below the 5x floor\n";
+    return 1;
+  }
+  if (cached_misses != 1 ||
+      cached_hits != static_cast<std::uint64_t>(requests)) {
+    std::cerr << "error: cached section expected 1 miss / " << requests
+              << " hits, saw " << cached_misses << " / " << cached_hits << "\n";
+    return 1;
+  }
+  if (!overload_terminal || !shed_matches_metric) {
+    std::cerr << "error: overload burst broke the admission contract\n";
     return 1;
   }
   return 0;

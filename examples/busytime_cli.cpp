@@ -8,9 +8,10 @@
 //                [--json-out=FILE] [--out=FILE] [--gantt]
 //   busytime_cli serve (--in=FILE | --family=NAME --n=N --g=G --seed=S)
 //                --specs=FILE [--workers=N] [--deadline_ms=D]
+//                [--cache-mb=M] [--max-queue=N] [--tenants=FILE]
 //                [--stats-every=N] [--metrics-out=FILE] [--json]
 //   busytime_cli serve --listen=PORT [--host=ADDR] [--workers=N]
-//                [--metrics-out=FILE]
+//                [--cache-mb=M] [--max-queue=N] [--metrics-out=FILE]
 //   busytime_cli client --connect=HOST:PORT
 //                (--ping | --list-solvers | --shutdown |
 //                 (--in=FILE | --family=NAME --n=N --g=G --seed=S)
@@ -34,7 +35,13 @@
 // per line, '#' comments) is submitted asynchronously against it;
 // --deadline_ms is the per-request default for specs without their own
 // deadline_ms, and expired requests report status "deadline" instead of
-// failing the batch.
+// failing the batch.  "--cache-mb=M" turns on the Service result cache
+// (repeated specs against the same instance come back from memory, marked
+// cached with wall_ms=0), "--max-queue=N" caps queued requests and sheds
+// the overflow with status "shedded" (empty schedule, never partial), and
+// "--tenants=FILE" ("name weight [max_queue]" per line, '#' comments)
+// registers weighted tenants and deals the batch's specs across them
+// round-robin, exercising deficit-round-robin dispatch under contention.
 //
 // "serve --listen=PORT" is the network mode: it binds a TCP endpoint
 // (port 0 picks an ephemeral port; the resolved address is printed as
@@ -115,8 +122,10 @@ int usage() {
       << "        [--json-out=FILE] [--out=FILE] [--gantt]\n"
       << "  serve (--in=FILE | --family=F --n=N --g=G --seed=S)\n"
       << "        --specs=FILE [--workers=N] [--deadline_ms=D]\n"
+      << "        [--cache-mb=M] [--max-queue=N] [--tenants=FILE]\n"
       << "        [--stats-every=N] [--metrics-out=FILE] [--json]\n"
-      << "  serve --listen=PORT [--host=ADDR] [--workers=N] [--metrics-out=FILE]\n"
+      << "  serve --listen=PORT [--host=ADDR] [--workers=N]\n"
+      << "        [--cache-mb=M] [--max-queue=N] [--metrics-out=FILE]\n"
       << "  client --connect=HOST:PORT (--ping | --list-solvers | --shutdown |\n"
       << "        workload flags as in solve [--solver=SPEC] [output flags])\n"
       << "  diff  a.json b.json [--tol=R]       result-v1 or BENCH_*.json files\n"
@@ -418,12 +427,52 @@ std::vector<SolverSpec> load_specs(const std::string& path) {
   return specs;
 }
 
+/// One line of a --tenants file: "name weight [max_queue]".
+struct TenantDef {
+  std::string name;
+  int weight = 1;
+  std::size_t max_queue = 0;
+};
+
+/// Parses a tenants file: one "name weight [max_queue]" per line, blank
+/// lines and '#' comments skipped.
+std::vector<TenantDef> load_tenant_defs(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open tenants file: " + path);
+  std::vector<TenantDef> defs;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    TenantDef def;
+    if (!(fields >> def.name)) continue;
+    if (!(fields >> def.weight) || def.weight < 1)
+      throw std::runtime_error("tenants file: \"" + def.name +
+                               "\" needs a weight >= 1: " + path);
+    fields >> def.max_queue;  // optional; 0 = unlimited
+    defs.push_back(std::move(def));
+  }
+  if (defs.empty())
+    throw std::runtime_error("tenants file has no tenants: " + path);
+  return defs;
+}
+
+/// Serve-mode ServiceConfig from the shared flags: --workers, --cache-mb
+/// (result cache capacity, 0 = off), --max-queue (admission cap, 0 = off).
+ServiceConfig service_config_from_flags(const Flags& flags) {
+  ServiceConfig config;
+  config.workers = static_cast<int>(flags.get_int("workers", 0));
+  config.cache_bytes =
+      static_cast<std::size_t>(flags.get_int("cache-mb", 0)) << 20;
+  config.max_queue = static_cast<std::size_t>(flags.get_int("max-queue", 0));
+  return config;
+}
+
 /// Network serve mode: bind, announce the resolved endpoint on stdout, and
 /// run the reactor until a shutdown frame arrives.
 int cmd_serve_listen(const Flags& flags) {
-  ServiceConfig config;
-  config.workers = static_cast<int>(flags.get_int("workers", 0));
-  Service service(config);
+  Service service(service_config_from_flags(flags));
 
   net::ServerConfig server_config;
   server_config.host = flags.get("host", "127.0.0.1");
@@ -451,7 +500,10 @@ int cmd_serve_listen(const Flags& flags) {
             << " decode_errors="
             << snapshot.counter_value(obs::metric::kNetDecodeErrors)
             << " requests="
-            << snapshot.counter_value(obs::metric::kServiceRequests) << "\n";
+            << snapshot.counter_value(obs::metric::kServiceRequests)
+            << " shed=" << snapshot.counter_value(obs::metric::kServiceShed)
+            << " cache_hits="
+            << snapshot.counter_value(obs::metric::kServiceCacheHits) << "\n";
   return 0;
 }
 
@@ -547,10 +599,16 @@ int cmd_serve(const Flags& flags) {
         spec.options.set("deadline_ms", flags.get("deadline_ms", ""));
 
   const EventTrace trace = load_or_generate(flags);
-  ServiceConfig config;
-  config.workers = static_cast<int>(flags.get_int("workers", 0));
-  Service service(config);
+  Service service(service_config_from_flags(flags));
   const InstanceHandle handle = service.load(trace);
+
+  // --tenants deals the batch's specs across the named tenants round-robin
+  // in file order; without it everything goes through the default tenant,
+  // which is byte-identical to the pre-tenant FIFO behavior.
+  std::vector<TenantHandle> tenants;
+  if (flags.has("tenants"))
+    for (const TenantDef& def : load_tenant_defs(flags.get("tenants", "")))
+      tenants.push_back(service.tenant(def.name, def.weight, def.max_queue));
 
   // --stats-every=N streams a compact busytime-metrics-v1 snapshot to
   // stderr after every N completed requests (one JSON document per line),
@@ -558,8 +616,15 @@ int cmd_serve(const Flags& flags) {
   // stdout report.
   const std::int64_t stats_every = flags.get_int("stats-every", 0);
   const auto t0 = std::chrono::steady_clock::now();
-  std::vector<std::future<SolveResult>> futures =
-      service.submit_all(handle, specs);
+  std::vector<std::future<SolveResult>> futures;
+  if (tenants.empty()) {
+    futures = service.submit_all(handle, specs);
+  } else {
+    futures.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+      futures.push_back(
+          service.submit(tenants[i % tenants.size()], handle, specs[i]));
+  }
   std::vector<SolveResult> results;
   results.reserve(futures.size());
   for (auto& future : futures) {
@@ -615,6 +680,9 @@ int cmd_serve(const Flags& flags) {
     svc.set("ok", static_cast<std::int64_t>(stats.ok));
     svc.set("deadline_expired", static_cast<std::int64_t>(stats.deadline_expired));
     svc.set("cancelled", static_cast<std::int64_t>(stats.cancelled));
+    svc.set("shed", static_cast<std::int64_t>(stats.shed));
+    svc.set("cache_hits", static_cast<std::int64_t>(stats.cache_hits));
+    svc.set("cache_misses", static_cast<std::int64_t>(stats.cache_misses));
     svc.set("view_builds", static_cast<std::int64_t>(handle->view_builds()));
     svc.set("view_hits", static_cast<std::int64_t>(handle->view_hits()));
     root.set("service", std::move(svc));
@@ -627,6 +695,7 @@ int cmd_serve(const Flags& flags) {
     std::cout << results.size() << " requests on " << service.workers()
               << " workers in " << Table::fmt(batch_ms) << " ms  (ok=" << stats.ok
               << " deadline=" << stats.deadline_expired
+              << " shed=" << stats.shed << " cache_hits=" << stats.cache_hits
               << " view_builds=" << handle->view_builds()
               << " view_hits=" << handle->view_hits() << " utilization="
               << Table::fmt(service.pool_stats().utilization()) << ")\n";
@@ -666,9 +735,12 @@ bool timing_only_field(const std::string& key) {
     if (key.size() >= n && key.compare(key.size() - n, n, suffix) == 0)
       return true;
   }
+  // "observed" subtrees hold scheduling-dependent counts (cache hit/miss
+  // splits under concurrency, shed totals under overload) that the bench
+  // reports for eyeballing but cannot promise run-to-run.
   return key == "speedup" || key == "utilization" ||
          key == "hardware_threads" || key == "queue_depth_peak" ||
-         key == "gauges" || key == "smoke";
+         key == "gauges" || key == "smoke" || key == "observed";
 }
 
 /// Structural diff of two bench documents.  Recurses through objects and

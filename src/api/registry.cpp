@@ -156,29 +156,59 @@ class SolveSpan {
   std::uint32_t id_ = 0;
 };
 
-/// Non-default options the chosen solver never reads (see
-/// SolverInfo::consumes); g and deadline_ms are consumed by the run path
-/// itself, budget by every budgeted solver, improve by the offline/exact
-/// post-pass.  threads is a run-path parallelism knob too (the CLI copies
-/// --threads into every spec while exec::set_default_threads already
-/// honors it globally): it never changes results, so a solver with nothing
-/// to parallelize is not "ignoring" it.
-std::vector<std::string> ignored_options_for(const SolverInfo& info,
-                                             const SolverOptions& options) {
+/// Run-path control knobs that never change result bytes: deadline_ms only
+/// decides *whether* a result is computed, threads only how fast (the CLI
+/// copies --threads into every spec while exec::set_default_threads already
+/// honors it globally).  Neither is "consumed" by a solver nor "ignored" —
+/// and neither belongs in a result-equivalence cache key.
+bool is_control_key(const std::string& key) {
+  return key == "deadline_ms" || key == "threads";
+}
+
+/// Whether the named solver's result depends on `key` (see
+/// SolverInfo::consumes); g is consumed by the run path itself (capacity
+/// override), budget by every budgeted solver, improve by the
+/// offline/exact post-pass.  This single predicate is the canonicalization
+/// shared by ignored-option reporting and SolverSpec::canonical_key, so
+/// the CLI warning and the result cache agree on spec equivalence.
+bool is_consumed_key(const SolverInfo& info, const std::string& key) {
+  if (key == "g") return true;
+  if (key == "budget") return info.needs_budget;
+  if (key == "improve")
+    return info.kind == SolverKind::kOffline || info.kind == SolverKind::kExact;
+  return std::find(info.consumes.begin(), info.consumes.end(), key) !=
+         info.consumes.end();
+}
+
+}  // namespace
+
+std::vector<std::string> detail::ignored_options(const SolverInfo& info,
+                                                 const SolverOptions& options) {
   std::vector<std::string> ignored;
-  for (const std::string& key : options.non_default_keys()) {
-    if (key == "g" || key == "deadline_ms" || key == "threads") continue;
-    if (key == "budget" && info.needs_budget) continue;
-    if (key == "improve" && (info.kind == SolverKind::kOffline ||
-                             info.kind == SolverKind::kExact))
-      continue;
-    if (std::find(info.consumes.begin(), info.consumes.end(), key) !=
-        info.consumes.end())
-      continue;
-    ignored.push_back(key);
-  }
+  for (const std::string& key : options.non_default_keys())
+    if (!is_control_key(key) && !is_consumed_key(info, key))
+      ignored.push_back(key);
   return ignored;
 }
+
+std::string SolverSpec::canonical_key() const {
+  const SolverInfo* info = SolverRegistry::instance().find(name);
+  std::vector<std::string> keys;
+  for (const std::string& key : options.non_default_keys()) {
+    if (is_control_key(key)) continue;
+    // Unknown solver: keep every non-control key (conservative — never
+    // merges two specs a registered solver might distinguish).
+    if (info != nullptr && !is_consumed_key(*info, key)) continue;
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  std::string out = name;
+  for (const std::string& key : keys)
+    out += "|" + key + "=" + options.value_of(key);
+  return out;
+}
+
+namespace {
 
 /// The kDeadline / kCancelled result shape: empty schedule sized to the
 /// instance, nothing solved, nothing valid.
@@ -245,7 +275,7 @@ SolveResult detail::solve_request(const Instance& inst,
 
   result.solver = info.name;
   result.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
-  result.ignored_options = ignored_options_for(info, spec.options);
+  result.ignored_options = detail::ignored_options(info, spec.options);
   if (result.status != SolveStatus::kOk) return result;
   {
     const obs::ScopedSpan finalize_span(solve_span.trace(), "finalize",
@@ -307,7 +337,7 @@ SolveResult detail::solve_request(const EventTrace& trace,
 
   result.solver = info.name;
   result.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
-  result.ignored_options = ignored_options_for(info, spec.options);
+  result.ignored_options = detail::ignored_options(info, spec.options);
   if (result.status != SolveStatus::kOk) return result;
   // Everything downstream is measured against the residual instance — the
   // workload that actually ran.  The engine's incrementally maintained

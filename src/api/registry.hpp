@@ -161,6 +161,13 @@ SolveResult run_solver(const Instance& inst, const SolverSpec& spec);
 SolveResult run_solver(const EventTrace& trace, const SolverSpec& spec);
 
 namespace detail {
+// Non-default options the chosen solver never reads — the canonicalization
+// behind SolveResult::ignored_options and (inverted) the consumed-key set of
+// SolverSpec::canonical_key.  Run-path control knobs (threads, deadline_ms)
+// are neither consumed nor ignored.
+std::vector<std::string> ignored_options(const SolverInfo& info,
+                                         const SolverOptions& options);
+
 // One registration unit per solver family (src/api/builtin_*.cpp).
 void register_offline_solvers(SolverRegistry& registry);
 void register_throughput_solvers(SolverRegistry& registry);

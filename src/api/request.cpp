@@ -7,6 +7,7 @@ std::string to_string(SolveStatus status) {
     case SolveStatus::kOk: return "ok";
     case SolveStatus::kDeadline: return "deadline";
     case SolveStatus::kCancelled: return "cancelled";
+    case SolveStatus::kShedded: return "shedded";
   }
   return "unknown";
 }

@@ -35,12 +35,13 @@ class Instance;
 class InstanceView;
 
 /// Outcome of one solve request.  kOk results carry the solver's schedule;
-/// kDeadline / kCancelled results carry an empty schedule (valid == false)
-/// and report which control tripped.
+/// kDeadline / kCancelled / kShedded results carry an empty schedule
+/// (valid == false) and report which control tripped.
 enum class SolveStatus {
   kOk,
   kDeadline,   ///< the per-request deadline expired before the solve finished
   kCancelled,  ///< the request's CancelToken was triggered
+  kShedded,    ///< admission control rejected the request at submit time
 };
 
 std::string to_string(SolveStatus status);

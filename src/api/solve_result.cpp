@@ -25,6 +25,7 @@ std::string SolveResult::summary() const {
     for (std::size_t i = 0; i < ignored_options.size(); ++i)
       oss << (i ? "," : "") << ignored_options[i];
   }
+  if (cached) oss << " (cached)";
   return oss.str();
 }
 

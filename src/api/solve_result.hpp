@@ -63,6 +63,10 @@ struct SolveResult {
   /// order.  Callers asking for behavior the solver cannot deliver find out
   /// here instead of silently; the CLI surfaces them as warnings.
   std::vector<std::string> ignored_options;
+  /// True when the Service's result cache served this result instead of a
+  /// fresh solve.  Cached results are bit-identical to the computed one
+  /// except for this flag and wall_ms (zeroed on a hit).
+  bool cached = false;
 
   /// One-line human-readable summary for CLIs and logs.
   std::string summary() const;

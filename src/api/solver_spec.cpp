@@ -96,6 +96,25 @@ std::vector<std::string> SolverOptions::non_default_keys() const {
   return keys;
 }
 
+std::string SolverOptions::value_of(const std::string& key) const {
+  if (key == "g") return std::to_string(g);
+  if (key == "budget") return std::to_string(budget);
+  if (key == "epoch") return std::to_string(epoch_length);
+  if (key == "max_batch") return std::to_string(max_batch);
+  if (key == "seed") return std::to_string(seed);
+  if (key == "improve") return improve ? "1" : "0";
+  if (key == "threads") return std::to_string(threads);
+  if (key == "deadline_ms") {
+    // Default ostream formatting switches to scientific notation for tiny
+    // values (std::to_string would render 1e-7 as "0.000000", silently
+    // turning a guaranteed-to-trip deadline into "no deadline" on reparse).
+    std::ostringstream ms;
+    ms << std::setprecision(15) << deadline_ms;
+    return ms.str();
+  }
+  throw SpecError("unknown solver option '" + key + "'");
+}
+
 SolverOptions SolverOptions::parse(const std::string& text) {
   SolverOptions options;
   std::size_t pos = 0;
@@ -124,29 +143,9 @@ SolverSpec SolverSpec::parse(const std::string& text) {
 }
 
 std::string SolverSpec::to_string() const {
-  const SolverOptions defaults;
   std::string opts;
-  const auto add = [&](const std::string& kv) {
-    opts += (opts.empty() ? "" : ",") + kv;
-  };
-  if (options.g != defaults.g) add("g=" + std::to_string(options.g));
-  if (options.budget != defaults.budget) add("budget=" + std::to_string(options.budget));
-  if (options.epoch_length != defaults.epoch_length)
-    add("epoch=" + std::to_string(options.epoch_length));
-  if (options.max_batch != defaults.max_batch)
-    add("max_batch=" + std::to_string(options.max_batch));
-  if (options.seed != defaults.seed) add("seed=" + std::to_string(options.seed));
-  if (options.improve != defaults.improve) add("improve=1");
-  if (options.threads != defaults.threads)
-    add("threads=" + std::to_string(options.threads));
-  if (options.deadline_ms != defaults.deadline_ms) {
-    // Default ostream formatting switches to scientific notation for tiny
-    // values (std::to_string would render 1e-7 as "0.000000", silently
-    // turning a guaranteed-to-trip deadline into "no deadline" on reparse).
-    std::ostringstream ms;
-    ms << std::setprecision(15) << options.deadline_ms;
-    add("deadline_ms=" + ms.str());
-  }
+  for (const std::string& key : options.non_default_keys())
+    opts += (opts.empty() ? "" : ",") + key + "=" + options.value_of(key);
   return opts.empty() ? name : name + ":" + opts;
 }
 

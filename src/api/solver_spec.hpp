@@ -78,6 +78,10 @@ struct SolverOptions {
   /// The run path diffs this against what the chosen solver consumes to
   /// fill SolveResult::ignored_options.
   std::vector<std::string> non_default_keys() const;
+
+  /// Canonical text of one option's current value (the same rendering
+  /// to_string() uses).  Throws SpecError on unknown keys.
+  std::string value_of(const std::string& key) const;
 };
 
 /// A solver invocation request: registry name + options + per-request
@@ -107,6 +111,16 @@ struct SolverSpec {
 
   /// Canonical "name:k=v,..." form (only non-default options are printed).
   std::string to_string() const;
+
+  /// Result-equivalence key for the Service's result cache: the solver name
+  /// plus the sorted non-default options the named solver actually consumes.
+  /// Two specs with equal canonical keys compute bit-identical results on
+  /// the same instance — ignored options (recorded in
+  /// SolveResult::ignored_options) and run-path controls that never change
+  /// result bytes (threads, deadline_ms) are excluded by the same
+  /// canonicalization that drives ignored-option reporting (api/registry).
+  /// Unknown solver names fall back to every non-control non-default key.
+  std::string canonical_key() const;
 };
 
 }  // namespace busytime

@@ -202,6 +202,7 @@ json::Value result_to_json_value(const SolveResult& result) {
   root.set("format", kResultFormat);
   root.set("solver", result.solver);
   root.set("status", to_string(result.status));
+  root.set("cached", result.cached);
   root.set("cost", result.cost);
   root.set("throughput", result.throughput);
   root.set("valid", result.valid);
@@ -268,8 +269,13 @@ SolveResult result_from_json(const std::string& text) {
     if (text == "ok") result.status = SolveStatus::kOk;
     else if (text == "deadline") result.status = SolveStatus::kDeadline;
     else if (text == "cancelled") result.status = SolveStatus::kCancelled;
+    else if (text == "shedded") result.status = SolveStatus::kShedded;
     else throw std::runtime_error("unknown result status '" + text + "'");
   }
+  // The cached flag postdates the Service's result cache; absent means a
+  // freshly computed result.
+  if (const json::Value* cached = root.find("cached"))
+    result.cached = cached->as_bool();
   if (const json::Value* ignored = root.find("ignored_options"))
     for (const json::Value& key : ignored->as_array())
       result.ignored_options.push_back(key.as_string());

@@ -136,7 +136,7 @@ ibinstream& operator<<(ibinstream& m, SolveStatus status) {
 
 obinstream& operator>>(obinstream& m, SolveStatus& status) {
   const std::uint8_t byte = m.read_u8();
-  if (byte > static_cast<std::uint8_t>(SolveStatus::kCancelled))
+  if (byte > static_cast<std::uint8_t>(SolveStatus::kShedded))
     throw WireError("unknown SolveStatus " + std::to_string(byte));
   status = static_cast<SolveStatus>(byte);
   return m;
@@ -146,14 +146,21 @@ ibinstream& operator<<(ibinstream& m, const SolveResult& result) {
   return m << result.solver << result.status << result.schedule << result.cost
            << result.throughput << result.bounds
            << result.ratio_to_lower_bound << result.valid << result.trace
-           << result.stats << result.wall_ms << result.ignored_options;
+           << result.stats << result.wall_ms << result.ignored_options
+           << result.cached;
 }
 
 obinstream& operator>>(obinstream& m, SolveResult& result) {
-  return m >> result.solver >> result.status >> result.schedule >>
-         result.cost >> result.throughput >> result.bounds >>
-         result.ratio_to_lower_bound >> result.valid >> result.trace >>
-         result.stats >> result.wall_ms >> result.ignored_options;
+  m >> result.solver >> result.status >> result.schedule >> result.cost >>
+      result.throughput >> result.bounds >> result.ratio_to_lower_bound >>
+      result.valid >> result.trace >> result.stats >> result.wall_ms >>
+      result.ignored_options;
+  // `cached` postdates the wire format's first release.  A SolveResult is
+  // only ever an entire result-frame payload (never nested inside another
+  // message), so "payload ends here" reliably means a pre-cache peer wrote
+  // it; the flag must stay the last field for this to hold.
+  if (!m.done()) m >> result.cached;
+  return m;
 }
 
 ibinstream& operator<<(ibinstream& m, const SolverOptions& options) {

@@ -65,6 +65,14 @@ const std::vector<MetricDef>& builtin_metric_defs() {
        "Wall time per replay shard, microseconds"},
       {metric::kOnlineShardsRun, MetricKind::kCounter,
        "Shards replayed across all stream replays"},
+      {metric::kServiceCacheBytes, MetricKind::kGauge,
+       "Bytes the result cache currently holds (0 when caching is off)"},
+      {metric::kServiceCacheEvictions, MetricKind::kCounter,
+       "Result-cache entries evicted to stay under the byte cap"},
+      {metric::kServiceCacheHits, MetricKind::kCounter,
+       "Requests served from the result cache (no solve ran)"},
+      {metric::kServiceCacheMisses, MetricKind::kCounter,
+       "Cache-eligible requests that had to compute their result"},
       {metric::kServiceCancelled, MetricKind::kCounter,
        "Requests completed with status kCancelled"},
       {metric::kServiceCompleted, MetricKind::kCounter,
@@ -83,6 +91,11 @@ const std::vector<MetricDef>& builtin_metric_defs() {
        "End-to-end request wall time (queue wait included), microseconds"},
       {metric::kServiceRequests, MetricKind::kCounter,
        "Requests entering the Service (submitted and blocking)"},
+      {metric::kServiceShed, MetricKind::kCounter,
+       "Requests rejected by admission control with status kShedded"},
+      {metric::kServiceTenantQueueDepth, MetricKind::kGauge,
+       "Deepest any tenant queue has been (scheduling-dependent, varies run "
+       "to run)"},
       {metric::kServiceViewBuilds, MetricKind::kCounter,
        "Cached InstanceView decompositions built by handles"},
       {metric::kServiceViewHits, MetricKind::kCounter,

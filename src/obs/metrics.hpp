@@ -74,6 +74,12 @@ inline constexpr char kServiceViewBuilds[] = "service.view_builds";
 inline constexpr char kServiceViewHits[] = "service.view_hits";
 inline constexpr char kServiceQueueWaitUs[] = "service.queue_wait_us";
 inline constexpr char kServiceRequestUs[] = "service.request_us";
+inline constexpr char kServiceShed[] = "service.shed";
+inline constexpr char kServiceCacheHits[] = "service.cache_hits";
+inline constexpr char kServiceCacheMisses[] = "service.cache_misses";
+inline constexpr char kServiceCacheEvictions[] = "service.cache_evictions";
+inline constexpr char kServiceCacheBytes[] = "service.cache_bytes";
+inline constexpr char kServiceTenantQueueDepth[] = "service.tenant_queue_depth";
 inline constexpr char kSolveRequests[] = "solve.requests";
 inline constexpr char kSolveDispatchRuns[] = "solve.dispatch_runs";
 inline constexpr char kSolveComponentsSolved[] = "solve.components_solved";

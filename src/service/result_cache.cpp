@@ -1,0 +1,66 @@
+#include "service/result_cache.hpp"
+
+namespace busytime {
+
+bool ResultCache::lookup(const Key& key, SolveResult* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->result;
+  out->wall_ms = 0;
+  out->cached = true;
+  return true;
+}
+
+std::size_t ResultCache::insert(const Key& key, const SolveResult& result) {
+  const std::size_t cost = entry_bytes(key, result);
+  if (cost > capacity_bytes_) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= it->second->bytes;
+    it->second->result = result;
+    it->second->bytes = cost;
+    bytes_ += cost;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return 0;
+  }
+  std::size_t evicted = 0;
+  while (!lru_.empty() && bytes_ + cost > capacity_bytes_) {
+    bytes_ -= lru_.back().bytes;
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evicted;
+  }
+  lru_.push_front(Entry{key, result, cost});
+  index_.emplace(key, lru_.begin());
+  bytes_ += cost;
+  return evicted;
+}
+
+std::size_t ResultCache::entry_bytes(const Key& key, const SolveResult& result) {
+  // An estimate, not an accounting audit: dominated by the schedule array
+  // for real instances.  The fixed overhead covers the Entry, the list
+  // node, and the index slot.
+  constexpr std::size_t kFixedOverhead = 256;
+  std::size_t bytes = kFixedOverhead + key.spec.size() + result.solver.size();
+  bytes += result.schedule.assignment().size() * sizeof(MachineId);
+  for (const ComponentTrace& t : result.trace)
+    bytes += sizeof(ComponentTrace) + t.algo.size();
+  for (const std::string& opt : result.ignored_options)
+    bytes += sizeof(std::string) + opt.size();
+  return bytes;
+}
+
+std::size_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+std::size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace busytime

@@ -1,0 +1,88 @@
+// Byte-capped LRU cache of completed SolveResults, keyed on (instance
+// fingerprint, canonicalized SolverSpec).
+//
+// The Service consults it at submit time: a hit returns a copy of the stored
+// result with wall_ms zeroed and cached=true — by the determinism contract
+// the copy is bit-identical to what a fresh solve would compute, so hits
+// bypass the tenant queues and admission control entirely.  Only kOk results
+// are stored (control-tripped and shed results are cheap to reproduce and
+// depend on wall-clock state).
+//
+// Keys come from InstanceState::fingerprint() (FNV-1a of the workload's
+// canonical text bytes) and SolverSpec::canonical_key() (solver name +
+// sorted consumed non-default options), so specs differing only in ignored
+// or run-path-control options share one entry.
+//
+// Thread-safe: one mutex around the list + index.  Lookups are copies, so
+// no reference escapes the lock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "api/solve_result.hpp"
+#include "util/fnv.hpp"
+
+namespace busytime {
+
+class ResultCache {
+ public:
+  struct Key {
+    std::uint64_t fingerprint = 0;  ///< InstanceState::fingerprint()
+    std::string spec;               ///< SolverSpec::canonical_key()
+
+    friend bool operator==(const Key& a, const Key& b) {
+      return a.fingerprint == b.fingerprint && a.spec == b.spec;
+    }
+  };
+
+  explicit ResultCache(std::size_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Copies the entry into *out (wall_ms zeroed, cached set) and refreshes
+  /// its LRU position; false on miss.
+  bool lookup(const Key& key, SolveResult* out);
+
+  /// Stores a completed kOk result, evicting least-recently-used entries
+  /// until the byte cap holds; an entry alone larger than the cap is not
+  /// stored.  Re-inserting an existing key refreshes it.  Returns the
+  /// number of entries evicted.
+  std::size_t insert(const Key& key, const SolveResult& result);
+
+  /// Estimated footprint of one stored result (the unit `bytes()` and the
+  /// cap are measured in).
+  static std::size_t entry_bytes(const Key& key, const SolveResult& result);
+
+  std::size_t bytes() const;
+  std::size_t entries() const;
+  std::size_t capacity_bytes() const noexcept { return capacity_bytes_; }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept {
+      return static_cast<std::size_t>(
+          util::fnv1a_64(key.spec, key.fingerprint * util::kFnv1a64Prime));
+    }
+  };
+  struct Entry {
+    Key key;
+    SolveResult result;
+    std::size_t bytes = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  std::size_t bytes_ = 0;
+  const std::size_t capacity_bytes_;
+};
+
+}  // namespace busytime

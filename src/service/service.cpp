@@ -3,7 +3,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "io/serialize.hpp"
 #include "obs/trace.hpp"
+#include "util/fnv.hpp"
 
 namespace busytime {
 
@@ -15,7 +17,38 @@ std::uint64_t elapsed_us(std::chrono::steady_clock::time_point from,
       std::chrono::duration_cast<std::chrono::microseconds>(to - from).count());
 }
 
+/// The kShedded result shape: like a control trip (empty schedule sized to
+/// the instance, nothing valid), but produced at submit time without
+/// resolving the solver — admission must stay O(1), and an unknown solver
+/// name on a shed request is rejection either way.
+SolveResult make_shed_result(const std::string& solver, std::size_t jobs) {
+  SolveResult result;
+  result.solver = solver;
+  result.status = SolveStatus::kShedded;
+  result.schedule.ensure_size(jobs);
+  return result;
+}
+
+/// An already-terminal result as the future the submit overloads return.
+std::future<SolveResult> ready_future(SolveResult result) {
+  std::promise<SolveResult> promise;
+  promise.set_value(std::move(result));
+  return promise.get_future();
+}
+
 }  // namespace
+
+InstanceState::InstanceState(EventTrace trace, int view_threads,
+                             std::shared_ptr<obs::MetricsRegistry> registry)
+    : trace_(std::move(trace)),
+      view_threads_(view_threads),
+      fingerprint_(util::fnv1a_64(event_trace_to_string(trace_))) {
+  if (registry != nullptr) {
+    builds_counter_ = registry->counter(obs::metric::kServiceViewBuilds);
+    hits_counter_ = registry->counter(obs::metric::kServiceViewHits);
+    registry_ = std::move(registry);
+  }
+}
 
 Service::Service(ServiceConfig config)
     : config_(config),
@@ -28,8 +61,20 @@ Service::Service(ServiceConfig config)
   deadline_expired_ = registry_->counter(obs::metric::kServiceDeadlineExpired);
   cancelled_ = registry_->counter(obs::metric::kServiceCancelled);
   failed_ = registry_->counter(obs::metric::kServiceFailed);
+  shed_ = registry_->counter(obs::metric::kServiceShed);
+  cache_hits_ = registry_->counter(obs::metric::kServiceCacheHits);
+  cache_misses_ = registry_->counter(obs::metric::kServiceCacheMisses);
+  cache_evictions_ = registry_->counter(obs::metric::kServiceCacheEvictions);
+  cache_bytes_gauge_ = registry_->gauge(obs::metric::kServiceCacheBytes);
+  tenant_queue_depth_ = registry_->gauge(obs::metric::kServiceTenantQueueDepth);
   queue_wait_us_ = registry_->histogram(obs::metric::kServiceQueueWaitUs);
   request_us_ = registry_->histogram(obs::metric::kServiceRequestUs);
+  if (config_.cache_bytes > 0)
+    cache_ = std::make_unique<ResultCache>(config_.cache_bytes);
+  scheduler_.set_max_queue(config_.max_queue);
+  default_tenant_ = std::make_shared<TenantState>("default", /*weight=*/1,
+                                                  /*max_queue=*/0);
+  tenants_.emplace(default_tenant_->name(), default_tenant_);
 }
 
 InstanceHandle Service::load(Instance inst) {
@@ -48,8 +93,106 @@ SolveResult Service::record(SolveResult result) noexcept {
     case SolveStatus::kOk: ok_.inc(); break;
     case SolveStatus::kDeadline: deadline_expired_.inc(); break;
     case SolveStatus::kCancelled: cancelled_.inc(); break;
+    case SolveStatus::kShedded: shed_.inc(); break;
   }
   return result;
+}
+
+TenantHandle Service::tenant(const std::string& name, int weight,
+                             std::size_t max_queue) {
+  if (name.empty())
+    throw std::invalid_argument("Service::tenant: empty tenant name");
+  if (weight < 1)
+    throw std::invalid_argument("Service::tenant: weight must be >= 1");
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    it = tenants_
+             .emplace(name,
+                      std::make_shared<TenantState>(name, weight, max_queue))
+             .first;
+  } else {
+    DrrScheduler::configure(*it->second, weight, max_queue);
+  }
+  return it->second;
+}
+
+bool Service::cache_lookup(const InstanceHandle& handle, const SolverSpec& spec,
+                           ResultCache::Key* key, bool* cacheable,
+                           SolveResult* hit) {
+  *cacheable = false;
+  if (cache_ == nullptr) return false;
+  // Traced requests must run for real (the span tree is the product) and
+  // pre-cancelled requests must keep reporting kCancelled.
+  if (spec.trace != nullptr || spec.cancel.cancelled()) return false;
+  key->fingerprint = handle->fingerprint();
+  key->spec = spec.canonical_key();
+  *cacheable = true;
+  if (cache_->lookup(*key, hit)) {
+    cache_hits_.inc();
+    // Entries are shared across specs that differ only in ignored options;
+    // report the *hitting* spec's ignored keys, not the inserting one's.
+    if (const SolverInfo* info = SolverRegistry::instance().find(spec.name))
+      hit->ignored_options = detail::ignored_options(*info, spec.options);
+    return true;
+  }
+  return false;
+}
+
+bool Service::cache_recheck(const ResultCache::Key& key,
+                            const SolverSpec& spec, SolveResult* hit) {
+  if (cache_->lookup(key, hit)) {
+    cache_hits_.inc();
+    if (const SolverInfo* info = SolverRegistry::instance().find(spec.name))
+      hit->ignored_options = detail::ignored_options(*info, spec.options);
+    return true;
+  }
+  cache_misses_.inc();
+  return false;
+}
+
+void Service::cache_store(const ResultCache::Key& key,
+                          const SolveResult& result) {
+  const std::size_t evicted = cache_->insert(key, result);
+  if (evicted > 0) cache_evictions_.add(evicted);
+  cache_bytes_gauge_.set(static_cast<std::int64_t>(cache_->bytes()));
+}
+
+bool Service::enqueue(const TenantHandle& tenant, std::function<void()> task) {
+  bool spawn = false;
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    if (!scheduler_.try_enqueue(tenant, std::move(task))) return false;
+    tenant_queue_depth_.set(
+        static_cast<std::int64_t>(scheduler_.depth_peak()));
+    if (pumps_ < workers_) {
+      ++pumps_;
+      spawn = true;
+    }
+  }
+  if (spawn) {
+    pool_.ensure_size(workers_);
+    pool_.submit([this] { pump(); });
+  }
+  return true;
+}
+
+void Service::pump() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(sched_mu_);
+      task = scheduler_.next();
+      if (!task) {
+        // Exit is decided while holding the lock: any enqueue after this
+        // sees pumps_ < workers_ and spawns a replacement, so queued work
+        // always has a pump.
+        --pumps_;
+        return;
+      }
+    }
+    task();
+  }
 }
 
 template <typename Fn>
@@ -128,37 +271,109 @@ SolveResult Service::run_request(const InstanceHandle& handle, SolverSpec spec,
 
 std::future<SolveResult> Service::submit(InstanceHandle handle,
                                          SolverSpec spec) {
+  return submit(default_tenant_, std::move(handle), std::move(spec));
+}
+
+std::future<SolveResult> Service::submit(const TenantHandle& tenant,
+                                         InstanceHandle handle,
+                                         SolverSpec spec) {
+  if (!tenant)
+    throw std::invalid_argument("Service::submit: null TenantHandle");
   if (!handle)
     throw std::invalid_argument("Service::submit: null InstanceHandle");
   requests_.inc();
   const auto start = std::chrono::steady_clock::now();
+
+  ResultCache::Key key;
+  bool cacheable = false;
+  SolveResult hit;
+  if (cache_lookup(handle, spec, &key, &cacheable, &hit)) {
+    request_us_.record(elapsed_us(start, std::chrono::steady_clock::now()));
+    return ready_future(record(std::move(hit)));
+  }
+
+  // Saved before the moves below: the shed path reports the requested
+  // solver against an instance-sized empty schedule.
+  const std::string solver_name = spec.name;
+  const std::size_t jobs = handle->jobs();
   auto task = std::make_shared<std::packaged_task<SolveResult()>>(
-      [this, handle = std::move(handle), spec = std::move(spec), start] {
-        return run_request(handle, spec, start, /*queued=*/true);
+      [this, handle = std::move(handle), spec = std::move(spec), start,
+       key = std::move(key), cacheable] {
+        if (cacheable) {
+          SolveResult again;
+          if (cache_recheck(key, spec, &again)) {
+            const auto now = std::chrono::steady_clock::now();
+            queue_wait_us_.record(elapsed_us(start, now));
+            request_us_.record(elapsed_us(start, now));
+            return record(std::move(again));
+          }
+        }
+        SolveResult result = run_request(handle, spec, start, /*queued=*/true);
+        if (cacheable && result.status == SolveStatus::kOk)
+          cache_store(key, result);
+        return result;
       });
   std::future<SolveResult> future = task->get_future();
-  pool_.ensure_size(workers_);
-  pool_.submit([task] { (*task)(); });
+  if (!enqueue(tenant, [task] { (*task)(); })) {
+    request_us_.record(elapsed_us(start, std::chrono::steady_clock::now()));
+    return ready_future(record(make_shed_result(solver_name, jobs)));
+  }
   return future;
 }
 
 void Service::submit(InstanceHandle handle, SolverSpec spec,
                      SolveCallback done) {
+  submit(default_tenant_, std::move(handle), std::move(spec),
+         std::move(done));
+}
+
+void Service::submit(const TenantHandle& tenant, InstanceHandle handle,
+                     SolverSpec spec, SolveCallback done) {
+  if (!tenant)
+    throw std::invalid_argument("Service::submit: null TenantHandle");
   if (!handle)
     throw std::invalid_argument("Service::submit: null InstanceHandle");
   if (!done)
     throw std::invalid_argument("Service::submit: null SolveCallback");
   requests_.inc();
   const auto start = std::chrono::steady_clock::now();
-  pool_.ensure_size(workers_);
-  pool_.submit([this, handle = std::move(handle), spec = std::move(spec),
-                done = std::move(done), start]() mutable {
+
+  ResultCache::Key key;
+  bool cacheable = false;
+  SolveResult hit;
+  if (cache_lookup(handle, spec, &key, &cacheable, &hit)) {
+    request_us_.record(elapsed_us(start, std::chrono::steady_clock::now()));
+    done(record(std::move(hit)), nullptr);
+    return;
+  }
+
+  const std::string solver_name = spec.name;
+  const std::size_t jobs = handle->jobs();
+  auto task = [this, handle = std::move(handle), spec = std::move(spec),
+               done, start, key = std::move(key), cacheable]() mutable {
     try {
-      done(run_request(handle, spec, start, /*queued=*/true), nullptr);
+      if (cacheable) {
+        SolveResult again;
+        if (cache_recheck(key, spec, &again)) {
+          const auto now = std::chrono::steady_clock::now();
+          queue_wait_us_.record(elapsed_us(start, now));
+          request_us_.record(elapsed_us(start, now));
+          done(record(std::move(again)), nullptr);
+          return;
+        }
+      }
+      SolveResult result = run_request(handle, spec, start, /*queued=*/true);
+      if (cacheable && result.status == SolveStatus::kOk)
+        cache_store(key, result);
+      done(std::move(result), nullptr);
     } catch (...) {
       done(SolveResult{}, std::current_exception());
     }
-  });
+  };
+  if (!enqueue(tenant, std::move(task))) {
+    request_us_.record(elapsed_us(start, std::chrono::steady_clock::now()));
+    done(record(make_shed_result(solver_name, jobs)), nullptr);
+  }
 }
 
 std::vector<std::future<SolveResult>> Service::submit_all(
@@ -174,8 +389,19 @@ SolveResult Service::solve(const InstanceHandle& handle,
   if (!handle)
     throw std::invalid_argument("Service::solve: null InstanceHandle");
   requests_.inc();
-  return run_request(handle, spec, std::chrono::steady_clock::now(),
-                     /*queued=*/false);
+  const auto start = std::chrono::steady_clock::now();
+  ResultCache::Key key;
+  bool cacheable = false;
+  SolveResult hit;
+  if (cache_lookup(handle, spec, &key, &cacheable, &hit)) {
+    request_us_.record(elapsed_us(start, std::chrono::steady_clock::now()));
+    return record(std::move(hit));
+  }
+  // Inline, so the miss is final here.
+  if (cacheable) cache_misses_.inc();
+  SolveResult result = run_request(handle, spec, start, /*queued=*/false);
+  if (cacheable && result.status == SolveStatus::kOk) cache_store(key, result);
+  return result;
 }
 
 SolveResult Service::solve(const Instance& inst, const SolverSpec& spec) {
@@ -212,6 +438,10 @@ ServiceStats Service::stats() const {
   s.deadline_expired = snap.counter_value(obs::metric::kServiceDeadlineExpired);
   s.cancelled = snap.counter_value(obs::metric::kServiceCancelled);
   s.failed = snap.counter_value(obs::metric::kServiceFailed);
+  s.shed = snap.counter_value(obs::metric::kServiceShed);
+  s.cache_hits = snap.counter_value(obs::metric::kServiceCacheHits);
+  s.cache_misses = snap.counter_value(obs::metric::kServiceCacheMisses);
+  s.cache_evictions = snap.counter_value(obs::metric::kServiceCacheEvictions);
   return s;
 }
 

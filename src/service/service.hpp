@@ -20,11 +20,34 @@
 //    requests complete with SolveStatus::kDeadline / kCancelled instead of
 //    throwing.
 //
+// The multi-tenant serving tier on top (all opt-in, defaults preserve the
+// single-tenant FIFO behavior exactly):
+//
+//  * a byte-capped LRU result cache (ServiceConfig::cache_bytes > 0) keyed
+//    on (InstanceState::fingerprint(), SolverSpec::canonical_key()) —
+//    repeated specs against a warm handle are answered at submit time with
+//    a copy of the stored kOk result (wall_ms = 0, cached = true),
+//    bit-identical to a fresh solve by the determinism contract; queued
+//    requests consult the cache again at dispatch, so identical requests
+//    submitted together collapse to one solve;
+//  * weighted-fair scheduling — tenant(name, weight) returns a
+//    TenantHandle, the tenant submit() overloads enqueue into per-tenant
+//    FIFO queues, and up to `workers` pump tasks drain them in
+//    deficit-round-robin order (service/tenant_queue.hpp), so backlogged
+//    tenants complete work proportionally to their weights;
+//  * admission control — per-service (ServiceConfig::max_queue) and
+//    per-tenant queue-depth caps reject at submit time with
+//    SolveStatus::kShedded (empty schedule, never partial; counted in
+//    service.shed).  Blocking solve() runs inline and is never queued,
+//    cached hits bypass the queue too — neither can be shed.
+//
 // Concurrency contract (the determinism contract extended to the facade):
 // concurrent submits against shared handles produce results bit-identical
 // to sequential run_solver calls, for every registered solver, at every
-// worker count.  Handles are immutable after load; every mutable Service
-// member is an atomic counter or the pool's own queue.
+// worker count; a cached result is bit-identical to the computed one
+// modulo wall_ms/cached.  Handles are immutable after load; every mutable
+// Service member is an atomic counter, the cache/scheduler behind their
+// mutexes, or the pool's own queue.
 //
 // The free run_solver(...) functions are thin shims over
 // Service::process_default(), so existing callers get the same facade
@@ -37,6 +60,8 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "api/registry.hpp"
@@ -46,6 +71,8 @@
 #include "exec/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "online/event.hpp"
+#include "service/result_cache.hpp"
+#include "service/tenant_queue.hpp"
 
 namespace busytime {
 
@@ -61,15 +88,9 @@ class InstanceState {
   /// the service-wide service.view_builds / service.view_hits counters;
   /// the shared_ptr keeps the cells alive even when a handle outlives its
   /// Service.
-  explicit InstanceState(EventTrace trace, int view_threads = 0,
-                         std::shared_ptr<obs::MetricsRegistry> registry = nullptr)
-      : trace_(std::move(trace)), view_threads_(view_threads) {
-    if (registry != nullptr) {
-      builds_counter_ = registry->counter(obs::metric::kServiceViewBuilds);
-      hits_counter_ = registry->counter(obs::metric::kServiceViewHits);
-      registry_ = std::move(registry);
-    }
-  }
+  explicit InstanceState(
+      EventTrace trace, int view_threads = 0,
+      std::shared_ptr<obs::MetricsRegistry> registry = nullptr);
 
   InstanceState(const InstanceState&) = delete;
   InstanceState& operator=(const InstanceState&) = delete;
@@ -82,6 +103,12 @@ class InstanceState {
 
   std::size_t jobs() const noexcept { return trace_.size(); }
   int g() const noexcept { return trace_.g(); }
+
+  /// Stable 64-bit FNV-1a fingerprint of the workload's canonical text
+  /// bytes (io/serialize's event-trace form), computed once at load().
+  /// The instance half of the result-cache key: equal workloads hash
+  /// equal across handles, Services, and processes.
+  std::uint64_t fingerprint() const noexcept { return fingerprint_; }
 
   /// The memoized decomposition (components, sub-instances, per-component
   /// classification) of solve_target().  Built exactly once, on first use;
@@ -118,6 +145,7 @@ class InstanceState {
  private:
   EventTrace trace_;
   int view_threads_ = 0;
+  std::uint64_t fingerprint_ = 0;
   /// Keeps the counter cells alive for handles that outlive their Service.
   std::shared_ptr<obs::MetricsRegistry> registry_;
   obs::Counter builds_counter_;  ///< service.view_builds (inert without registry)
@@ -142,6 +170,14 @@ struct ServiceConfig {
   /// Worker count for the one-time InstanceView build of each handle
   /// (0 = exec process default).
   int view_threads = 0;
+  /// Byte cap of the result cache; 0 (the default) disables caching
+  /// entirely — no lookups, no cache_miss counts, behavior identical to
+  /// the pre-cache Service.
+  std::size_t cache_bytes = 0;
+  /// Service-wide cap on queued (submitted, not yet executing) requests;
+  /// 0 = unlimited.  Submits over the cap complete immediately with
+  /// SolveStatus::kShedded.
+  std::size_t max_queue = 0;
 };
 
 /// Aggregate request accounting; a consistent-enough snapshot for
@@ -153,12 +189,16 @@ struct ServiceStats {
   std::uint64_t requests = 0;   ///< submitted + blocking, incl. in-flight
   /// Requests that reached a terminal state: produced a SolveResult (any
   /// status) or threw.  Invariant once idle:
-  /// completed == ok + deadline_expired + cancelled + failed.
+  /// completed == ok + deadline_expired + cancelled + failed + shed.
   std::uint64_t completed = 0;
   std::uint64_t ok = 0;
   std::uint64_t deadline_expired = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t failed = 0;  ///< threw (unknown solver, not applicable, ...)
+  std::uint64_t shed = 0;    ///< rejected by admission control (kShedded)
+  std::uint64_t cache_hits = 0;       ///< requests served from the result cache
+  std::uint64_t cache_misses = 0;     ///< cache-eligible requests that solved
+  std::uint64_t cache_evictions = 0;  ///< entries evicted under the byte cap
 };
 
 class Service {
@@ -176,14 +216,34 @@ class Service {
   InstanceHandle load(Instance inst);
   InstanceHandle load(EventTrace trace);
 
+  /// Names a tenant, creating it on first use; repeat calls update the
+  /// weight (DRR shares; >= 1, throws std::invalid_argument otherwise) and
+  /// the per-tenant queued-request cap (0 = unlimited).  The returned
+  /// handle addresses the tenant in the submit overloads; the Service keeps
+  /// every tenant alive for its own lifetime.  "default" names the tenant
+  /// the plain submit overloads use.
+  TenantHandle tenant(const std::string& name, int weight = 1,
+                      std::size_t max_queue = 0);
+
   /// Enqueues one request.  The deadline clock starts now — queue wait
   /// counts — and the handle is kept alive by the request.  Errors
   /// (unknown solver, NotApplicableError, SpecError) surface from
   /// future.get(); deadline/cancel trips complete normally with the
-  /// corresponding SolveResult::status.  Do not block on the future from
-  /// inside another request of the same Service (the worker executing the
-  /// waiter would be the one needed to run the waitee).
+  /// corresponding SolveResult::status.  When admission control rejects
+  /// (queue caps, see ServiceConfig::max_queue / tenant()), the future is
+  /// immediately ready with SolveStatus::kShedded; when the result cache
+  /// holds the spec's answer, immediately ready with that answer
+  /// (cached = true) — neither consumes a pool worker.  Do not block on
+  /// the future from inside another request of the same Service (the
+  /// worker executing the waiter would be the one needed to run the
+  /// waitee).
   std::future<SolveResult> submit(InstanceHandle handle, SolverSpec spec);
+
+  /// Tenant-addressed form: the request queues under `tenant` and competes
+  /// for workers by its weight.  The plain overload is exactly
+  /// submit(tenant("default"), ...).
+  std::future<SolveResult> submit(const TenantHandle& tenant,
+                                  InstanceHandle handle, SolverSpec spec);
 
   /// Completion callback of the callback-submit overload.  Exactly one of
   /// the arguments is meaningful: a result on success (any SolveStatus), or
@@ -196,15 +256,23 @@ class Service {
   /// worker thread that ran the request, after the request reaches a
   /// terminal state.  Same semantics as submit() otherwise (deadline clock
   /// starts now, handle kept alive by the request).  `done` must not block
-  /// on other requests of the same Service and must not throw.
+  /// on other requests of the same Service and must not throw.  Shed
+  /// requests and cache hits invoke `done` inline, on the submitting
+  /// thread, before submit returns.
   void submit(InstanceHandle handle, SolverSpec spec, SolveCallback done);
+
+  /// Tenant-addressed callback form.
+  void submit(const TenantHandle& tenant, InstanceHandle handle,
+              SolverSpec spec, SolveCallback done);
 
   /// Batch submission: one future per spec, all against the same handle.
   std::vector<std::future<SolveResult>> submit_all(InstanceHandle handle,
                                                    std::vector<SolverSpec> specs);
 
   /// Blocking wrapper: runs the request inline on the calling thread (no
-  /// pool hop), same semantics as submit(...).get().
+  /// pool hop), same semantics as submit(...).get() except that inline
+  /// requests are never queued and therefore never shed.  Consults and
+  /// fills the result cache like submit.
   SolveResult solve(const InstanceHandle& handle, const SolverSpec& spec);
 
   /// Non-owning one-shot paths: solve a borrowed workload without building
@@ -256,6 +324,31 @@ class Service {
   template <typename Fn>
   SolveResult count_failures(Fn&& fn);
 
+  /// Cache eligibility + lookup at submit time.  Fills *key when the
+  /// request is cache-eligible (cache on, no trace, not pre-cancelled) and
+  /// *hit on a hit.  Counts only hits — a submit-time miss may still hit
+  /// at dispatch (cache_recheck), so the miss is counted where it becomes
+  /// final.
+  bool cache_lookup(const InstanceHandle& handle, const SolverSpec& spec,
+                    ResultCache::Key* key, bool* cacheable, SolveResult* hit);
+  /// Dispatch-time consult for queued cache-eligible requests: an
+  /// identical request ahead in some queue may have completed while this
+  /// one waited, so queued duplicates collapse to one solve.  Counts the
+  /// hit or the miss — with cache_lookup's hit count, cache_hits +
+  /// cache_misses equals the cache-eligible requests that reached a
+  /// terminal hit/solve decision (shed requests count as neither).
+  bool cache_recheck(const ResultCache::Key& key, const SolverSpec& spec,
+                     SolveResult* hit);
+  /// Stores a completed kOk result and publishes eviction/byte metrics.
+  void cache_store(const ResultCache::Key& key, const SolveResult& result);
+
+  /// Admission check + enqueue under sched_mu_, spawning a pump task when
+  /// a worker slot is free.  False = shed (caller produces the kShedded
+  /// result; the task was not enqueued).
+  bool enqueue(const TenantHandle& tenant, std::function<void()> task);
+  /// Pool task: drains tenant queues in DRR order until empty.
+  void pump();
+
   ServiceConfig config_;
   int workers_ = 1;
 
@@ -270,8 +363,26 @@ class Service {
   obs::Counter deadline_expired_;
   obs::Counter cancelled_;
   obs::Counter failed_;
+  obs::Counter shed_;
+  obs::Counter cache_hits_;
+  obs::Counter cache_misses_;
+  obs::Counter cache_evictions_;
+  obs::Gauge cache_bytes_gauge_;
+  obs::Gauge tenant_queue_depth_;
   obs::Histogram queue_wait_us_;
   obs::Histogram request_us_;
+
+  /// Null when ServiceConfig::cache_bytes == 0 (caching off).
+  std::unique_ptr<ResultCache> cache_;
+
+  /// Tenant queues + DRR state, serialized under sched_mu_.  Tenants live
+  /// as long as the Service (raw pointers inside the scheduler stay valid);
+  /// declared before pool_ so draining pumps see live queues.
+  std::mutex sched_mu_;
+  DrrScheduler scheduler_;
+  std::unordered_map<std::string, TenantHandle> tenants_;
+  TenantHandle default_tenant_;
+  int pumps_ = 0;  ///< pump tasks in flight, <= workers_
 
   /// Declared last: destroyed first, so the pool drains and joins while
   /// every counter the in-flight requests touch is still alive.

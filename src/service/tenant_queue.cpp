@@ -1,0 +1,48 @@
+#include "service/tenant_queue.hpp"
+
+#include <utility>
+
+namespace busytime {
+
+bool DrrScheduler::try_enqueue(const TenantHandle& tenant,
+                               std::function<void()> task) {
+  TenantState& t = *tenant;
+  if (max_queue_ != 0 && queued_total_ >= max_queue_) return false;
+  if (t.max_queue_ != 0 && t.queue_.size() >= t.max_queue_) return false;
+  t.queue_.push_back(std::move(task));
+  ++queued_total_;
+  if (t.queue_.size() > depth_peak_) depth_peak_ = t.queue_.size();
+  if (!t.active_) {
+    t.active_ = true;
+    active_.push_back(&t);
+  }
+  return true;
+}
+
+std::function<void()> DrrScheduler::next() {
+  while (!active_.empty()) {
+    TenantState& t = *active_.front();
+    // Tenants leave the active list the moment they drain, so the front
+    // always has work; earn the round's deficit on first service.
+    if (t.deficit_ <= 0) t.deficit_ += t.weight_;
+    std::function<void()> task = std::move(t.queue_.front());
+    t.queue_.pop_front();
+    --queued_total_;
+    t.deficit_ -= 1;
+    if (t.queue_.empty()) {
+      // Drained: forfeit leftover deficit (a returning tenant starts a
+      // fresh round — backlog, not idleness, is what weights arbitrate).
+      t.deficit_ = 0;
+      t.active_ = false;
+      active_.pop_front();
+    } else if (t.deficit_ <= 0) {
+      // Deficit spent: rotate to the back for the next round.
+      active_.pop_front();
+      active_.push_back(&t);
+    }
+    return task;
+  }
+  return {};
+}
+
+}  // namespace busytime

@@ -1,0 +1,99 @@
+// Per-tenant request queues with deficit-round-robin (DRR) dispatch and
+// admission control — the fairness tier between Service::submit and the
+// exec::ThreadPool.
+//
+// Each tenant owns a FIFO queue and an integer weight >= 1.  The scheduler
+// keeps an active list of tenants with pending work and serves them round
+// robin: a tenant earns `weight` units of deficit per visit and pays one
+// unit per dequeued request, so over any backlogged window tenants complete
+// work proportionally to their weights.  With a single tenant (the
+// Service's default) DRR degenerates to plain FIFO — exactly the pre-tenant
+// pool order.
+//
+// Admission control happens at enqueue: a service-wide cap and a per-tenant
+// cap on queued (not yet dequeued) requests.  A full queue rejects the
+// request, which the Service turns into a SolveStatus::kShedded result —
+// requests are never dropped silently and never partially executed.
+//
+// DrrScheduler is deliberately not thread-safe: the Service serializes
+// every call under its scheduler mutex (enqueue/dequeue are tiny compared
+// to a solve).  This keeps the dispatch order a pure function of the
+// enqueue order, which the determinism tests exploit.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace busytime {
+
+class DrrScheduler;
+
+/// One tenant's scheduling state.  Created by Service::tenant(); immutable
+/// identity (name), mutable weight/cap (updated by re-calling tenant()),
+/// queue state owned by the scheduler.  Lifetime: the Service keeps every
+/// tenant alive for its own lifetime; callers hold additional shares.
+class TenantState {
+ public:
+  TenantState(std::string name, int weight, std::size_t max_queue)
+      : name_(std::move(name)), weight_(weight), max_queue_(max_queue) {}
+
+  TenantState(const TenantState&) = delete;
+  TenantState& operator=(const TenantState&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  /// DRR weight: requests completed per round relative to other tenants.
+  int weight() const noexcept { return weight_; }
+  /// Per-tenant queued-request cap; 0 = unlimited.
+  std::size_t max_queue() const noexcept { return max_queue_; }
+
+ private:
+  friend class DrrScheduler;
+
+  const std::string name_;
+  int weight_;
+  std::size_t max_queue_;
+  std::deque<std::function<void()>> queue_;
+  int deficit_ = 0;
+  bool active_ = false;  ///< linked into the scheduler's active list
+};
+
+/// Shared handle to a tenant's scheduling state (see Service::tenant).
+using TenantHandle = std::shared_ptr<TenantState>;
+
+class DrrScheduler {
+ public:
+  /// Service-wide queued-request cap; 0 = unlimited.
+  void set_max_queue(std::size_t cap) noexcept { max_queue_ = cap; }
+
+  /// Updates a tenant's weight (>= 1) and cap for subsequent scheduling
+  /// decisions; pending deficit is preserved.
+  static void configure(TenantState& tenant, int weight,
+                        std::size_t max_queue) noexcept {
+    tenant.weight_ = weight;
+    tenant.max_queue_ = max_queue;
+  }
+
+  /// Admission check + enqueue.  False when the service-wide cap or the
+  /// tenant's own cap is full (the task is discarded — the caller sheds).
+  bool try_enqueue(const TenantHandle& tenant, std::function<void()> task);
+
+  /// Next request in DRR order; an empty function when no work is queued.
+  std::function<void()> next();
+
+  std::size_t queued_total() const noexcept { return queued_total_; }
+  /// Deepest any single tenant queue has been.
+  std::size_t depth_peak() const noexcept { return depth_peak_; }
+
+ private:
+  /// Tenants with pending work, in service order; raw pointers are safe
+  /// because the Service owns every tenant for its own lifetime.
+  std::deque<TenantState*> active_;
+  std::size_t queued_total_ = 0;
+  std::size_t depth_peak_ = 0;
+  std::size_t max_queue_ = 0;
+};
+
+}  // namespace busytime

@@ -6,16 +6,22 @@
 // is the one legitimately nondeterministic field, so both sides are
 // compared through their wire encoding with wall_ms zeroed.
 //
-// The suite needs the CLI binary, whose path CMake injects as
-// BUSYTIME_CLI_PATH only when examples are built; configs without it (the
-// TSan job) skip.
+// The suite needs the CLI binary.  Its location is resolved at runtime:
+// the BUSYTIME_CLI_PATH environment variable wins (CI exports it so the
+// suite can never silently skip there), falling back to the
+// BUSYTIME_CLI_PATH compile definition CMake injects when examples are
+// built.  Only configs with neither (the examples-off TSan job) skip.
 #include <gtest/gtest.h>
 
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "api/registry.hpp"
 #include "net/binstream.hpp"
@@ -23,21 +29,21 @@
 #include "service/service.hpp"
 #include "workload/generators.hpp"
 
-#ifdef BUSYTIME_CLI_PATH
-#include <sys/wait.h>
-#include <unistd.h>
-#endif
-
 namespace busytime {
 namespace {
 
-#ifndef BUSYTIME_CLI_PATH
-
-TEST(NetE2E, RemoteResultsMatchInProcessBitForBit) {
-  GTEST_SKIP() << "busytime_cli not built in this configuration";
-}
-
+/// The serve binary to spawn: $BUSYTIME_CLI_PATH if set (how CI pins it),
+/// else the path compiled in when examples are built, else empty (skip).
+std::string cli_path() {
+  if (const char* env = std::getenv("BUSYTIME_CLI_PATH");
+      env != nullptr && *env != '\0')
+    return env;
+#ifdef BUSYTIME_CLI_PATH
+  return BUSYTIME_CLI_PATH;
 #else
+  return "";
+#endif
+}
 
 /// `busytime_cli serve --listen=0` as a child process.  The parent reads
 /// the child's "listening on HOST:PORT" line to learn the ephemeral port.
@@ -45,7 +51,7 @@ struct ChildServer {
   pid_t pid = -1;
   std::uint16_t port = 0;
 
-  ChildServer() {
+  explicit ChildServer(const std::string& cli) {
     int out[2];
     if (::pipe(out) != 0) return;
     pid = ::fork();
@@ -54,7 +60,7 @@ struct ChildServer {
       ::dup2(out[1], STDOUT_FILENO);
       ::close(out[0]);
       ::close(out[1]);
-      ::execl(BUSYTIME_CLI_PATH, BUSYTIME_CLI_PATH, "serve", "--listen=0",
+      ::execl(cli.c_str(), cli.c_str(), "serve", "--listen=0",
               "--workers=2", static_cast<char*>(nullptr));
       std::perror("execl busytime_cli");
       ::_exit(127);
@@ -109,7 +115,11 @@ std::string fingerprint(SolveResult result) {
 }
 
 TEST(NetE2E, RemoteResultsMatchInProcessBitForBit) {
-  ChildServer child;
+  const std::string cli = cli_path();
+  if (cli.empty())
+    GTEST_SKIP() << "busytime_cli not built in this configuration and "
+                    "BUSYTIME_CLI_PATH is not set";
+  ChildServer child(cli);
   ASSERT_GT(child.port, 0) << "failed to spawn or handshake with the server";
 
   struct Family {
@@ -175,7 +185,6 @@ TEST(NetE2E, RemoteResultsMatchInProcessBitForBit) {
   child.shutdown_and_reap();
 }
 
-#endif  // BUSYTIME_CLI_PATH
 
 }  // namespace
 }  // namespace busytime
