@@ -1,0 +1,43 @@
+// libFuzzer harness for net::FrameDecoder, the incremental frame parser
+// every remote connection's bytes flow through.  Build with
+// -DBUSYTIME_BUILD_FUZZERS=ON (clang only); see fuzz/README.md.
+//
+// The harness replays the input through feed() in strides chosen by the
+// first byte, so one corpus entry exercises many reassembly paths.  The
+// decoder's contract under arbitrary bytes:
+//   - next() never throws and never returns a payload above the cap,
+//   - poisoning is sticky (every later next() reports kError).
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "net/protocol.hpp"
+
+using busytime::net::Frame;
+using busytime::net::FrameDecoder;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  FrameDecoder decoder;
+  const std::size_t stride = size ? static_cast<std::size_t>(data[0] % 7) + 1
+                                  : 1;
+  Frame frame;
+  bool poisoned = false;
+  for (std::size_t off = 0; off < size;) {
+    const std::size_t n = std::min(stride, size - off);
+    decoder.feed(reinterpret_cast<const char*>(data + off), n);
+    off += n;
+    FrameDecoder::Status status;
+    while ((status = decoder.next(frame)) == FrameDecoder::Status::kFrame) {
+      if (frame.payload.size() > busytime::net::kMaxPayloadBytes)
+        __builtin_trap();
+      if (poisoned) __builtin_trap();  // frames must stop after poisoning
+    }
+    if (status == FrameDecoder::Status::kError) poisoned = true;
+    if (poisoned != decoder.poisoned()) __builtin_trap();
+  }
+  if (poisoned && decoder.next(frame) != FrameDecoder::Status::kError)
+    __builtin_trap();
+  return 0;
+}

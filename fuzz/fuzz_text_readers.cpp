@@ -1,0 +1,40 @@
+// libFuzzer harness for the plain-text and JSON readers in io/ — the
+// formats experiment scripts and the CLI load from disk.  Build with
+// -DBUSYTIME_BUILD_FUZZERS=ON; see fuzz/README.md.
+//
+// The first input byte selects the reader; the rest is the document.
+// Contract under arbitrary text: readers either succeed or throw a
+// ParseError / std::runtime_error with a useful message.  Crashes, hangs,
+// unbounded memory, and other exception types are findings.
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "io/serialize.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const std::string text(reinterpret_cast<const char*>(data + 1), size - 1);
+  try {
+    switch (data[0] % 4) {
+      case 0: busytime::instance_from_string(text); break;
+      case 1: busytime::event_trace_from_string(text); break;
+      case 2: {
+        // expected_jobs comes from the harness, as it would from a caller
+        // holding the paired instance; key it off the selector byte.
+        std::istringstream is(text);
+        busytime::read_schedule(is, (data[0] >> 2) % 64);
+        break;
+      }
+      case 3: busytime::result_from_json(text); break;
+    }
+  } catch (const std::runtime_error&) {
+    // ParseError, JsonError and friends all derive from runtime_error;
+    // rejecting hostile text with one of these is the expected outcome.
+  }
+  return 0;
+}

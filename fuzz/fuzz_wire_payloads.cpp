@@ -1,0 +1,59 @@
+// libFuzzer harness for every busytime-wire-v1 payload decoder
+// (net::from_payload<T>).  Build with -DBUSYTIME_BUILD_FUZZERS=ON; see
+// fuzz/README.md.
+//
+// The first input byte selects the payload type; the rest is the payload.
+// Contract under arbitrary bytes: a decoder either throws WireError or
+// returns a value whose re-encoding is a fixpoint —
+// to_payload(from_payload(to_payload(v))) == to_payload(v).  Any other
+// exception, crash, or oracle mismatch is a finding.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "net/binstream.hpp"
+#include "net/protocol.hpp"
+
+namespace {
+
+using busytime::net::from_payload;
+using busytime::net::to_payload;
+using busytime::net::WireError;
+
+template <typename T>
+void decode_and_check(const std::string& payload) {
+  T value{};
+  try {
+    value = from_payload<T>(payload);
+  } catch (const WireError&) {
+    return;  // rejecting hostile bytes is the expected outcome
+  }
+  // Round-trip oracle.  The re-encoding may legitimately differ from the
+  // input (e.g. SolveResult fills in fields a short payload omitted), but
+  // it must decode cleanly and re-encode to the same bytes.
+  const std::string encoded = to_payload(value);
+  const T again = from_payload<T>(encoded);  // must not throw
+  if (to_payload(again) != encoded) __builtin_trap();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const std::string payload(reinterpret_cast<const char*>(data + 1), size - 1);
+  switch (data[0] % 10) {
+    case 0: decode_and_check<busytime::Interval>(payload); break;
+    case 1: decode_and_check<busytime::Job>(payload); break;
+    case 2: decode_and_check<busytime::Instance>(payload); break;
+    case 3: decode_and_check<busytime::EventTrace>(payload); break;
+    case 4: decode_and_check<busytime::Schedule>(payload); break;
+    case 5: decode_and_check<busytime::CostBounds>(payload); break;
+    case 6: decode_and_check<busytime::EngineStats>(payload); break;
+    case 7: decode_and_check<busytime::SolveResult>(payload); break;
+    case 8: decode_and_check<busytime::SolverSpec>(payload); break;
+    case 9: decode_and_check<busytime::net::WireSolverInfo>(payload); break;
+  }
+  return 0;
+}

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Regenerates the committed fuzz corpus seeds under fuzz/corpus/.
+
+Run from the repository root after changing the wire format or the text
+formats, then commit the outputs.  The byte layouts below mirror
+src/net/binstream.hpp (busytime-wire-v1: little-endian fixed-width
+integers, u32-length-prefixed strings and vectors) and src/net/protocol.hpp
+(frame = magic u32 + type u8 + length u32 + payload).
+
+Layout:
+  corpus/frame_decoder/   well-formed frames (fuzz_frame_decoder seeds)
+  corpus/wire_payloads/   selector byte + payload (fuzz_wire_payloads seeds)
+  corpus/text_readers/    selector byte + document (fuzz_text_readers seeds)
+  corpus/regressions/     inputs that once crashed / misbehaved; replayed by
+                          tests/fuzz_regression_test.cpp through EVERY
+                          decoder — these must keep failing cleanly forever
+"""
+
+import struct
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent
+DATA = ROOT.parent / "tests" / "data"
+
+MAGIC = 0x42545731
+
+
+def u8(v): return struct.pack("<B", v)
+def u16(v): return struct.pack("<H", v)
+def u32(v): return struct.pack("<I", v)
+def i32(v): return struct.pack("<i", v)
+def i64(v): return struct.pack("<q", v)
+def wstr(s): return u32(len(s)) + s.encode()
+
+
+def interval(start, completion):
+    return i64(start) + i64(completion)
+
+
+def job(start, completion, weight=1, demand=1):
+    return interval(start, completion) + i64(weight) + i64(demand)
+
+
+def instance(g, jobs):
+    return i32(g) + u32(len(jobs)) + b"".join(jobs)
+
+
+def cancel(job_id, at, preempt=False):
+    return i32(job_id) + i64(at) + u8(1 if preempt else 0)
+
+
+def event_trace(inst, cancels):
+    return inst + u32(len(cancels)) + b"".join(cancels)
+
+
+def schedule(assignment):
+    return u32(len(assignment)) + b"".join(i32(m) for m in assignment)
+
+
+def solver_info(name, kind, optimality, ratio, needs_budget, description):
+    return (wstr(name) + wstr(kind) + wstr(optimality) +
+            struct.pack("<d", ratio) + u8(1 if needs_budget else 0) +
+            wstr(description))
+
+
+def frame(msg_type, payload=b""):
+    return u32(MAGIC) + u8(msg_type) + u32(len(payload)) + payload
+
+
+def write(rel, data):
+    path = ROOT / "corpus" / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(data)
+    print(f"  {path.relative_to(ROOT.parent)}  ({len(data)} bytes)")
+
+
+def main():
+    inst = instance(2, [job(0, 10), job(5, 12), job(8, 20, weight=3, demand=2)])
+    trace = event_trace(inst, [cancel(1, 7), cancel(2, 9, preempt=True)])
+
+    # --- fuzz_frame_decoder seeds: well-formed frames ---------------------
+    write("frame_decoder/ping.bin", frame(1))
+    write("frame_decoder/load_instance.bin", frame(2, inst))
+    write("frame_decoder/load_trace.bin", frame(3, trace))
+    write("frame_decoder/error.bin",
+          frame(63, u16(5) + wstr("payload failed to decode")))
+    write("frame_decoder/two_frames.bin", frame(1) + frame(2, inst))
+
+    # --- fuzz_wire_payloads seeds: selector byte + payload ----------------
+    write("wire_payloads/interval.bin", u8(0) + interval(0, 10))
+    write("wire_payloads/job.bin", u8(1) + job(3, 9, weight=2, demand=1))
+    write("wire_payloads/instance.bin", u8(2) + inst)
+    write("wire_payloads/trace.bin", u8(3) + trace)
+    write("wire_payloads/schedule.bin", u8(4) + schedule([0, 1, -1]))
+    write("wire_payloads/solver_info.bin",
+          u8(9) + solver_info("first_fit", "heuristic", "4-approx", 4.0,
+                              False, "arrival-order first fit"))
+
+    # --- fuzz_text_readers seeds: selector byte + document ----------------
+    write("text_readers/instance.txt",
+          u8(0) + (DATA / "golden_general.txt").read_bytes())
+    write("text_readers/trace.txt",
+          u8(1) + (DATA / "golden_cancel_trace.txt").read_bytes())
+    write("text_readers/schedule.txt",
+          u8(2) + b"busytime-schedule v1\nn 3\nassign 0 0\nassign 1 1\n")
+    write("text_readers/result.json",
+          u8(3) + (DATA / "solve_result_golden.json").read_bytes())
+
+    # --- regression corpus: must keep failing cleanly ---------------------
+    # Interval whose signed length overflows Time (was UB in length()
+    # before the unsigned-difference guard in net/binstream.cpp).
+    write("regressions/interval_length_overflow.bin",
+          interval(-(2**63), 2**63 - 1))
+    # Forged element count: 4B jobs declared in a 12-byte payload (was a
+    # multi-GiB reserve() before obinstream::require_count).
+    write("regressions/forged_job_count.bin", i32(1) + u32(0xFFFFFFFF))
+    # Reservation-overflow flavor: count * sizeof(Job) wraps std::size_t.
+    write("regressions/reserve_overflow_count.bin",
+          i32(1) + u32(0x80000001))
+    # 300 nested arrays (was unbounded parser recursion before the JSON
+    # depth guard in io/json.cpp).
+    write("regressions/deep_nesting.json", b"[" * 300)
+    # Desync inputs for the frame decoder: wrong magic, absurd length.
+    write("regressions/bad_magic_frame.bin", b"\x00" * 9 + b"junk")
+    write("regressions/oversized_frame.bin",
+          u32(MAGIC) + u8(1) + u32(0xFFFFFFFF))
+    # Payload with trailing bytes (from_payload must reject, not ignore).
+    write("regressions/trailing_bytes.bin", interval(0, 10) + b"\x00")
+    # Cancel record naming a job the instance does not have.
+    write("regressions/cancel_bad_job_id.bin",
+          event_trace(inst, [cancel(99, 5)]))
+
+
+if __name__ == "__main__":
+    main()

@@ -13,9 +13,12 @@
    docs/OBSERVABILITY.md must match `busytime_cli --list-metrics --json`
    exactly (both directions), so the observability catalog cannot drift
    from obs::builtin_metric_defs().
+5. Lint-rule cross-check: the rule table in docs/CORRECTNESS.md must match
+   `lint_project.py --list-rules` exactly (both directions), so the
+   documented lint contract cannot drift from the enforced one.
 
 Usage: check_docs.py [--cli=PATH_TO_BUSYTIME_CLI]
-       (omit --cli to run the link and bench-catalog checks only)
+       (omit --cli to skip the checks that need the built CLI)
 """
 
 import json
@@ -114,6 +117,32 @@ def check_bench_catalog():
     return failures
 
 
+def check_lint_rule_catalog():
+    # Backtick-quoted kebab-case ids in the first column of the rule table.
+    rule_row_re = re.compile(r"^\|\s*`([a-z][a-z0-9-]+)`\s*\|")
+    documented = set()
+    for line in (REPO / "docs" / "CORRECTNESS.md").read_text().splitlines():
+        match = rule_row_re.match(line.strip())
+        if match:
+            documented.add(match.group(1))
+    out = subprocess.run(
+        [sys.executable, str(REPO / "scripts" / "lint_project.py"),
+         "--list-rules"],
+        check=True, capture_output=True, text=True).stdout
+    enforced = {line.split("\t")[0] for line in out.splitlines() if line}
+
+    failures = []
+    for name in sorted(enforced - documented):
+        failures.append(f"docs/CORRECTNESS.md: lint rule '{name}' is "
+                        f"enforced but not documented")
+    for name in sorted(documented - enforced):
+        failures.append(f"docs/CORRECTNESS.md: lint rule '{name}' is "
+                        f"documented but not enforced by lint_project.py")
+    if not failures:
+        print(f"lint rule catalog ok: {len(enforced)} rules documented")
+    return failures
+
+
 def main():
     cli = None
     for arg in sys.argv[1:]:
@@ -126,6 +155,7 @@ def main():
     if not failures:
         print("link check ok")
     failures += check_bench_catalog()
+    failures += check_lint_rule_catalog()
     if cli:
         failures += check_solver_catalog(cli)
         failures += check_metric_catalog(cli)

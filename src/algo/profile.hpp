@@ -56,6 +56,7 @@
 
 #include "core/time_types.hpp"
 #include "util/bitops.hpp"
+#include "util/check.hpp"
 
 namespace busytime {
 
@@ -170,11 +171,22 @@ class BasicFlatProfile {
     const T* times = times_.data();
     std::int32_t* counts = counts_.data();
     const std::size_t last = ej + static_cast<std::size_t>(need_s);
+    // Splice accounting: both endpoints must now be real breakpoints, local
+    // ordering around them must hold, and the trailing segment stays zero.
+    BUSYTIME_CHECK(times[si] == s && times[last] == e,
+                   "flat-profile splice lost an interval endpoint");
+    BUSYTIME_CHECK((si == 0 || times[si - 1] < times[si]) &&
+                       times[last - 1] < times[last],
+                   "flat-profile breakpoints are no longer strictly increasing");
+    BUSYTIME_CHECK(counts_.back() == 0,
+                   "flat-profile trailing segment must carry zero concurrency");
     Time newly = 0;
     for (std::size_t k = si; k < last; ++k) {
       newly += counts[k] == 0 ? static_cast<Time>(times[k + 1] - times[k]) : 0;
       ++counts[k];
     }
+    BUSYTIME_CHECK(newly >= 0 && newly <= iv.completion - iv.start,
+                   "flat-profile busy increment exceeds the added interval");
     busy_ += newly;
     return newly;
   }

@@ -15,6 +15,10 @@
 //   rect/           2-D rectangular jobs (Section 3.4)
 //   online/         streaming scheduler engine (arrival-order policies)
 //   service/        long-lived serving facade (async submits, cached handles)
+//   net/            binary wire protocol + TCP serving tier (busytime-wire-v1)
+//   obs/            metrics registry + request-scoped tracing
+//   io/             text/JSON readers and writers for every artifact format
+//   viz/            schedule visualization (Gantt SVG)
 //   workload/       seeded synthetic instance generators
 //   sim/            event-driven machine/energy simulator + app mappings
 //   extensions/     Section 5 extensions (weighted, demands, ring, tree)
@@ -29,6 +33,7 @@
 #include "algo/first_fit.hpp"
 #include "algo/local_search.hpp"
 #include "algo/one_sided.hpp"
+#include "algo/profile.hpp"
 #include "algo/proper_clique_dp.hpp"
 #include "api/registry.hpp"
 #include "api/request.hpp"
@@ -57,6 +62,13 @@
 #include "matching/dp_matching.hpp"
 #include "matching/greedy_matching.hpp"
 #include "matching/matching_types.hpp"
+#include "net/binstream.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "online/engine_stats.hpp"
 #include "online/epoch_hybrid.hpp"
 #include "online/event.hpp"
@@ -70,7 +82,9 @@
 #include "rect/rect_schedule.hpp"
 #include "rect/rect_types.hpp"
 #include "rect/union_area.hpp"
+#include "service/result_cache.hpp"
 #include "service/service.hpp"
+#include "service/tenant_queue.hpp"
 #include "setcover/greedy_setcover.hpp"
 #include "sim/billing.hpp"
 #include "sim/machine_sim.hpp"
@@ -81,7 +95,9 @@
 #include "throughput/proper_clique_tput_dp.hpp"
 #include "throughput/reduction.hpp"
 #include "util/bitops.hpp"
+#include "util/check.hpp"
 #include "util/flags.hpp"
+#include "util/fnv.hpp"
 #include "util/prng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"

@@ -127,7 +127,7 @@ RingSchedule solve_ring_first_fit(const RingInstance& inst) {
 RingSchedule solve_ring_bucket_first_fit(const RingInstance& inst, double beta) {
   assert(beta > 1.0);
   RingSchedule out(inst.size());
-  if (inst.size() == 0) return out;
+  if (inst.empty()) return out;
 
   Time min_len = inst.arcs().front().length;
   for (const auto& arc : inst.arcs()) min_len = std::min(min_len, arc.length);

@@ -41,6 +41,7 @@ class RingInstance {
 
   const std::vector<Arc>& arcs() const noexcept { return arcs_; }
   std::size_t size() const noexcept { return arcs_.size(); }
+  bool empty() const noexcept { return arcs_.empty(); }
   Time circumference() const noexcept { return circumference_; }
   int g() const noexcept { return g_; }
 

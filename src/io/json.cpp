@@ -176,6 +176,20 @@ class Parser {
   }
 
  private:
+  /// Parsing recurses per container level; hostile input like "[[[[..."
+  /// must hit this limit (well past any real document) before the stack.
+  static constexpr int kMaxDepth = 200;
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : parser(p) {
+      if (++parser.depth_ > kMaxDepth)
+        parser.fail("nesting exceeds " + std::to_string(kMaxDepth) +
+                    " container levels");
+    }
+    ~DepthGuard() { --parser.depth_; }
+    Parser& parser;
+  };
+
   [[noreturn]] void fail(const std::string& message) const {
     throw JsonError(pos_, message);
   }
@@ -209,8 +223,8 @@ class Parser {
     skip_ws();
     const char c = peek();
     switch (c) {
-      case '{': return parse_object();
-      case '[': return parse_array();
+      case '{': { DepthGuard g(*this); return parse_object(); }
+      case '[': { DepthGuard g(*this); return parse_array(); }
       case '"': return Value(parse_string());
       case 't': if (consume_literal("true")) return Value(true); fail("bad literal");
       case 'f': if (consume_literal("false")) return Value(false); fail("bad literal");
@@ -334,6 +348,7 @@ class Parser {
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

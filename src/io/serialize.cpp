@@ -1,5 +1,6 @@
 #include "io/serialize.hpp"
 
+#include <cstdint>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -86,6 +87,12 @@ Instance read_instance_impl(std::istream& is, std::vector<CancelRecord>* cancels
         throw ParseError(reader.line(), "job needs <start> <completion>");
       if (completion <= start)
         throw ParseError(reader.line(), "job must have positive length");
+      // Same guard as the wire reader: length() is signed completion - start,
+      // so an extreme endpoint pair must be rejected, not wrapped into UB.
+      if (static_cast<std::uint64_t>(completion) -
+              static_cast<std::uint64_t>(start) >
+          static_cast<std::uint64_t>(std::numeric_limits<Time>::max()))
+        throw ParseError(reader.line(), "job length overflows the time type");
       Job job(start, completion);
       if (tokens >> job.weight) {
         if (job.weight < 0) throw ParseError(reader.line(), "negative weight");

@@ -1,5 +1,7 @@
 #include "net/binstream.hpp"
 
+#include <limits>
+
 namespace busytime::net {
 
 // Field order in every pair below is the struct's declaration order; the
@@ -16,6 +18,12 @@ obinstream& operator>>(obinstream& m, Interval& iv) {
   m >> start >> completion;
   if (completion < start)
     throw WireError("interval completion precedes start");
+  // length() computes completion - start in signed arithmetic everywhere
+  // downstream; an extreme pair (say INT64_MIN .. INT64_MAX) would make
+  // that UB.  The unsigned difference is well-defined, so check it here.
+  if (static_cast<std::uint64_t>(completion) - static_cast<std::uint64_t>(start) >
+      static_cast<std::uint64_t>(std::numeric_limits<Time>::max()))
+    throw WireError("interval length overflows the time type");
   iv.start = start;
   iv.completion = completion;
   return m;

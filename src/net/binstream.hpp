@@ -30,6 +30,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "api/solve_result.hpp"
@@ -98,6 +99,24 @@ class obinstream {
     if (n > remaining())
       throw WireError("truncated wire payload: need " + std::to_string(n) +
                       " bytes, have " + std::to_string(remaining()));
+  }
+
+  /// Guards a declared element count before any allocation: each element
+  /// consumes at least `min_wire_bytes` on the wire, so a count the
+  /// remaining payload cannot possibly hold is forged — and the in-memory
+  /// reservation `count * elem_bytes` must not overflow std::size_t.  Both
+  /// checks use division so the comparisons themselves cannot overflow.
+  void require_count(std::size_t count, std::size_t min_wire_bytes,
+                     std::size_t elem_bytes) const {
+    if (count == 0) return;
+    if (count > remaining() / min_wire_bytes)
+      throw WireError("forged element count " + std::to_string(count) +
+                      ": needs >= " + std::to_string(min_wire_bytes) +
+                      " bytes each, only " + std::to_string(remaining()) +
+                      " remain");
+    if (count > SIZE_MAX / elem_bytes)
+      throw WireError("element count " + std::to_string(count) +
+                      " overflows the reservation size");
   }
 
   void raw(void* out, std::size_t n) {
@@ -195,6 +214,39 @@ inline obinstream& operator>>(obinstream& m, std::string& s) {
 
 // -------------------------------------------------------------- compounds --
 
+/// Minimum bytes one T consumes on the wire — the amplification bound the
+/// vector reader checks a declared count against.  The primary template
+/// covers fixed-width scalars; domain types with a larger fixed floor
+/// specialize it so a forged count cannot reserve memory many times the
+/// payload size (e.g. a 4-byte count claiming millions of 32-byte Jobs).
+/// A conservative floor is always sound: it must never exceed the true
+/// minimal encoding, or valid payloads would be rejected.
+template <typename T>
+struct WireMinBytes {
+  static constexpr std::size_t value =
+      std::is_arithmetic<T>::value ? sizeof(T) : 1;
+};
+template <>
+struct WireMinBytes<bool> {
+  static constexpr std::size_t value = 1;
+};
+template <>
+struct WireMinBytes<std::string> {
+  static constexpr std::size_t value = 4;  // u32 length prefix
+};
+template <>
+struct WireMinBytes<Interval> {
+  static constexpr std::size_t value = 16;  // two i64 endpoints
+};
+template <>
+struct WireMinBytes<Job> {
+  static constexpr std::size_t value = 32;  // interval + weight + demand
+};
+template <>
+struct WireMinBytes<CancelRecord> {
+  static constexpr std::size_t value = 13;  // i32 job + i64 at + bool
+};
+
 template <typename T>
 ibinstream& operator<<(ibinstream& m, const std::vector<T>& v) {
   if (v.size() > UINT32_MAX)
@@ -207,9 +259,10 @@ ibinstream& operator<<(ibinstream& m, const std::vector<T>& v) {
 template <typename T>
 obinstream& operator>>(obinstream& m, std::vector<T>& v) {
   const std::uint32_t n = m.read_u32();
-  // Every element consumes at least one byte, so a count beyond the
-  // remaining payload is forged — reject before allocating.
-  m.require(n);
+  // A count the remaining payload cannot hold is forged; reject before the
+  // reserve so a hostile 4-byte count can neither amplify into a huge
+  // allocation nor overflow the n * sizeof(T) reservation arithmetic.
+  m.require_count(n, WireMinBytes<T>::value, sizeof(T));
   v.clear();
   v.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {

@@ -5,6 +5,8 @@
 #include <functional>
 #include <limits>
 
+#include "util/check.hpp"
+
 namespace busytime {
 
 namespace {
@@ -52,6 +54,12 @@ void MachinePool::advance(Time now) {
     open_[keep++] = id;
   }
   open_.resize(keep);
+  // Recycle identity: every opening beyond the concurrent peak reused a slot.
+  BUSYTIME_CHECK(stats_.open_machines == static_cast<std::int64_t>(open_.size()),
+                 "open-machine counter diverged from the open set");
+  BUSYTIME_CHECK(stats_.slots_recycled ==
+                     stats_.machines_opened - stats_.peak_open_machines,
+                 "slot recycling broke machines_opened - peak_open_machines");
 }
 
 bool MachinePool::fits(MachineId m) const {
@@ -72,7 +80,8 @@ MachineId MachinePool::open_machine(bool pinned) {
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
     free_slots_.pop_back();
-    assert(slots_[static_cast<std::size_t>(slot)].active.empty());
+    BUSYTIME_CHECK(slots_[static_cast<std::size_t>(slot)].active.empty(),
+                   "recycled a machine slot that still has running jobs");
     // only idle machines close, so the heap is empty and the hot scalars
     // just reset in place
     ++stats_.slots_recycled;
@@ -121,7 +130,8 @@ void MachinePool::place(MachineId m, const Interval& iv) {
   // non-overlapping jobs through the same slots.
   if (iv.completion > stats_.clock) {
     auto& active = slots_[slot].active;
-    assert(active.size() < static_cast<std::size_t>(g_));
+    BUSYTIME_CHECK(active.size() < static_cast<std::size_t>(g_),
+                   "placement would exceed the machine's capacity g");
     active.push_back(iv.completion);
     std::push_heap(active.begin(), active.end(), std::greater<Time>());
     active_count_[slot] = static_cast<std::int32_t>(active.size());
@@ -152,7 +162,12 @@ std::optional<Time> MachinePool::truncate(MachineId m, Time completion,
   Time covered = now;
   for (const Time c : active) covered = std::max(covered, c);
   const Time refund = seg_end_[slot] - covered;
-  assert(refund >= 0);
+  // Refund identity: the uncovered busy tail is exactly what the cancelled
+  // job alone was paying for — it can never be negative and never reach
+  // past the cancel instant.
+  BUSYTIME_CHECK(refund >= 0, "truncate would refund busy time nobody paid");
+  BUSYTIME_CHECK(stats_.active_jobs >= 0,
+                 "truncate drove the running-job counter negative");
   seg_end_[slot] = covered;
 
   stats_.online_cost -= refund;

@@ -1,5 +1,7 @@
 #include "service/result_cache.hpp"
 
+#include "util/check.hpp"
+
 namespace busytime {
 
 bool ResultCache::lookup(const Key& key, SolveResult* out) {
@@ -33,9 +35,13 @@ std::size_t ResultCache::insert(const Key& key, const SolveResult& result) {
     lru_.pop_back();
     ++evicted;
   }
+  BUSYTIME_CHECK(bytes_ + cost <= capacity_bytes_,
+                 "LRU eviction drained the cache without freeing the cap");
   lru_.push_front(Entry{key, result, cost});
   index_.emplace(key, lru_.begin());
   bytes_ += cost;
+  BUSYTIME_CHECK(index_.size() == lru_.size(),
+                 "result-cache index diverged from the LRU list");
   return evicted;
 }
 

@@ -5,6 +5,7 @@
 
 #include "io/serialize.hpp"
 #include "obs/trace.hpp"
+#include "util/check.hpp"
 #include "util/fnv.hpp"
 
 namespace busytime {
@@ -442,6 +443,14 @@ ServiceStats Service::stats() const {
   s.cache_hits = snap.counter_value(obs::metric::kServiceCacheHits);
   s.cache_misses = snap.counter_value(obs::metric::kServiceCacheMisses);
   s.cache_evictions = snap.counter_value(obs::metric::kServiceCacheEvictions);
+  // Every cache-eligible request resolves to exactly one hit or one miss,
+  // and only requests that entered the Service are eligible.  Counters are
+  // relaxed atomics, so the identity is only required of a quiescent
+  // snapshot — with requests in flight the three reads are not a cut.
+  if (s.requests == s.completed)
+    BUSYTIME_CHECK(s.cache_hits + s.cache_misses <= s.requests,
+                   "cache hit/miss counters exceed the requests that could "
+                   "have consulted the cache");
   return s;
 }
 

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/check.hpp"
+
 namespace busytime {
 
 bool DrrScheduler::try_enqueue(const TenantHandle& tenant,
@@ -24,7 +26,16 @@ std::function<void()> DrrScheduler::next() {
     TenantState& t = *active_.front();
     // Tenants leave the active list the moment they drain, so the front
     // always has work; earn the round's deficit on first service.
+    BUSYTIME_CHECK(!t.queue_.empty(),
+                   "active DRR tenant has an empty queue");
     if (t.deficit_ <= 0) t.deficit_ += t.weight_;
+    // Deficit bookkeeping: a visit earns weight once and pays one unit per
+    // dequeue, so a served tenant's balance always sits in [1, weight] here
+    // (weight decreases via configure() keep the old, larger balance).
+    BUSYTIME_CHECK(t.deficit_ >= 1,
+                   "DRR deficit not replenished before serving a tenant");
+    BUSYTIME_CHECK(queued_total_ > 0,
+                   "DRR queued-total counter diverged from the tenant queues");
     std::function<void()> task = std::move(t.queue_.front());
     t.queue_.pop_front();
     --queued_total_;

@@ -1,0 +1,51 @@
+// BUSYTIME_CHECK — audit-mode invariant assertions for the load-bearing
+// bookkeeping identities (profile splice accounting, MachinePool
+// refund/recycle, DRR deficits, cache accounting).
+//
+// Semantics, distinct from <cassert> on purpose:
+//
+//  * The macro is gated on BUSYTIME_AUDIT, not NDEBUG.  CMake turns audit
+//    mode on for Debug builds AND for every sanitizer configuration
+//    (BUSYTIME_SANITIZE=thread|address|undefined), which build
+//    RelWithDebInfo — so the invariants stay armed exactly where the CI
+//    correctness jobs run, while plain Release compiles them out entirely
+//    (the condition expression is never evaluated).
+//  * A failure prints the invariant, its location, and a one-line
+//    explanation of what just went inconsistent, then aborts — under ASan
+//    the abort produces a full stack trace, which is the point of pairing
+//    audit mode with the sanitizer matrix.
+//
+// Keep planted checks O(1)-ish: audit mode runs the full test suite and the
+// fuzz smoke, so a check inside a hot loop must not change its complexity.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#if !defined(BUSYTIME_AUDIT)
+#if !defined(NDEBUG)
+#define BUSYTIME_AUDIT 1
+#else
+#define BUSYTIME_AUDIT 0
+#endif
+#endif
+
+namespace busytime::util {
+
+[[noreturn]] inline void audit_fail(const char* file, int line,
+                                    const char* expr,
+                                    const char* what) noexcept {
+  std::fprintf(stderr, "busytime audit failure: %s\n  invariant: %s\n  at %s:%d\n",
+               what, expr, file, line);
+  std::abort();
+}
+
+}  // namespace busytime::util
+
+#if BUSYTIME_AUDIT
+#define BUSYTIME_CHECK(expr, what)                                      \
+  ((expr) ? static_cast<void>(0)                                        \
+          : ::busytime::util::audit_fail(__FILE__, __LINE__, #expr, (what)))
+#else
+#define BUSYTIME_CHECK(expr, what) static_cast<void>(0)
+#endif
